@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's §6 via
+:mod:`repro.bench.figures` and asserts the paper's qualitative claim
+(who wins, roughly by how much).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def print_report():
+    """Collect experiment reports and print them at session end."""
+    reports: list[str] = []
+    yield reports.append
+    if reports:
+        print("\n\n" + "\n\n".join(reports))

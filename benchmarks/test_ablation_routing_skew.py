@@ -1,0 +1,51 @@
+"""Ablation: routing skew (beyond the paper's uniform assumption).
+
+The paper benchmarks near-uniform routing.  Real routers are Zipf-ish;
+skew inflates per-expert padding and stretches the critical path of
+per-expert kernel segments.  This bench quantifies both, extending the
+§6.2 padding discussion.
+"""
+
+from repro.moe.trace import (
+    critical_path_tokens,
+    padding_report,
+    skewed_plan,
+)
+
+TOKENS, EXPERTS, TOP_K, TILE = 4096, 60, 4, 64
+
+
+def test_ablation_padding_vs_skew(benchmark, print_report):
+    def run():
+        out = {}
+        for skew in (0.0, 0.5, 1.0, 1.5):
+            plan = skewed_plan(TOKENS, EXPERTS, TOP_K, skew=skew,
+                               seed=17)
+            out[skew] = padding_report(plan, TILE).waste_fraction
+        return out
+    waste = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"Ablation: padding waste vs routing skew "
+             f"({EXPERTS} experts, tile {TILE})"]
+    for skew, frac in waste.items():
+        lines.append(f"  skew={skew:<4} waste={frac:.1%}")
+    print_report("\n".join(lines))
+    assert all(0.0 <= w < 1.0 for w in waste.values())
+    # Padding waste is substantial for many-expert models even uniform.
+    assert waste[0.0] > 0.05
+
+
+def test_ablation_critical_path_vs_skew(benchmark, print_report):
+    def run():
+        out = {}
+        for skew in (0.0, 1.0, 1.5):
+            plan = skewed_plan(TOKENS, EXPERTS, TOP_K, skew=skew,
+                               seed=23)
+            out[skew] = critical_path_tokens(plan, TILE)
+        return out
+    paths = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: slowest-expert padded tokens vs skew"]
+    for skew, tokens in paths.items():
+        lines.append(f"  skew={skew:<4} critical path={tokens} tokens")
+    print_report("\n".join(lines))
+    # Skew strictly stretches the slowest expert.
+    assert paths[1.5] > paths[0.0]

@@ -1,0 +1,84 @@
+"""Ablation: tiling and pipeline-depth choices (§4.2, Table 6).
+
+Quantifies the locality-vs-parallelism trade-off the paper describes:
+large tiles maximise reuse on big GEMMs, small tiles win when the grid
+cannot fill the device, and pipeline depth only matters when fetch and
+compute are imbalanced.
+"""
+
+from repro.hw import get_gpu
+from repro.kernels import SAMOYEDS_KERNEL, TilingConfig
+
+
+def _cfg(mb: int, nb: int, stages: int = 3) -> TilingConfig:
+    return TilingConfig(mb=mb, nb=nb, kb=32, mw=min(mb, 64),
+                        nw=min(nb, 64), stages=stages)
+
+
+def test_ablation_tile_size_tradeoff(benchmark, print_report):
+    def run():
+        spec = get_gpu("rtx4070s")
+        out = {}
+        for label, size in (("large-gemm", (8192, 4096, 4096)),
+                            ("small-gemm", (512, 4096, 512))):
+            per_tile = {}
+            for mb in (32, 64, 128):
+                cfg = _cfg(mb, mb)
+                per_tile[mb] = SAMOYEDS_KERNEL.cost(*size, spec,
+                                                    cfg=cfg).time_s
+            out[label] = per_tile
+        return out
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: tile size vs problem size"]
+    for label, per_tile in data.items():
+        row = "  ".join(f"mb={mb}:{t * 1e6:8.1f}us"
+                        for mb, t in per_tile.items())
+        lines.append(f"  {label:11s} {row}")
+    print_report("\n".join(lines))
+    # Large problems prefer large tiles; small problems prefer small.
+    assert data["large-gemm"][128] < data["large-gemm"][32]
+    assert data["small-gemm"][32] < data["small-gemm"][128]
+
+
+def test_ablation_pipeline_depth(benchmark, print_report):
+    def run():
+        spec = get_gpu("rtx4070s")
+        return {stages: SAMOYEDS_KERNEL.cost(
+            4096, 4096, 4096, spec, cfg=_cfg(128, 128, stages)).time_s
+            for stages in (1, 2, 3, 4)}
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: pipeline stages (4096^3)"]
+    for stages, t in times.items():
+        lines.append(f"  stages={stages}  {t * 1e6:9.1f} us")
+    print_report("\n".join(lines))
+    # No overlap at 1 stage is clearly worst; 2+ are close.
+    assert times[1] > times[3]
+    assert times[2] / times[3] < 1.3
+
+
+def test_ablation_narrow_tiles_for_many_experts(benchmark, print_report):
+    """§6.2: per-expert token counts shrink with expert count; narrow
+    n-tiles cut the padding waste."""
+    from repro.moe import MODEL_REGISTRY
+    from repro.moe.layers import SamoyedsEngine
+
+    def run():
+        spec = get_gpu("rtx4070s")
+        cfg = MODEL_REGISTRY["qwen2-moe"]      # 60 experts
+        engine = SamoyedsEngine()
+        narrow = engine.cost(cfg, 4096, spec, num_shared=0)
+        wide_engine = SamoyedsEngine()
+        wide_engine.tile_rows = lambda _cfg: 128  # force wide tiles
+        wide = wide_engine.cost(cfg, 4096, spec, num_shared=0)
+        return {"narrow(64)": narrow.time_s, "wide(128)": wide.time_s,
+                "narrow_padded": narrow.detail["padded_tokens"],
+                "wide_padded": wide.detail["padded_tokens"]}
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(
+        "Ablation: n-tile width on qwen2-moe (60 experts)\n"
+        f"  narrow(64):  {data['narrow(64)'] * 1e3:8.2f} ms "
+        f"(padded {data['narrow_padded']:.0f} tokens)\n"
+        f"  wide(128):   {data['wide(128)'] * 1e3:8.2f} ms "
+        f"(padded {data['wide_padded']:.0f} tokens)")
+    assert data["narrow_padded"] < data["wide_padded"]
+    assert data["narrow(64)"] <= data["wide(128)"] * 1.02

@@ -1,0 +1,21 @@
+"""Figure 2: time breakdown of MoE models (±FlashAttention).
+
+Paper claim: the MoE layer accounts for over half of decoder time in
+most models, and over 80% once FlashAttention is enabled.
+"""
+
+from repro.bench.figures import fig02_breakdown
+
+
+def test_fig02_moe_dominates(benchmark, print_report):
+    result = benchmark(fig02_breakdown)
+    print_report(result.text)
+    flash_shares = [v["flash"] for v in result.data.values()]
+    noflash_shares = [v["no_flash"] for v in result.data.values()]
+    # MoE share grows when FlashAttention shrinks the attention side.
+    for model, shares in result.data.items():
+        assert shares["flash"] > shares["no_flash"], model
+    # Over half the time in most models without flash...
+    assert sum(s > 0.5 for s in noflash_shares) >= len(noflash_shares) // 2
+    # ...and >70% with flash for every model (paper: >80% in most).
+    assert all(s > 0.70 for s in flash_shares)

@@ -1,0 +1,21 @@
+"""Figure 11(b): kernel speedup from the compressed output layout.
+
+Paper claim: ~1.05x at low input sparsity, up to 2.66x at high sparsity.
+"""
+
+from repro.bench.figures import fig11_layout
+
+
+def test_fig11_layout_speedup(benchmark, print_report):
+    result = benchmark(fig11_layout)
+    print_report(result.text)
+    speeds = result.data["speedup"]
+    sparsities = result.data["sparsity"]
+    # Monotone in input sparsity.
+    assert all(b >= a for a, b in zip(speeds, speeds[1:]))
+    # Low-sparsity end is near 1x, high end in the paper's 2-3x band.
+    assert speeds[0] == 1.0
+    low = speeds[sparsities.index(0.25)]
+    high = speeds[-1]
+    assert 1.0 <= low <= 1.3
+    assert 2.0 <= high <= 3.2

@@ -1,0 +1,29 @@
+"""Figure 12: kernel performance on synthetic + realistic benchmarks.
+
+Paper claims (shape): Samoyeds beats VENOM (up to ~2x), cuSPARSELt and
+cuBLAS (severalfold), and Sputnik by an order of magnitude; realistic
+shapes show a larger average gap over VENOM than the synthetic geomean.
+"""
+
+from repro.bench.figures import fig12_kernels
+
+
+def test_fig12_kernel_speedups(benchmark, print_report):
+    result = benchmark.pedantic(fig12_kernels, rounds=1, iterations=1)
+    print_report(result.text)
+    syn = result.data["synthetic"]
+    real = result.data["realistic"]
+
+    # Samoyeds wins against every baseline on average, on both suites.
+    for stats in (syn, real):
+        for base, s in stats.items():
+            assert s["geomean"] > 1.0, base
+
+    # VENOM is the closest baseline; Sputnik is the furthest.
+    assert syn["venom"]["geomean"] < syn["cusparselt"]["geomean"]
+    assert syn["cusparselt"]["geomean"] < syn["sputnik"]["geomean"]
+    # Paper band: up to ~2x over VENOM, >10x over Sputnik.
+    assert 1.5 <= syn["venom"]["max"] <= 3.5
+    assert syn["sputnik"]["max"] > 10.0
+    # Realistic shapes: several-fold over the dense vendor library.
+    assert real["cublas"]["geomean"] > 2.5

@@ -1,0 +1,26 @@
+"""Figure 13: throughput trend with varying operator size.
+
+Paper claims: Samoyeds outperforms all baselines across nearly all sizes;
+throughput rises with size before saturating (parallelism for m/n,
+amortised overheads for k); the smallest sizes (256) are the weak spot.
+"""
+
+from repro.bench.figures import fig13_scaling
+
+
+def test_fig13_throughput_scaling(benchmark, print_report):
+    result = benchmark.pedantic(fig13_scaling, rounds=1, iterations=1)
+    print_report(result.text)
+    for dim in ("m", "k", "n"):
+        series = result.data[dim]
+        sam = series["samoyeds"]
+        # Rising edge: large sizes beat the smallest size clearly (the
+        # other two dims are already 4096, so the floor is not tiny).
+        assert max(sam) > 1.3 * sam[0]
+        # Samoyeds leads every baseline at the largest size.
+        for name in ("cublas", "sputnik", "cusparselt", "venom"):
+            assert sam[-1] > series[name][-1], (dim, name)
+        # ... and at mid sizes too (paper: "nearly all matrix sizes").
+        mid = len(sam) // 2
+        for name in ("cublas", "sputnik", "cusparselt"):
+            assert sam[mid] > series[name][mid], (dim, name)

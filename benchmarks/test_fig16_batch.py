@@ -1,0 +1,24 @@
+"""Figure 16: throughput under different batch sizes.
+
+Paper claims: Samoyeds' throughput rises with batch before plateauing
+(parallelism), leads the baselines at large batch, and keeps running at
+batch sizes where the baselines have already gone OOM.
+"""
+
+from repro.bench.figures import fig16_batch
+
+
+def test_fig16_throughput_vs_batch(benchmark, print_report):
+    result = benchmark.pedantic(fig16_batch, rounds=1, iterations=1)
+    print_report(result.text)
+    for model, series in result.data.items():
+        sam = [p for p in series["samoyeds"] if p is not None]
+        assert len(sam) >= 2, model
+        # Throughput improves with batch (first -> best).
+        assert max(sam) >= sam[0], model
+        # Samoyeds survives at least as many batch points as any
+        # baseline (memory efficiency claim).
+        sam_alive = sum(p is not None for p in series["samoyeds"])
+        for base in ("megablocks", "vllm-ds"):
+            base_alive = sum(p is not None for p in series[base])
+            assert sam_alive >= base_alive, (model, base)

@@ -1,0 +1,26 @@
+"""Figure 17: breakdown analysis of the Samoyeds optimisations.
+
+Paper claims: each step of the ladder (weight sparsity +W, input
+sparsity +WI, transposition removal +WIT, data stationary +WITS) adds
+speedup over Vanilla; models with more experts benefit most from +I.
+"""
+
+from repro.bench.figures import fig17_ablation
+
+
+def test_fig17_ablation_ladder(benchmark, print_report):
+    result = benchmark.pedantic(fig17_ablation, rounds=1, iterations=1)
+    print_report(result.text)
+    for model, entry in result.data.items():
+        ladder = [entry["+W"], entry["+WI"], entry["+WIT"], entry["+WITS"]]
+        # Monotone non-decreasing ladder, all ending above Vanilla.
+        for a, b in zip(ladder, ladder[1:]):
+            assert b >= a * 0.999, (model, ladder)
+        assert ladder[-1] > 1.0, model
+    # +I (dropping the permuted data flow) helps the many-expert models
+    # relatively more, as §6.4 observes.
+    many = result.data["qwen2-moe"]
+    few = result.data["mixtral-8x7b"]
+    gain_many = many["+WI"] / many["+W"]
+    gain_few = few["+WI"] / few["+W"]
+    assert gain_many > gain_few

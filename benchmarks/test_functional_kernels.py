@@ -1,0 +1,52 @@
+"""Micro-benchmarks of the functional (numpy) kernel implementations.
+
+These time the *reference* implementations, not the GPU model — useful
+for keeping the functional layer fast enough for the test suite and for
+regression-tracking encode/decode costs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats.samoyeds import SamoyedsPattern, SamoyedsWeight
+from repro.formats.selection import ColumnSelection
+from repro.formats.twofour import TwoFourMatrix
+from repro.kernels import dense_gemm, samoyeds_ssmm, samoyeds_ssmm_tiled
+
+RNG = np.random.default_rng(42)
+M, K, NFULL, SEL_N = 256, 512, 256, 128
+PATTERN = SamoyedsPattern(1, 2, 32)
+
+
+@pytest.fixture(scope="module")
+def operands():
+    w = RNG.normal(size=(M, K)).astype(np.float32)
+    x = RNG.normal(size=(K, NFULL)).astype(np.float32)
+    sw = SamoyedsWeight.from_dense(w, PATTERN)
+    sel = ColumnSelection(full=x, sel=np.arange(SEL_N, dtype=np.int64))
+    return w, x, sw, sel
+
+
+def test_bench_dense_gemm(benchmark, operands):
+    w, x, _, _ = operands
+    benchmark(dense_gemm, w, x)
+
+
+def test_bench_samoyeds_encode(benchmark, operands):
+    w, _, _, _ = operands
+    benchmark(SamoyedsWeight.from_dense, w, PATTERN)
+
+
+def test_bench_two_four_encode(benchmark, operands):
+    w, _, _, _ = operands
+    benchmark(TwoFourMatrix.from_dense, w)
+
+
+def test_bench_samoyeds_ssmm(benchmark, operands):
+    _, _, sw, sel = operands
+    benchmark(samoyeds_ssmm, sw, sel)
+
+
+def test_bench_samoyeds_ssmm_tiled(benchmark, operands):
+    _, _, sw, sel = operands
+    benchmark(samoyeds_ssmm_tiled, sw, sel)

@@ -1,0 +1,25 @@
+"""Table 4: F1 of classifier proxies pruned with Samoyeds configs.
+
+Paper claims: accuracy is stable across the (N,M,V) configurations and
+retains >99% of the dense score on average (we assert >95% for the
+noisier synthetic proxy).
+"""
+
+from repro.bench.figures import tab04_f1
+
+
+def test_tab04_f1_stability(benchmark, print_report):
+    result = benchmark.pedantic(
+        tab04_f1, kwargs={"train_epochs": 20, "finetune_epochs": 4},
+        rounds=1, iterations=1)
+    print_report(result.text)
+    for model, entry in result.data.items():
+        dense = entry["dense"]
+        pruned = [v for k, v in entry.items() if k != "dense"]
+        assert dense > 0.75, model
+        # Stable across configs: spread under 6 F1 points.
+        assert max(pruned) - min(pruned) < 0.06, (model, entry)
+        # High retention vs dense.
+        for k, v in entry.items():
+            if k != "dense":
+                assert v / dense > 0.95, (model, k)

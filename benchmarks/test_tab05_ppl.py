@@ -1,0 +1,21 @@
+"""Table 5: perplexity by pruning format.
+
+Paper claims: at a uniform 75% sparsity, Samoyeds-pruned models stay
+close to dense / unstructured and beat VENOM-pruned models.
+"""
+
+from repro.bench.figures import tab05_ppl
+
+
+def test_tab05_perplexity_ordering(benchmark, print_report):
+    result = benchmark.pedantic(
+        tab05_ppl, kwargs={"train_epochs": 6, "finetune_epochs": 2},
+        rounds=1, iterations=1)
+    print_report(result.text)
+    for model, entry in result.data.items():
+        # Samoyeds <= VENOM (lower perplexity is better).
+        assert entry["samoyeds"] <= entry["venom"] * 1.005, (model, entry)
+        # Samoyeds stays near the dense reference (within 15%).
+        assert entry["samoyeds"] <= entry["dense"] * 1.15, (model, entry)
+        # Unstructured is the ceiling among pruned variants.
+        assert entry["unstructured"] <= entry["samoyeds"] * 1.05, model

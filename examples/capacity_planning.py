@@ -1,0 +1,64 @@
+"""Capacity planning: whole-model deployment across devices.
+
+Uses the full-model extrapolation (repro.models.full_model) to answer
+the questions a deployment engineer would ask: does the model fit, how
+many cards does each framework need, and what serving throughput does a
+layer-level win translate into.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.hw import get_gpu, list_gpus
+from repro.models.full_model import (
+    full_model_estimate,
+    min_devices_for_model,
+    total_params,
+)
+from repro.moe import MODEL_REGISTRY
+from repro.utils import format_bytes
+
+
+def main() -> None:
+    print(f"known devices: {', '.join(list_gpus())}\n")
+
+    # ------------------------------------------------------------------
+    # Model sizes at a glance.
+    # ------------------------------------------------------------------
+    print("model parameter counts (all layers):")
+    for name, cfg in MODEL_REGISTRY.items():
+        print(f"  {name:14s} {total_params(cfg) / 1e9:7.1f} B params, "
+              f"{cfg.num_layers} layers")
+
+    # ------------------------------------------------------------------
+    # Cards needed: dense weights vs the Samoyeds encoding.
+    # ------------------------------------------------------------------
+    for gpu in ("rtx4070s", "a100", "h100"):
+        spec = get_gpu(gpu)
+        print(f"\nminimum {spec.name} cards "
+              f"({format_bytes(spec.dram_capacity)} each, seq 1024, "
+              f"batch 1):")
+        print(f"  {'model':14s} {'transformers':>13s} {'samoyeds':>9s}")
+        for name, cfg in MODEL_REGISTRY.items():
+            dense = min_devices_for_model(cfg, "transformers", spec,
+                                          seq_len=1024)
+            sparse = min_devices_for_model(cfg, "samoyeds", spec,
+                                           seq_len=1024)
+            print(f"  {name:14s} {dense:>13d} {sparse:>9d}")
+
+    # ------------------------------------------------------------------
+    # Serving throughput on a card that fits both.
+    # ------------------------------------------------------------------
+    spec = get_gpu("h100")
+    cfg = MODEL_REGISTRY["mixtral-8x7b"]
+    print(f"\nfull-model serving estimate: {cfg.name} on {spec.name}:")
+    for engine in ("transformers", "vllm-ds", "samoyeds"):
+        est = full_model_estimate(cfg, engine, spec, batch=4,
+                                  seq_len=1024)
+        marker = "fits" if est.fits else "OOM"
+        print(f"  {engine:12s} weights {est.weights_gib:6.1f} GiB  "
+              f"latency {est.latency_s * 1e3:8.1f} ms  "
+              f"{est.tokens_per_s:10.0f} tok/s  [{marker}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Regenerate every table and figure of the paper's evaluation (§6).
+
+Runs all fourteen experiment entry points and prints their reports.
+EXPERIMENTS.md records a snapshot of this output next to the paper's
+numbers.
+
+Run:  python examples/paper_figures.py           # everything
+      python examples/paper_figures.py fig12 tab03   # a subset
+"""
+
+import sys
+import time
+
+from repro.bench import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str]) -> None:
+    wanted = argv or list(EXPERIMENTS)
+    for experiment in wanted:
+        start = time.perf_counter()
+        result = run_experiment(experiment)
+        elapsed = time.perf_counter() - start
+        print("=" * 72)
+        print(f"{experiment}  ({elapsed:.1f}s)")
+        print("=" * 72)
+        print(result.text)
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,53 @@
+"""Accuracy under structured pruning (§6.5, Tables 4 and 5).
+
+Trains the proxy networks, prunes them into each competing format at
+75% sparsity (magnitude saliency, SparseML-style mask-frozen
+fine-tuning), and prints Table-4/5-shaped results.
+
+Run:  python examples/pruning_accuracy.py
+"""
+
+from repro.formats.samoyeds import PAPER_PATTERNS
+from repro.pruning import (
+    evaluate_classifier_pruning,
+    evaluate_lm_pruning,
+    make_classification_task,
+    make_sequence_task,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Table 4: F1 stability across the paper's (N, M, V) configurations.
+    # ------------------------------------------------------------------
+    print("Table 4 proxy — macro-F1 across Samoyeds configurations")
+    task = make_classification_task(seed=3)
+    methods = {f"({p.n},{p.m},{p.v})": {"method": "samoyeds",
+                                        "samoyeds": p}
+               for p in PAPER_PATTERNS}
+    report = evaluate_classifier_pruning(task, methods=methods, seed=3)
+    print(f"  dense: {report.dense:.4f}")
+    for label, score in report.pruned.items():
+        print(f"  {label:10s} {score:.4f} "
+              f"(retention {report.retention(label):.1%}, "
+              f"sparsity {report.sparsities[label]:.0%})")
+
+    # ------------------------------------------------------------------
+    # Table 5: perplexity, Samoyeds vs unstructured vs VENOM.
+    # ------------------------------------------------------------------
+    print("\nTable 5 proxy — perplexity by pruning format (lower wins)")
+    lm_task = make_sequence_task(seed=4)
+    lm_report = evaluate_lm_pruning(lm_task, seed=4)
+    print(f"  dense:        {lm_report.dense:.3f}")
+    for label in ("unstructured", "venom", "samoyeds"):
+        ppl = lm_report.pruned[label]
+        print(f"  {label:12s} {ppl:.3f} "
+              f"(degradation {lm_report.degradation(label):+.3f})")
+    gap = lm_report.pruned["venom"] - lm_report.pruned["samoyeds"]
+    print(f"\nSamoyeds beats VENOM by {gap:.3f} perplexity at equal "
+          f"75% sparsity — the finer sub-row granularity keeps more "
+          f"salient weights.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Samoyeds reproduction library.
+
+A full-system reproduction of *"Samoyeds: Accelerating MoE Models with
+Structured Sparsity Leveraging Sparse Tensor Cores"* (EuroSys 2025) in
+Python.  Real Sparse-Tensor-Core hardware is replaced by an analytical GPU
+performance model (:mod:`repro.hw`); every kernel also has a functionally
+exact numpy implementation so all mathematical-equivalence claims are
+testable.
+
+Public surface (see README for a tour):
+
+* :mod:`repro.formats` - 2:4, V:N:M, and the Samoyeds dual-side format;
+* :mod:`repro.kernels` - cuBLAS/cuSPARSELt/Sputnik/VENOM baselines and the
+  Samoyeds SSMM kernel, each with ``run`` (numpy) and ``cost`` (simulator);
+* :mod:`repro.moe` - routers, experts, and the five MoE layer engines;
+* :mod:`repro.models` - attention + decoder-layer end-to-end runner;
+* :mod:`repro.pruning` - pattern-constrained pruning and accuracy proxy;
+* :mod:`repro.bench` - the harness that regenerates every paper figure.
+"""
+
+from repro.errors import (
+    CapacityError,
+    ConfigError,
+    FormatError,
+    HardwareModelError,
+    PatternViolation,
+    ReproError,
+    RoutingError,
+    ShapeError,
+    TilingError,
+)
+from repro.formats import (
+    ColumnSelection,
+    SamoyedsPattern,
+    SamoyedsWeight,
+    prune_samoyeds,
+)
+from repro.hw import GPUSpec, get_gpu, list_gpus
+
+__all__ = [
+    "CapacityError",
+    "ConfigError",
+    "FormatError",
+    "HardwareModelError",
+    "PatternViolation",
+    "ReproError",
+    "RoutingError",
+    "ShapeError",
+    "TilingError",
+    "ColumnSelection",
+    "SamoyedsPattern",
+    "SamoyedsWeight",
+    "prune_samoyeds",
+    "GPUSpec",
+    "get_gpu",
+    "list_gpus",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,34 @@
+"""Benchmark harness: regenerates every table and figure of §6.
+
+``repro.bench.figures.EXPERIMENTS`` maps experiment ids (``fig12``,
+``tab03``, ...) to callables that run the paper's workload and return a
+structured result plus a printable report.  The pytest files under
+``benchmarks/`` are thin wrappers over this registry.
+"""
+
+from repro.bench.workloads import (
+    SYNTHETIC_CASE_COUNT,
+    realistic_cases,
+    synthetic_cases,
+)
+from repro.bench.harness import (
+    KernelRow,
+    adaptation_study,
+    kernel_sweep,
+    portability_sweep,
+    speedup_stats,
+)
+from repro.bench.figures import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "SYNTHETIC_CASE_COUNT",
+    "synthetic_cases",
+    "realistic_cases",
+    "KernelRow",
+    "kernel_sweep",
+    "speedup_stats",
+    "portability_sweep",
+    "adaptation_study",
+    "EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro.bench``.
+
+Subcommands:
+
+* ``experiments [ids...]`` — run paper experiments (default: all 14);
+* ``kernels --m --k --n [--gpu]`` — one-off kernel comparison;
+* ``tune --m --k --n [--gpu]`` — autotune the Samoyeds kernel;
+* ``roofline --m --k --n [--gpu]`` — place every kernel on the roofline;
+* ``maxbatch [--gpu] [--seq]`` — Table-3 style memory report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.figures import EXPERIMENTS, run_experiment
+from repro.bench.report import render_table
+from repro.hw.roofline import place, render
+from repro.hw.spec import get_gpu, list_gpus
+from repro.kernels import KERNELS
+from repro.kernels.autotuner import tune
+from repro.moe.config import MODEL_REGISTRY
+from repro.moe.memory_model import max_batch_size
+from repro.utils.units import format_seconds
+
+
+def _add_gpu_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--gpu", default="rtx4070s", choices=list_gpus(),
+                        help="target device (default: rtx4070s)")
+
+
+def _add_problem_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--m", type=int, default=4096)
+    parser.add_argument("--k", type=int, default=4096)
+    parser.add_argument("--n", type=int, default=4096)
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    wanted = args.ids or list(EXPERIMENTS)
+    for experiment in wanted:
+        result = run_experiment(experiment)
+        print(result.text)
+        print()
+    return 0
+
+
+def cmd_kernels(args: argparse.Namespace) -> int:
+    spec = get_gpu(args.gpu)
+    rows = []
+    sam = KERNELS["samoyeds"].cost(args.m, args.k, args.n, spec)
+    for name, kernel in KERNELS.items():
+        cost = kernel.cost(args.m, args.k, args.n, spec)
+        rows.append([name, format_seconds(cost.time_s),
+                     f"{cost.tflops:.1f}",
+                     f"{cost.time_s / sam.time_s:.2f}x"])
+    print(render_table(
+        ["kernel", "time", "TFLOP/s", "vs samoyeds"], rows,
+        title=f"{args.m}x{args.k}x{args.n} on {spec.name}"))
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    spec = get_gpu(args.gpu)
+    result = tune(KERNELS["samoyeds"], args.m, args.k, args.n, spec,
+                  subrow_v=32)
+    cfg = result.config
+    print(f"best config on {spec.name}: mb={cfg.mb} nb={cfg.nb} "
+          f"kb={cfg.kb} mw={cfg.mw} nw={cfg.nw} stages={cfg.stages}")
+    print(f"tuned {format_seconds(result.seconds)} vs heuristic "
+          f"{format_seconds(result.heuristic_seconds)} "
+          f"({result.gain_over_heuristic:.2f}x, "
+          f"{result.candidates} candidates searched)")
+    return 0
+
+
+def cmd_roofline(args: argparse.Namespace) -> int:
+    spec = get_gpu(args.gpu)
+    points = []
+    # Pattern levels skipped beyond the hardware 2:4 raise a kernel's
+    # *effective* compute roof: sub-row selection (Samoyeds) and column
+    # selection (VENOM) both skip half the work at 75% sparsity.
+    skip = {"samoyeds": 2.0, "venom": 2.0}
+    for name, kernel in KERNELS.items():
+        cost = kernel.cost(args.m, args.k, args.n, spec)
+        sparse = name in ("samoyeds", "venom", "cusparselt")
+        points.append(place(cost, spec, sparse=sparse,
+                            zero_skip_factor=skip.get(name, 1.0)))
+    print(render(points))
+    return 0
+
+
+def cmd_maxbatch(args: argparse.Namespace) -> int:
+    spec = get_gpu(args.gpu)
+    engines = ["transformers", "megablocks", "vllm-ds", "samoyeds"]
+    rows = []
+    for name, cfg in MODEL_REGISTRY.items():
+        row: list[object] = [name]
+        for engine in engines:
+            try:
+                row.append(max_batch_size(cfg, engine, args.seq, spec))
+            except Exception:
+                row.append(None)
+        rows.append(row)
+    print(render_table(["model", *engines], rows,
+                       title=f"max batch at seq {args.seq} on {spec.name}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Samoyeds reproduction benchmark harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("experiments", help="run paper experiments")
+    p.add_argument("ids", nargs="*", choices=[*EXPERIMENTS, []],
+                   help="experiment ids (default: all)")
+    p.set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser("kernels", help="compare kernels on one problem")
+    _add_problem_args(p)
+    _add_gpu_arg(p)
+    p.set_defaults(fn=cmd_kernels)
+
+    p = sub.add_parser("tune", help="autotune the Samoyeds kernel")
+    _add_problem_args(p)
+    _add_gpu_arg(p)
+    p.set_defaults(fn=cmd_tune)
+
+    p = sub.add_parser("roofline", help="roofline placement")
+    _add_problem_args(p)
+    _add_gpu_arg(p)
+    p.set_defaults(fn=cmd_roofline)
+
+    p = sub.add_parser("maxbatch", help="Table-3 memory report")
+    p.add_argument("--seq", type=int, default=1024)
+    _add_gpu_arg(p)
+    p.set_defaults(fn=cmd_maxbatch)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Plain-text report rendering for benchmark results.
+
+The paper presents results as figures; this harness prints the same data
+as aligned text tables so each bench target's output can be compared line
+by line with the paper (EXPERIMENTS.md records both).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence[object],
+                  series: dict[str, Sequence[float | None]],
+                  x_label: str = "x") -> str:
+    """Figure-style data: one row per x, one column per series."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(xs):
+        row: list[object] = [x]
+        for key in series:
+            row.append(series[key][i])
+        rows.append(row)
+    return render_table(headers, rows, title=name)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "OOM/NS"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def fmt_speedup(x: float | None) -> str:
+    return "OOM/NS" if x is None else f"{x:.2f}x"

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the Samoyeds reproduction library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Specific subclasses mirror the failure domains of the
+system: format encoding, kernel configuration, hardware-model limits, MoE
+configuration and memory capacity.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class FormatError(ReproError):
+    """A sparse-format encode/decode precondition was violated."""
+
+
+class PatternViolation(FormatError):
+    """Data does not conform to the declared structured-sparsity pattern."""
+
+
+class ShapeError(ReproError):
+    """Matrix / tensor operands have incompatible or illegal shapes."""
+
+
+class TilingError(ReproError):
+    """A tiling configuration violates hardware or format constraints."""
+
+
+class HardwareModelError(ReproError):
+    """The hardware model was queried outside its supported envelope."""
+
+
+class UnsupportedOnDevice(HardwareModelError):
+    """The requested feature is missing on the target GPU (Table 1)."""
+
+
+class ConfigError(ReproError):
+    """An MoE / model configuration is inconsistent."""
+
+
+class CapacityError(ReproError):
+    """A workload does not fit in device memory (OOM in the paper)."""
+
+    def __init__(self, message: str, required_bytes: int = 0,
+                 available_bytes: int = 0) -> None:
+        super().__init__(message)
+        self.required_bytes = int(required_bytes)
+        self.available_bytes = int(available_bytes)
+
+
+class RoutingError(ReproError):
+    """Token routing produced an invalid assignment."""

@@ -1,0 +1,50 @@
+"""Sparse data formats.
+
+Implements every format the paper discusses (Figure 3) or evaluates:
+
+* classic unstructured formats — :mod:`~repro.formats.coo`,
+  :mod:`~repro.formats.csr`;
+* NVIDIA's hardware 2:4 semi-structured format with 2-bit metadata —
+  :mod:`~repro.formats.twofour`;
+* VENOM's V:N:M vector format — :mod:`~repro.formats.venom`;
+* the Samoyeds dual-side format: the `(N, M, V)` weight encoding
+  (*data / indices / metadata*) plus the SEL column-selection input
+  encoding — :mod:`~repro.formats.samoyeds`,
+  :mod:`~repro.formats.selection`;
+* the Figure-10 metadata re-packing — :mod:`~repro.formats.metadata_packing`.
+
+All encoders are exact: ``decode(encode(x))`` reproduces the pruned matrix
+bit-for-bit, which the test suite verifies property-based.
+"""
+
+from repro.formats.coo import CooMatrix
+from repro.formats.csr import CsrMatrix
+from repro.formats.twofour import TwoFourMatrix, prune_two_four
+from repro.formats.venom import VenomMatrix, VenomPattern
+from repro.formats.samoyeds import (
+    SamoyedsPattern,
+    SamoyedsWeight,
+    prune_samoyeds,
+)
+from repro.formats.selection import ColumnSelection
+from repro.formats.metadata_packing import (
+    pack_metadata_tile,
+    unpack_metadata_tile,
+    metadata_load_transactions,
+)
+
+__all__ = [
+    "CooMatrix",
+    "CsrMatrix",
+    "TwoFourMatrix",
+    "prune_two_four",
+    "VenomMatrix",
+    "VenomPattern",
+    "SamoyedsPattern",
+    "SamoyedsWeight",
+    "prune_samoyeds",
+    "ColumnSelection",
+    "pack_metadata_tile",
+    "unpack_metadata_tile",
+    "metadata_load_transactions",
+]

@@ -1,0 +1,72 @@
+"""Coordinate-list (COO) unstructured sparse format.
+
+Included as the canonical unstructured baseline of Figure 3.  COO stores one
+``(row, col, value)`` triple per non-zero with no pattern constraint, which
+is exactly why GPUs struggle with it: no locality, no coalescing guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+
+
+@dataclass(frozen=True)
+class CooMatrix:
+    """An ``m x k`` matrix stored as coordinate triples."""
+
+    rows: np.ndarray
+    cols: np.ndarray
+    data: np.ndarray
+    shape: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        if not (self.rows.shape == self.cols.shape == self.data.shape):
+            raise FormatError("rows/cols/data must have identical length")
+        if self.rows.ndim != 1:
+            raise FormatError("COO arrays must be 1-D")
+        m, k = self.shape
+        if self.rows.size and (self.rows.max() >= m or self.cols.max() >= k):
+            raise FormatError("COO coordinate out of bounds")
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CooMatrix":
+        """Encode every non-zero of ``dense``."""
+        if dense.ndim != 2:
+            raise ShapeError("from_dense expects a 2-D array")
+        rows, cols = np.nonzero(dense)
+        return cls(rows=rows.astype(np.int64), cols=cols.astype(np.int64),
+                   data=dense[rows, cols].copy(), shape=dense.shape)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=self.data.dtype)
+        out[self.rows, self.cols] = self.data
+        return out
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def density(self) -> float:
+        m, k = self.shape
+        return self.nnz / (m * k) if m * k else 0.0
+
+    def nbytes(self, value_bytes: int = 2, index_bytes: int = 4) -> int:
+        """Storage footprint with configurable precisions."""
+        return self.nnz * (value_bytes + 2 * index_bytes)
+
+    def matmul(self, dense_rhs: np.ndarray) -> np.ndarray:
+        """``self @ dense_rhs`` via scatter-accumulate (reference path)."""
+        m, k = self.shape
+        if dense_rhs.shape[0] != k:
+            raise ShapeError(
+                f"rhs rows {dense_rhs.shape[0]} != matrix cols {k}")
+        out = np.zeros((m, dense_rhs.shape[1]), dtype=np.float64)
+        np.add.at(out, self.rows,
+                  self.data[:, None].astype(np.float64)
+                  * dense_rhs[self.cols].astype(np.float64))
+        return out.astype(np.result_type(self.data, dense_rhs))

@@ -1,0 +1,245 @@
+"""The Samoyeds dual-side sparse weight format (§4.1, Figure 7).
+
+The weight side combines two patterns:
+
+* **vector-wise sub-row sparsity** — the matrix is cut into blocks of
+  ``M`` *Sub-Rows* by ``V`` columns; only ``N`` sub-rows survive per
+  block (chosen by L2 norm).  Because selection is per column-block, the
+  surviving row identities *change along k* every ``V`` columns — the
+  property that forces the data-stationary ``C_IR`` shuffle of §4.3.
+* **2:4 element sparsity** — each surviving sub-row is pruned 2:4 so the
+  SpTC ``mma.sp`` instruction can consume it.
+
+Total density is ``(N / M) * 0.5`` — e.g. the paper's Table 4 configs
+(1,2,16), (1,2,32), (4,8,32), (8,16,32) all give 75% sparsity.
+
+The encoding has three components, exactly as Figure 7 describes:
+
+* ``data``    — ``(m/M * N, k/2)`` compressed non-zero values;
+* ``indices`` — ``(m/M, k/V, N)`` relative positions of the surviving
+  sub-rows inside their blocks;
+* ``metadata``— ``(m/M * N, k/2)`` 2-bit position codes for the SpTC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PatternViolation, ShapeError
+from repro.formats.twofour import GROUP, TwoFourMatrix, two_four_mask
+
+
+@dataclass(frozen=True)
+class SamoyedsPattern:
+    """The `(N, M, V)` structured-sparsity configuration.
+
+    Attributes:
+        n: Sub-rows kept per block.
+        m: Sub-rows per block.
+        v: Columns per sub-row (vector length). Must be a multiple of 4 so
+           each sub-row decomposes into whole 2:4 groups, and is bounded by
+           the tiling constraint ``k_b <= V`` of §4.2.
+    """
+
+    n: int
+    m: int
+    v: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.m <= 0 or self.v <= 0:
+            raise PatternViolation("N, M, V must all be positive")
+        if self.n > self.m:
+            raise PatternViolation(f"N={self.n} cannot exceed M={self.m}")
+        if self.v % GROUP:
+            raise PatternViolation(
+                f"V={self.v} must be a multiple of 4 (2:4 groups)")
+
+    @property
+    def density(self) -> float:
+        """Kept fraction including the inner 2:4 (N/M * 1/2)."""
+        return (self.n / self.m) * 0.5
+
+    @property
+    def sparsity(self) -> float:
+        return 1.0 - self.density
+
+    def __str__(self) -> str:
+        return f"({self.n},{self.m},{self.v})"
+
+
+#: Table 4's configurations, all at 75% sparsity.
+PAPER_PATTERNS: tuple[SamoyedsPattern, ...] = (
+    SamoyedsPattern(1, 2, 16),
+    SamoyedsPattern(1, 2, 32),
+    SamoyedsPattern(4, 8, 32),
+    SamoyedsPattern(8, 16, 32),
+)
+
+DEFAULT_PATTERN = SamoyedsPattern(1, 2, 32)
+
+
+def _check_shape(matrix: np.ndarray, pattern: SamoyedsPattern) -> None:
+    if matrix.ndim != 2:
+        raise ShapeError("Samoyeds encoding expects a 2-D weight matrix")
+    rows, cols = matrix.shape
+    if rows % pattern.m:
+        raise ShapeError(f"rows={rows} must be a multiple of M={pattern.m}")
+    if cols % pattern.v:
+        raise ShapeError(f"cols={cols} must be a multiple of V={pattern.v}")
+
+
+def _subrow_selection(matrix: np.ndarray,
+                      pattern: SamoyedsPattern) -> np.ndarray:
+    """Per-block surviving sub-row ids, shape ``(m/M, k/V, N)``, sorted.
+
+    Selection maximises retained energy: sub-rows are ranked by the L2
+    norm of their ``V``-length vector, matching the offline pruning step.
+    """
+    rows, cols = matrix.shape
+    blocks = matrix.reshape(rows // pattern.m, pattern.m,
+                            cols // pattern.v, pattern.v)
+    scores = np.sqrt(np.sum(blocks.astype(np.float64) ** 2, axis=3))
+    order = np.argsort(-scores, axis=1, kind="stable")
+    keep = order[:, :pattern.n, :]                      # (mb, N, kv)
+    return np.sort(np.swapaxes(keep, 1, 2), axis=2)     # (mb, kv, N)
+
+
+def samoyeds_mask(matrix: np.ndarray, pattern: SamoyedsPattern) -> np.ndarray:
+    """Boolean keep-mask of the full dual pattern (sub-row + 2:4)."""
+    _check_shape(matrix, pattern)
+    rows, cols = matrix.shape
+    indices = _subrow_selection(matrix, pattern)        # (mb, kv, N)
+
+    row_mask = np.zeros((rows // pattern.m, cols // pattern.v, pattern.m),
+                        dtype=bool)
+    mb_idx = np.arange(rows // pattern.m)[:, None, None]
+    kv_idx = np.arange(cols // pattern.v)[None, :, None]
+    row_mask[mb_idx, kv_idx, indices] = True            # (mb, kv, M)
+
+    # Expand to element granularity: (mb, M, kv, V) -> (rows, cols)
+    expanded = np.broadcast_to(
+        np.swapaxes(row_mask, 1, 2)[:, :, :, None],
+        (rows // pattern.m, pattern.m, cols // pattern.v, pattern.v))
+    vector_mask = expanded.reshape(rows, cols)
+    return vector_mask & two_four_mask(np.where(vector_mask, matrix, 0.0))
+
+
+def prune_samoyeds(matrix: np.ndarray,
+                   pattern: SamoyedsPattern = DEFAULT_PATTERN) -> np.ndarray:
+    """Apply the Samoyeds pattern to ``matrix`` (zeros written in place of
+    pruned weights); the result is what the encoded form represents."""
+    return np.where(samoyeds_mask(matrix, pattern), matrix, 0.0)
+
+
+@dataclass(frozen=True)
+class SamoyedsWeight:
+    """A weight matrix encoded in the Samoyeds format.
+
+    Attributes:
+        data: ``(m/M * N, k/2)`` compressed values.  Row ``b * N + r`` holds
+            the ``r``-th surviving sub-row of block-row ``b`` — but note the
+            *identity* of that sub-row changes at every ``V`` boundary, per
+            ``indices``.
+        indices: ``(m/M, k/V, N)`` uint8 relative sub-row positions.
+        metadata: ``(m/M * N, k/2)`` uint8 2-bit codes (positions within
+            each group of 4), the ``mma.sp`` metadata operand.
+        shape: Logical dense shape ``(m, k)``.
+        pattern: The `(N, M, V)` configuration.
+    """
+
+    data: np.ndarray
+    indices: np.ndarray
+    metadata: np.ndarray
+    shape: tuple[int, int]
+    pattern: SamoyedsPattern
+
+    def __post_init__(self) -> None:
+        rows, cols = self.shape
+        p = self.pattern
+        expected_data = (rows // p.m * p.n, cols // 2)
+        if self.data.shape != expected_data:
+            raise ShapeError(
+                f"data shape {self.data.shape} != expected {expected_data}")
+        expected_idx = (rows // p.m, cols // p.v, p.n)
+        if self.indices.shape != expected_idx:
+            raise ShapeError(
+                f"indices shape {self.indices.shape} != {expected_idx}")
+        if self.metadata.shape != self.data.shape:
+            raise ShapeError("metadata must match data shape")
+        if self.indices.size and self.indices.max() >= p.m:
+            raise PatternViolation("sub-row index out of block range")
+
+    # ------------------------------------------------------------------
+    # Encode / decode
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray,
+                   pattern: SamoyedsPattern = DEFAULT_PATTERN
+                   ) -> "SamoyedsWeight":
+        """Prune-and-encode a dense weight matrix."""
+        _check_shape(dense, pattern)
+        rows, cols = dense.shape
+        p = pattern
+        indices = _subrow_selection(dense, p)           # (mb, kv, N)
+
+        blocks = dense.reshape(rows // p.m, p.m, cols // p.v, p.v)
+        blocks = np.swapaxes(blocks, 1, 2)              # (mb, kv, M, V)
+        gathered = np.take_along_axis(
+            blocks, indices[:, :, :, None].astype(np.int64), axis=2
+        )                                               # (mb, kv, N, V)
+
+        # Flatten surviving sub-rows into the compressed row layout, then
+        # 2:4-encode along k.
+        mb, kv = rows // p.m, cols // p.v
+        seq = np.swapaxes(gathered, 1, 2)               # (mb, N, kv, V)
+        flat = seq.reshape(mb * p.n, cols)
+        tf = TwoFourMatrix.from_dense(flat)
+        return cls(data=tf.data, indices=indices.astype(np.uint8),
+                   metadata=tf.metadata, shape=dense.shape, pattern=p)
+
+    def to_dense(self) -> np.ndarray:
+        """Exact reconstruction of the pruned dense matrix."""
+        rows, cols = self.shape
+        p = self.pattern
+        mb, kv = rows // p.m, cols // p.v
+        tf = TwoFourMatrix(data=self.data, metadata=self.metadata,
+                           shape=(mb * p.n, cols))
+        flat = tf.to_dense()                            # (mb*N, cols)
+        seq = flat.reshape(mb, p.n, kv, p.v)
+        gathered = np.swapaxes(seq, 1, 2)               # (mb, kv, N, V)
+
+        blocks = np.zeros((mb, kv, p.m, p.v), dtype=self.data.dtype)
+        np.put_along_axis(blocks,
+                          self.indices[:, :, :, None].astype(np.int64),
+                          gathered, axis=2)
+        return np.swapaxes(blocks, 1, 2).reshape(rows, cols)
+
+    # ------------------------------------------------------------------
+    # Storage accounting (drives the Table 3 memory model)
+    # ------------------------------------------------------------------
+    def data_nbytes(self, value_bytes: int = 2) -> int:
+        return self.data.size * value_bytes
+
+    def metadata_nbytes(self) -> int:
+        """2 bits per stored value."""
+        return self.metadata.size * 2 // 8
+
+    def indices_nbytes(self) -> int:
+        """One byte per surviving-sub-row pointer."""
+        return self.indices.size
+
+    def nbytes(self, value_bytes: int = 2) -> int:
+        return (self.data_nbytes(value_bytes) + self.metadata_nbytes()
+                + self.indices_nbytes())
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dense fp16 bytes / compressed bytes."""
+        dense = self.shape[0] * self.shape[1] * 2
+        return dense / self.nbytes()
+
+    def matmul(self, dense_rhs: np.ndarray) -> np.ndarray:
+        """``decode(self) @ rhs`` — reference semantic for the SSMM kernel."""
+        return self.to_dense() @ dense_rhs

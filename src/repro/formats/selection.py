@@ -1,0 +1,78 @@
+"""The SEL column-selection input format (§4.1, right of Figure 7).
+
+The activation side of the Samoyeds dual format: instead of materialising a
+permuted per-expert input tensor (Figure 5's redundancy), the kernel reads
+the *original* activation matrix through a selection array ``SEL`` that
+lists which columns (tokens, after the §4.5 transposition) belong to the
+expert.  This is vector-wise column sparsity and is mathematically
+equivalent to the gather the reference implementation performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+
+
+@dataclass(frozen=True)
+class ColumnSelection:
+    """A dense matrix read through a column-selection array.
+
+    Attributes:
+        full: The backing ``(k, n_full)`` matrix (tokens as columns).
+        sel: 1-D int array of selected column ids, in routing order.
+    """
+
+    full: np.ndarray
+    sel: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.full.ndim != 2:
+            raise ShapeError("ColumnSelection expects a 2-D backing matrix")
+        if self.sel.ndim != 1:
+            raise FormatError("SEL must be a 1-D index array")
+        if self.sel.size and (self.sel.min() < 0
+                              or self.sel.max() >= self.full.shape[1]):
+            raise FormatError("SEL index out of range")
+
+    @classmethod
+    def from_routing(cls, activations: np.ndarray,
+                     token_ids: np.ndarray) -> "ColumnSelection":
+        """Build the expert's view from router output token ids."""
+        return cls(full=activations, sel=np.asarray(token_ids, dtype=np.int64))
+
+    @property
+    def len_d(self) -> int:
+        """Number of selected columns (the paper's ``len_d``)."""
+        return int(self.sel.size)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical shape of the selected view ``(k, len_d)``."""
+        return (self.full.shape[0], self.len_d)
+
+    @property
+    def input_sparsity(self) -> float:
+        """Fraction of columns *not* selected (Figure 11's x-axis)."""
+        total = self.full.shape[1]
+        return 1.0 - self.len_d / total if total else 0.0
+
+    def gather(self) -> np.ndarray:
+        """Materialise the selected columns (the redundancy Samoyeds skips).
+
+        Provided for reference implementations and equivalence tests; the
+        Samoyeds kernel itself never calls this.
+        """
+        return self.full[:, self.sel]
+
+    def sel_nbytes(self, index_bytes: int = 4) -> int:
+        return self.len_d * index_bytes
+
+    def padded_len(self, tile_n: int) -> int:
+        """``len_d`` rounded up to the kernel's n-tile (padding, §6.2)."""
+        if tile_n <= 0:
+            raise ShapeError("tile_n must be positive")
+        return ((self.len_d + tile_n - 1) // tile_n) * tile_n

@@ -1,0 +1,115 @@
+"""NVIDIA 2:4 semi-structured sparsity (Figure 4).
+
+Every contiguous group of 4 elements along a row keeps its 2 largest-
+magnitude entries.  The encoding splits the matrix into a half-width dense
+*data* matrix and a 2-bit-per-element *metadata* matrix recording which of
+the 4 positions each kept value came from — exactly the operand layout
+``mma.sp`` consumes and ``cuSPARSELt`` produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PatternViolation, ShapeError
+
+GROUP = 4      #: elements per 2:4 group
+KEEP = 2       #: survivors per group
+
+
+def _group_view(matrix: np.ndarray) -> np.ndarray:
+    """Reshape ``(m, k)`` into ``(m, k/4, 4)`` groups."""
+    if matrix.ndim != 2:
+        raise ShapeError("2:4 encoding expects a 2-D array")
+    m, k = matrix.shape
+    if k % GROUP:
+        raise ShapeError(f"k={k} must be a multiple of {GROUP} for 2:4")
+    return matrix.reshape(m, k // GROUP, GROUP)
+
+
+def two_four_mask(matrix: np.ndarray) -> np.ndarray:
+    """Boolean keep-mask selecting the top-2 magnitudes of each group of 4.
+
+    Ties resolve toward the earlier position (stable), matching
+    cuSPARSELt's deterministic pruner.
+    """
+    groups = _group_view(matrix)
+    order = np.argsort(-np.abs(groups), axis=2, kind="stable")
+    keep = np.sort(order[:, :, :KEEP], axis=2)
+    mask = np.zeros(groups.shape, dtype=bool)
+    np.put_along_axis(mask, keep, True, axis=2)
+    return mask.reshape(matrix.shape)
+
+
+def prune_two_four(matrix: np.ndarray) -> np.ndarray:
+    """Return ``matrix`` with the 2:4 pattern applied (zeros written)."""
+    return np.where(two_four_mask(matrix), matrix, 0.0)
+
+
+@dataclass(frozen=True)
+class TwoFourMatrix:
+    """2:4-encoded matrix: half-width data plus 2-bit position metadata.
+
+    Attributes:
+        data: ``(m, k/2)`` kept values, group order preserved.
+        metadata: ``(m, k/2)`` uint8 holding each value's position (0..3)
+            within its group of four; only 2 bits are meaningful.
+        shape: Logical (uncompressed) shape ``(m, k)``.
+    """
+
+    data: np.ndarray
+    metadata: np.ndarray
+    shape: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        m, k = self.shape
+        if self.data.shape != (m, k // 2):
+            raise ShapeError(f"data must be (m, k/2) = ({m}, {k // 2})")
+        if self.metadata.shape != self.data.shape:
+            raise ShapeError("metadata must match data shape")
+        if self.metadata.size and self.metadata.max() >= GROUP:
+            raise PatternViolation("metadata positions must be < 4")
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "TwoFourMatrix":
+        """Prune-and-encode: keeps top-2 magnitudes per group of 4."""
+        groups = _group_view(dense)
+        order = np.argsort(-np.abs(groups), axis=2, kind="stable")
+        keep = np.sort(order[:, :, :KEEP], axis=2)
+        data = np.take_along_axis(groups, keep, axis=2)
+        m, k = dense.shape
+        return cls(data=data.reshape(m, k // 2),
+                   metadata=keep.reshape(m, k // 2).astype(np.uint8),
+                   shape=dense.shape)
+
+    @classmethod
+    def from_pruned(cls, pruned: np.ndarray) -> "TwoFourMatrix":
+        """Encode a matrix that already satisfies 2:4 (validates)."""
+        groups = _group_view(pruned)
+        nnz_per_group = np.count_nonzero(groups, axis=2)
+        if np.any(nnz_per_group > KEEP):
+            raise PatternViolation(
+                "matrix has a group of 4 with more than 2 non-zeros")
+        return cls.from_dense(pruned)
+
+    def to_dense(self) -> np.ndarray:
+        m, k = self.shape
+        out = np.zeros((m, k // GROUP, GROUP), dtype=self.data.dtype)
+        data = self.data.reshape(m, k // GROUP, KEEP)
+        meta = self.metadata.reshape(m, k // GROUP, KEEP).astype(np.int64)
+        np.put_along_axis(out, meta, data, axis=2)
+        return out.reshape(m, k)
+
+    @property
+    def density(self) -> float:
+        return 0.5
+
+    def nbytes(self, value_bytes: int = 2) -> int:
+        """Compressed footprint: values + 2-bit metadata."""
+        return self.data.size * value_bytes + self.metadata.size * 2 // 8
+
+    def matmul(self, dense_rhs: np.ndarray) -> np.ndarray:
+        """``decode(self) @ dense_rhs`` — the mma.sp semantic."""
+        return self.to_dense() @ dense_rhs

@@ -1,0 +1,156 @@
+"""VENOM's V:N:M vectorized sparse format (the structured-sparse baseline).
+
+VENOM (Castro et al., SC'23) generalises 2:4 to arbitrary ratios: the
+matrix is cut into panels of ``V`` consecutive rows; within each panel,
+every group of ``M`` columns keeps ``N`` whole column-vectors (vector
+granularity ``V``), and the surviving dense panel is further pruned 2:4 so
+it can run on Sparse Tensor Cores.  Total density is ``(N / M) * 0.5``.
+
+The column-vector granularity is the property the paper contrasts against:
+it is coarser than Samoyeds' sub-row granularity (hurting accuracy,
+Table 5) and it skips *input rows*, which breaks coalescing when the input
+itself is sparse (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PatternViolation, ShapeError
+from repro.formats.twofour import prune_two_four, two_four_mask
+
+
+@dataclass(frozen=True)
+class VenomPattern:
+    """V:N:M pattern parameters."""
+
+    v: int
+    n: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.m <= 0 or self.v <= 0:
+            raise PatternViolation("V, N, M must all be positive")
+        if self.n > self.m:
+            raise PatternViolation(f"N={self.n} cannot exceed M={self.m}")
+
+    @property
+    def density(self) -> float:
+        """Fraction of weights kept, including the inner 2:4."""
+        return (self.n / self.m) * 0.5
+
+    @property
+    def sparsity(self) -> float:
+        return 1.0 - self.density
+
+    def __str__(self) -> str:
+        return f"{self.v}:{self.n}:{self.m}"
+
+
+#: 64:2:4 — the configuration matching the paper's uniform 75% sparsity
+#: (N/M = 1/2 column selection x the inner 2:4).
+DEFAULT_VENOM = VenomPattern(v=64, n=2, m=4)
+
+
+def venom_mask(matrix: np.ndarray, pattern: VenomPattern) -> np.ndarray:
+    """Boolean keep-mask for the V:N:M pattern (column-vector granularity).
+
+    Vector scores are L2 norms over each ``V``-row column segment; the top
+    ``N`` of every ``M`` columns survive.  The inner 2:4 applies to the
+    *compacted* matrix (surviving columns gathered dense), exactly as the
+    format stores it for ``mma.sp``, then scatters back.
+    """
+    if matrix.ndim != 2:
+        raise ShapeError("venom_mask expects a 2-D array")
+    rows, cols = matrix.shape
+    if rows % pattern.v:
+        raise ShapeError(f"rows={rows} must be a multiple of V={pattern.v}")
+    if cols % pattern.m:
+        raise ShapeError(f"cols={cols} must be a multiple of M={pattern.m}")
+    groups = cols // pattern.m
+    if (groups * pattern.n) % 4:
+        raise ShapeError(
+            f"compacted width {groups * pattern.n} must be a multiple of "
+            "4 for the inner 2:4")
+
+    panels = matrix.reshape(rows // pattern.v, pattern.v,
+                            groups, pattern.m)
+    scores = np.sqrt(np.sum(panels.astype(np.float64) ** 2, axis=1))
+    order = np.argsort(-scores, axis=2, kind="stable")
+    keep_cols = np.sort(order[:, :, :pattern.n], axis=2)   # (R, G, N)
+
+    gathered = np.take_along_axis(
+        panels, keep_cols[:, None, :, :].astype(np.int64), axis=3)
+    compact = gathered.reshape(rows, groups * pattern.n)
+    inner = two_four_mask(compact).reshape(
+        rows // pattern.v, pattern.v, groups, pattern.n)
+
+    full = np.zeros(panels.shape, dtype=bool)
+    np.put_along_axis(full,
+                      np.broadcast_to(
+                          keep_cols[:, None, :, :].astype(np.int64),
+                          inner.shape),
+                      inner, axis=3)
+    return full.reshape(rows, cols)
+
+
+def prune_venom(matrix: np.ndarray, pattern: VenomPattern) -> np.ndarray:
+    """Apply the V:N:M (+2:4) pattern to ``matrix``."""
+    return np.where(venom_mask(matrix, pattern), matrix, 0.0)
+
+
+@dataclass(frozen=True)
+class VenomMatrix:
+    """Encoded V:N:M matrix: compressed values + column indices + metadata.
+
+    Attributes:
+        data: ``(m, k * density)`` kept values (group-compressed).
+        col_indices: ``(m / V, k / M, N)`` surviving column ids per panel
+            group.
+        shape: Logical shape.
+        pattern: The V:N:M parameters.
+    """
+
+    data: np.ndarray
+    col_indices: np.ndarray
+    shape: tuple[int, int]
+    pattern: VenomPattern
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray,
+                   pattern: VenomPattern = DEFAULT_VENOM) -> "VenomMatrix":
+        pruned = prune_venom(dense, pattern)
+        rows, cols = dense.shape
+        panels = pruned.reshape(rows // pattern.v, pattern.v,
+                                cols // pattern.m, pattern.m)
+        scores = np.sqrt(np.sum(
+            dense.reshape(panels.shape).astype(np.float64) ** 2, axis=1))
+        order = np.argsort(-scores, axis=2, kind="stable")
+        keep_cols = np.sort(order[:, :, :pattern.n], axis=2)
+        gathered = np.take_along_axis(
+            panels, keep_cols[:, None, :, :], axis=3)
+        data = gathered.reshape(rows, -1)
+        return cls(data=data, col_indices=keep_cols.astype(np.int32),
+                   shape=dense.shape, pattern=pattern)
+
+    def to_dense(self) -> np.ndarray:
+        rows, cols = self.shape
+        p = self.pattern
+        out = np.zeros((rows // p.v, p.v, cols // p.m, p.m),
+                       dtype=self.data.dtype)
+        gathered = self.data.reshape(rows // p.v, p.v, cols // p.m, p.n)
+        np.put_along_axis(out, self.col_indices[:, None, :, :].astype(np.int64),
+                          gathered, axis=3)
+        return out.reshape(rows, cols)
+
+    def nbytes(self, value_bytes: int = 2) -> int:
+        """Values (still 2:4-sparse inside) + 2-bit metadata + indices."""
+        kept_values = self.data.size // 2          # after inner 2:4
+        metadata = kept_values * 2 // 8
+        indices = self.col_indices.size            # 1 byte each suffices
+        return kept_values * value_bytes + metadata + indices
+
+    def matmul(self, dense_rhs: np.ndarray) -> np.ndarray:
+        return self.to_dense() @ dense_rhs

@@ -1,0 +1,40 @@
+"""GPU hardware substrate.
+
+This package is the reproduction's stand-in for real GPUs: it models the
+architectural features the Samoyeds paper's performance claims rest on —
+Sparse Tensor Core issue rates, the GPU memory hierarchy (DRAM transactions,
+L2 cache, shared-memory banks), occupancy, and the multi-stage ``cp.async``
+software pipeline.  Kernels in :mod:`repro.kernels` describe *what* they
+load and compute per tile; this package turns that description into time.
+"""
+
+from repro.hw.spec import (
+    GPUSpec,
+    get_gpu,
+    list_gpus,
+    register_gpu,
+)
+from repro.hw.tensorcore import MmaShape, MMA_SP_SHAPES, MMA_DENSE_SHAPES
+from repro.hw.simulator import CostBreakdown, KernelLaunch, simulate_kernel
+from repro.hw.occupancy import OccupancyResult, compute_occupancy
+from repro.hw.pipeline import PipelineModel
+from repro.hw.roofline import RooflinePoint, place, ridge_intensity
+
+__all__ = [
+    "GPUSpec",
+    "get_gpu",
+    "list_gpus",
+    "register_gpu",
+    "MmaShape",
+    "MMA_SP_SHAPES",
+    "MMA_DENSE_SHAPES",
+    "CostBreakdown",
+    "KernelLaunch",
+    "simulate_kernel",
+    "OccupancyResult",
+    "compute_occupancy",
+    "PipelineModel",
+    "RooflinePoint",
+    "place",
+    "ridge_intensity",
+]

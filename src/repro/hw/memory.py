@@ -1,0 +1,107 @@
+"""DRAM transaction and shared-memory bank models.
+
+The Samoyeds paper's Figure 6 argument is entirely about memory behaviour:
+dual-side sparsity breaks tiles into fragments, and a naive kernel either
+loads data it will not use (I/O amplification, cases ➋/➌) or issues
+uncoalesced accesses (case ➍).  This module quantifies both effects.
+
+All byte counts are *as seen by DRAM*: they include transaction rounding,
+so a 2-byte element touched alone still costs a full 32-byte sector.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw.spec import GPUSpec
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """A strided 2-D access: ``rows`` segments of ``row_bytes`` each.
+
+    ``contiguous`` marks whether consecutive segments are adjacent in
+    memory (a fully packed tile) or separated by a larger stride (a tile
+    cut out of a bigger matrix).
+    """
+
+    rows: int
+    row_bytes: int
+    contiguous: bool = False
+
+    @property
+    def useful_bytes(self) -> int:
+        return self.rows * self.row_bytes
+
+
+def dram_transactions(pattern: AccessPattern, spec: GPUSpec) -> int:
+    """Number of DRAM sectors touched by one pass over ``pattern``."""
+    check_positive(pattern.rows, "rows")
+    check_positive(pattern.row_bytes, "row_bytes")
+    txn = spec.dram_transaction_bytes
+    if pattern.contiguous:
+        return math.ceil(pattern.useful_bytes / txn)
+    return pattern.rows * math.ceil(pattern.row_bytes / txn)
+
+
+def dram_bytes(pattern: AccessPattern, spec: GPUSpec) -> int:
+    """Bytes actually moved from DRAM for one pass over ``pattern``."""
+    return dram_transactions(pattern, spec) * spec.dram_transaction_bytes
+
+
+def coalescing_efficiency(pattern: AccessPattern, spec: GPUSpec) -> float:
+    """Useful bytes / moved bytes, in (0, 1]."""
+    moved = dram_bytes(pattern, spec)
+    return pattern.useful_bytes / moved if moved else 1.0
+
+
+def io_amplification(useful_bytes: int, loaded_bytes: int) -> float:
+    """Figure 6 style amplification factor (>= 1)."""
+    if useful_bytes <= 0:
+        return 1.0
+    return max(1.0, loaded_bytes / useful_bytes)
+
+
+def gather_bytes(num_elements: int, element_bytes: int,
+                 spec: GPUSpec) -> int:
+    """DRAM bytes for a fully scattered gather (one sector per element).
+
+    This is the cost model for unstructured formats (CSR/COO column
+    gathers): every element potentially lands in its own 32-byte sector.
+    """
+    check_positive(element_bytes, "element_bytes")
+    if num_elements <= 0:
+        return 0
+    per_sector = max(1, spec.dram_transaction_bytes // element_bytes)
+    # Random columns still hit the same sector occasionally; assume the
+    # adversarial (fully scattered) case, as Sputnik's own paper does.
+    del per_sector
+    return num_elements * spec.dram_transaction_bytes
+
+
+def smem_bank_conflict_ways(stride_words: int, spec: GPUSpec) -> int:
+    """Worst-case n-way bank conflict for a warp accessing with a stride.
+
+    Threads ``t = 0..31`` access word addresses ``t * stride_words``;
+    the number of threads that collide on one bank is
+    ``gcd(stride_words, banks)`` (1 = conflict-free).
+    A swizzled/permuted layout (§4.4) corresponds to ``stride_words = 1``.
+    """
+    banks = spec.smem_bank_count
+    if stride_words <= 0:
+        return banks  # broadcast-degenerate: all threads on one bank
+    return math.gcd(stride_words, banks)
+
+
+def smem_load_cycles(bytes_per_warp: int, conflict_ways: int,
+                     spec: GPUSpec) -> float:
+    """Cycles for one warp to read ``bytes_per_warp`` from shared memory.
+
+    Shared memory serves 32 x 4-byte words per cycle per SM partition; an
+    n-way conflict serialises into n passes.
+    """
+    words = math.ceil(bytes_per_warp / 4)
+    accesses = math.ceil(words / spec.smem_bank_count)
+    return accesses * max(1, conflict_ways)

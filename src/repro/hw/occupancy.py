@@ -1,0 +1,111 @@
+"""Occupancy calculator.
+
+Mirrors the CUDA occupancy calculator: how many thread blocks of a given
+resource footprint fit on one SM simultaneously, limited by shared memory,
+registers, warp slots and the hardware block limit.  Occupancy drives two
+phenomena the paper leans on:
+
+* small problems under-fill the device (Figure 13's rising edge);
+* tile-size choices trade L2 locality against SM parallelism (Table 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TilingError
+from repro.hw.spec import GPUSpec
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class BlockResources:
+    """Per-thread-block resource footprint."""
+
+    warps: int
+    smem_bytes: int
+    registers_per_thread: int = 64
+
+    def __post_init__(self) -> None:
+        check_positive(self.warps, "warps")
+        if self.smem_bytes < 0:
+            raise TilingError("smem_bytes must be non-negative")
+        check_positive(self.registers_per_thread, "registers_per_thread")
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy computation."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    limiter: str
+
+    @property
+    def occupancy(self) -> float:
+        """Resident warps as a fraction of the queried SM's warp slots."""
+        return self._occupancy
+
+    _occupancy: float = 0.0
+
+
+def compute_occupancy(res: BlockResources, spec: GPUSpec) -> OccupancyResult:
+    """Blocks resident per SM and the limiting resource.
+
+    Raises :class:`TilingError` if even a single block exceeds SM
+    resources, matching a real launch failure.
+    """
+    limits: dict[str, int] = {}
+    limits["blocks"] = spec.max_blocks_per_sm
+    limits["warps"] = spec.max_warps_per_sm // res.warps
+    if res.smem_bytes > 0:
+        limits["smem"] = spec.smem_per_sm // res.smem_bytes
+    regs_per_block = res.registers_per_thread * res.warps * spec.warp_size
+    limits["registers"] = spec.registers_per_sm // max(regs_per_block, 1)
+
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = limits[limiter]
+    if blocks <= 0:
+        raise TilingError(
+            f"block needs more {limiter} than one SM offers on {spec.name}: "
+            f"warps={res.warps}, smem={res.smem_bytes}B, "
+            f"regs/thread={res.registers_per_thread}"
+        )
+    warps = blocks * res.warps
+    frac = min(1.0, warps / spec.max_warps_per_sm)
+    return OccupancyResult(blocks_per_sm=blocks, warps_per_sm=warps,
+                           limiter=limiter, _occupancy=frac)
+
+
+def parallel_efficiency(total_warps: int, spec: GPUSpec,
+                        warps_for_peak_per_sm: int = 12) -> float:
+    """Fraction of peak issue rate achievable with this much parallelism.
+
+    A device needs roughly ``warps_for_peak_per_sm`` resident warps per SM
+    to hide tensor-core and memory latency; below that, throughput scales
+    linearly with available warps.  This reproduces the paper's observation
+    that m=256 / n=256 kernels underperform (§6.1.2).
+    """
+    check_positive(warps_for_peak_per_sm, "warps_for_peak_per_sm")
+    needed = spec.sm_count * warps_for_peak_per_sm
+    if total_warps >= needed:
+        return 1.0
+    return max(total_warps / needed, 1.0 / needed)
+
+
+def wave_quantization(grid_blocks: int, blocks_per_sm: int,
+                      spec: GPUSpec) -> float:
+    """Slow-down factor (>= 1) from partially filled final waves.
+
+    A grid executes in ``ceil(grid / (SMs * blocks_per_sm))`` waves; the
+    last wave runs at full latency even when nearly empty.  Large grids
+    amortise the tail (the paper's 8192 recovery), small grids pay it.
+    """
+    check_positive(grid_blocks, "grid_blocks")
+    check_positive(blocks_per_sm, "blocks_per_sm")
+    slots = spec.sm_count * blocks_per_sm
+    full, rem = divmod(grid_blocks, slots)
+    if rem == 0:
+        return 1.0
+    exact_waves = grid_blocks / slots
+    return (full + 1) / exact_waves

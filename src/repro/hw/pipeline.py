@@ -1,0 +1,80 @@
+"""Software-pipeline (``cp.async``) timing model.
+
+Algorithm 1 of the paper overlaps a *fetch* stage (global -> shared copies
+committed in groups) with a *compute* stage (shared -> register loads and
+``mma.sp`` issues).  With ``s`` pipeline stages, steady-state throughput is
+limited by the slower of the two stages; the pipeline pays a fill cost of
+``min(s, iters)`` fetch stages up front and one compute stage at drain.
+
+Devices without hardware async copy (Table 1's AMD rows) cannot overlap:
+fetch and compute serialise, which is exactly why the paper marks them as
+requiring emulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TilingError
+from repro.hw.spec import GPUSpec
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """Timing of a ``num_iters``-deep fetch/compute loop."""
+
+    stages: int
+
+    def __post_init__(self) -> None:
+        if self.stages < 1:
+            raise TilingError(f"pipeline needs >= 1 stage, got {self.stages}")
+
+    def loop_time(self, num_iters: int, fetch_time: float,
+                  compute_time: float, spec: GPUSpec) -> float:
+        """Total seconds for the pipelined k-loop of one thread block.
+
+        Args:
+            num_iters: Number of k-loop iterations (``k / k_b``).
+            fetch_time: Seconds of global->shared traffic per iteration.
+            compute_time: Seconds of compute (+ shared->reg) per iteration.
+            spec: Target device; controls whether overlap is possible.
+        """
+        if num_iters <= 0:
+            return 0.0
+        if not spec.has_async_copy or self.stages == 1:
+            # No overlap: every iteration pays fetch + compute serially.
+            return num_iters * (fetch_time + compute_time)
+        fill = min(self.stages, num_iters) * fetch_time
+        # Imperfect overlap: when one stage dominates, the shorter stage
+        # still pokes through occasionally (commit-group granularity);
+        # deeper pipelines smooth more of it away.
+        imbalance = abs(fetch_time - compute_time) / self.stages
+        steady = num_iters * (max(fetch_time, compute_time)
+                              + imbalance / self.stages)
+        drain = compute_time
+        return fill + steady + drain
+
+    def smem_footprint(self, tile_bytes_per_stage: int) -> int:
+        """Shared memory consumed by the multi-stage buffers."""
+        return self.stages * tile_bytes_per_stage
+
+    def stall_fraction(self, fetch_time: float, compute_time: float,
+                       spec: GPUSpec) -> float:
+        """Fraction of steady-state time the compute units sit idle.
+
+        Used by the portability analysis (§6.6): a device with faster
+        memory relative to compute (A100 vs 4070S) shifts the balance and
+        changes which kernels stall.
+        """
+        if fetch_time <= 0 and compute_time <= 0:
+            return 0.0
+        if not spec.has_async_copy or self.stages == 1:
+            total = fetch_time + compute_time
+            return fetch_time / total if total > 0 else 0.0
+        bound = max(fetch_time, compute_time)
+        if bound <= 0:
+            return 0.0
+        return max(0.0, (fetch_time - compute_time) / bound)
+
+
+DEFAULT_PIPELINE_STAGES = 3

@@ -1,0 +1,110 @@
+"""Roofline analysis over the GPU model.
+
+The paper's performance arguments are roofline arguments: dense GEMMs sit
+on the compute roof, dual-side sparse kernels cut required FLOPs 8x and
+bytes ~3.5x, and whether that translates to speedup depends on where the
+resulting arithmetic intensity lands relative to the device balance.
+This module makes those arguments explicit and queryable — used by the
+portability analysis and available to users sizing workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.simulator import CostBreakdown
+from repro.hw.spec import GPUSpec
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on a device's roofline."""
+
+    name: str
+    flops: float
+    bytes_moved: float
+    achieved_flops_per_s: float
+    spec_name: str
+    compute_roof: float
+    memory_roof: float
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per DRAM byte."""
+        return self.flops / self.bytes_moved if self.bytes_moved else 0.0
+
+    @property
+    def attainable(self) -> float:
+        """Roofline bound at this intensity."""
+        return min(self.compute_roof,
+                   self.memory_roof * self.arithmetic_intensity)
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved / attainable, in (0, 1] for a sound model."""
+        return (self.achieved_flops_per_s / self.attainable
+                if self.attainable else 0.0)
+
+    @property
+    def bound(self) -> str:
+        """"compute" or "memory" — which roof caps this kernel."""
+        if self.compute_roof <= self.memory_roof * self.arithmetic_intensity:
+            return "compute"
+        return "memory"
+
+
+def ridge_intensity(spec: GPUSpec, sparse: bool = False) -> float:
+    """Arithmetic intensity where the roofs meet (FLOPs/byte)."""
+    roof = spec.sparse_tc_flops if sparse else spec.dense_tc_flops
+    return roof / spec.dram_bandwidth
+
+
+def place(cost: CostBreakdown, spec: GPUSpec,
+          sparse: bool = False,
+          zero_skip_factor: float = 1.0) -> RooflinePoint:
+    """Place a simulated kernel cost on the device roofline.
+
+    Args:
+        cost: Simulated kernel cost, with *effective* FLOPs (zeros
+            counted, as the paper plots throughput).
+        spec: Target device.
+        sparse: Use the ``mma.sp`` compute roof (2x dense).
+        zero_skip_factor: Extra effective-FLOP multiplier from pattern
+            levels the hardware skips *in addition to* the 2:4 (e.g.
+            Samoyeds' sub-row selection skips M/N of the work, so its
+            effective roof is ``sparse_roof * M/N``).
+    """
+    check_positive(cost.time_s, "cost.time_s")
+    check_positive(zero_skip_factor, "zero_skip_factor")
+    roof = spec.sparse_tc_flops if sparse else spec.dense_tc_flops
+    return RooflinePoint(
+        name=cost.name,
+        flops=cost.flops,
+        bytes_moved=max(cost.dram_bytes, 1.0),
+        achieved_flops_per_s=cost.flops / cost.time_s,
+        spec_name=spec.name,
+        compute_roof=roof * zero_skip_factor,
+        memory_roof=spec.dram_bandwidth,
+    )
+
+
+def render(points: list[RooflinePoint], width: int = 56) -> str:
+    """Text roofline: one bar per kernel, scaled to the compute roof.
+
+    A coarse visual for terminals; the structured data carries the real
+    information.
+    """
+    if not points:
+        return "(no roofline points)"
+    roof = max(p.compute_roof for p in points)
+    lines = [f"roofline on {points[0].spec_name} "
+             f"(bar = achieved / compute roof)"]
+    for p in points:
+        frac = min(1.0, p.achieved_flops_per_s / roof)
+        bar = "#" * max(1, int(frac * width))
+        lines.append(
+            f"{p.name:>12s} |{bar:<{width}s}| "
+            f"{p.achieved_flops_per_s / 1e12:7.1f} TF/s "
+            f"AI={p.arithmetic_intensity:7.1f} [{p.bound}]")
+    return "\n".join(lines)

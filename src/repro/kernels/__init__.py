@@ -1,0 +1,96 @@
+"""Matrix-multiplication kernels: the Samoyeds SSMM and all baselines.
+
+Each kernel exposes a functional numpy face (exact math, used in tests and
+the MoE engines) and a :class:`~repro.kernels.base.MatmulKernel` cost model
+scored by the GPU simulator.  ``KERNELS`` is the registry the benchmark
+harness iterates, in the paper's legend order.
+"""
+
+from repro.kernels.base import GemmProblem, MatmulKernel
+from repro.kernels.tiling import (
+    DEFAULT_TILING,
+    NARROW_TILING,
+    TilingConfig,
+    autotune,
+    candidate_configs,
+    heuristic_config,
+)
+from repro.kernels.gemm_dense import DENSE_GEMM, DenseGemmKernel, dense_gemm
+from repro.kernels.spmm_cusparselt import (
+    CUSPARSELT,
+    CuSparseLtKernel,
+    cusparselt_spmm,
+)
+from repro.kernels.spmm_nmsparse import (
+    NMSPARSE,
+    NmSparseKernel,
+    nmsparse_spmm,
+)
+from repro.kernels.spmm_sputnik import SPUTNIK, SputnikKernel, sputnik_spmm
+from repro.kernels.spmm_venom import VENOM, VenomKernel, venom_spmm
+from repro.kernels.ssmm_samoyeds import (
+    SAMOYEDS_KERNEL,
+    SamoyedsFeatures,
+    SamoyedsKernel,
+    samoyeds_ssmm,
+    samoyeds_ssmm_tiled,
+)
+from repro.kernels.stationary import (
+    local_memory_spill_cost,
+    stationary_register_cost,
+)
+from repro.kernels.packing import PackingPlan
+from repro.kernels.layout import LayoutPlan, layout_speedup
+from repro.kernels.fusion import FusionPlan, fused_weighted_accumulate
+from repro.kernels.autotuner import TuningTable, adapted_config, tune
+
+#: Registry in the paper's legend order (Figures 12 and 13).
+KERNELS: dict[str, MatmulKernel] = {
+    "cublas": DENSE_GEMM,
+    "sputnik": SPUTNIK,
+    "cusparselt": CUSPARSELT,
+    "venom": VENOM,
+    "samoyeds": SAMOYEDS_KERNEL,
+}
+
+__all__ = [
+    "GemmProblem",
+    "MatmulKernel",
+    "TilingConfig",
+    "DEFAULT_TILING",
+    "NARROW_TILING",
+    "autotune",
+    "candidate_configs",
+    "heuristic_config",
+    "DENSE_GEMM",
+    "DenseGemmKernel",
+    "dense_gemm",
+    "CUSPARSELT",
+    "CuSparseLtKernel",
+    "cusparselt_spmm",
+    "NMSPARSE",
+    "NmSparseKernel",
+    "nmsparse_spmm",
+    "SPUTNIK",
+    "SputnikKernel",
+    "sputnik_spmm",
+    "VENOM",
+    "VenomKernel",
+    "venom_spmm",
+    "SAMOYEDS_KERNEL",
+    "SamoyedsFeatures",
+    "SamoyedsKernel",
+    "samoyeds_ssmm",
+    "samoyeds_ssmm_tiled",
+    "stationary_register_cost",
+    "local_memory_spill_cost",
+    "PackingPlan",
+    "LayoutPlan",
+    "layout_speedup",
+    "FusionPlan",
+    "fused_weighted_accumulate",
+    "TuningTable",
+    "adapted_config",
+    "tune",
+    "KERNELS",
+]

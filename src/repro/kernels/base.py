@@ -1,0 +1,186 @@
+"""Common kernel machinery.
+
+Every matmul kernel in the reproduction implements two faces:
+
+* ``run(...)`` — a functionally exact numpy execution used by tests and
+  the accuracy pipeline;
+* ``cost(m, k, n, spec, ...)`` — an analytical performance estimate that
+  assembles a :class:`~repro.hw.simulator.KernelLaunch` from the kernel's
+  tiling and per-iteration memory/compute demands and hands it to the
+  simulator.
+
+Subclasses describe *their own* per-iteration behaviour by overriding the
+``_*_per_iter`` hooks; the shared :meth:`MatmulKernel.cost` assembles the
+launch so all kernels are scored by the same machinery.
+
+Calibration constants: each kernel carries an ``EFFICIENCY`` in (0, 1] —
+the fraction of the modelled issue rate the real library sustains.  These
+are fixed per kernel (documented in DESIGN.md §5), never tuned per
+experiment.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+from repro.hw.memory import AccessPattern, dram_bytes, smem_load_cycles
+from repro.hw.simulator import CostBreakdown, KernelLaunch, simulate_kernel
+from repro.hw.spec import GPUSpec
+from repro.hw.tensorcore import MmaShape
+from repro.kernels.tiling import TilingConfig, heuristic_config
+
+
+@dataclass(frozen=True)
+class GemmProblem:
+    """A logical ``C[m, n] = A[m, k] @ B[k, n]`` problem."""
+
+    m: int
+    k: int
+    n: int
+
+    @property
+    def flops(self) -> float:
+        """Effective FLOPs — zeros counted, the paper's throughput basis."""
+        return 2.0 * self.m * self.k * self.n
+
+    def padded(self, mb: int, nb: int) -> "GemmProblem":
+        """Tile-quantised problem actually executed by the kernel."""
+        return GemmProblem(
+            m=math.ceil(self.m / mb) * mb,
+            k=self.k,
+            n=math.ceil(self.n / nb) * nb,
+        )
+
+
+class MatmulKernel(abc.ABC):
+    """Base class for all kernel cost models."""
+
+    #: Report label; matches the paper's legend names.
+    name: str = "kernel"
+    #: Sustained fraction of modelled issue rate (calibration constant).
+    EFFICIENCY: float = 1.0
+    #: Software-pipeline depth used by the implementation.
+    PIPELINE_STAGES: int = 3
+    #: Host-side launch overhead; vendor dispatchers differ.
+    LAUNCH_OVERHEAD_S: float = 4.0e-6
+    #: Fraction of A elements stored/computed (1.0 = dense).
+    A_DENSITY: float = 1.0
+
+    # ------------------------------------------------------------------
+    # Per-kernel hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def mma_shape(self) -> MmaShape:
+        """Instruction shape the kernel issues."""
+
+    @abc.abstractmethod
+    def compute_cycles_per_iter(self, cfg: TilingConfig,
+                                spec: GPUSpec) -> float:
+        """SM cycles of MMA/SIMT issue for one block-tile k-iteration."""
+
+    @abc.abstractmethod
+    def a_bytes_per_iter(self, cfg: TilingConfig, spec: GPUSpec) -> float:
+        """DRAM bytes for the A-side operands of one iteration."""
+
+    def b_bytes_per_iter(self, cfg: TilingConfig, spec: GPUSpec) -> float:
+        """DRAM bytes for the B tile of one iteration (dense default)."""
+        return dram_bytes(
+            AccessPattern(rows=cfg.kb, row_bytes=cfg.nb * 2), spec)
+
+    def smem_cycles_per_iter(self, cfg: TilingConfig,
+                             spec: GPUSpec) -> float:
+        """Shared->register cycles per iteration (conflict-free default)."""
+        frag_bytes = cfg.warps_per_block * (cfg.mw * cfg.kb
+                                            + cfg.kb * cfg.nw) * 2
+        return smem_load_cycles(frag_bytes, conflict_ways=1, spec=spec)
+
+    def epilogue_bytes(self, cfg: TilingConfig) -> float:
+        """Output write-back bytes per block (fp16 C tile)."""
+        return cfg.mb * cfg.nb * 2.0
+
+    def prologue_bytes(self, problem: GemmProblem) -> float:
+        """One-time loads before the main loop (e.g. SEL array)."""
+        del problem
+        return 0.0
+
+    def default_config(self, problem: GemmProblem,
+                       spec: GPUSpec) -> TilingConfig:
+        return heuristic_config(problem.m, problem.n, problem.k, spec,
+                                self.mma_shape())
+
+    #: k-slices simultaneously live in L2 (blocks drift out of lockstep).
+    L2_DRIFT_SLICES = 4
+
+    def cache_stripes(self, problem: GemmProblem, cfg: TilingConfig
+                      ) -> tuple[float, float]:
+        """(A, B) bytes each stripe keeps live in L2.
+
+        Concurrent blocks stream the k dimension in near-lockstep, so L2
+        holds only a few ``k_b``-slices of each shared stripe at a time,
+        not the whole ``k`` extent.
+        """
+        del problem
+        a_slice = cfg.mb * cfg.kb * 2.0 * self.A_DENSITY
+        b_slice = cfg.kb * cfg.nb * 2.0
+        return (a_slice * self.L2_DRIFT_SLICES,
+                b_slice * self.L2_DRIFT_SLICES)
+
+    def porting_factor(self, native: GPUSpec, target: GPUSpec) -> float:
+        """Efficiency retained when a kernel tuned on ``native`` runs on
+        ``target`` without re-tuning (§6.6's direct-porting protocol).
+
+        Vendor libraries re-tune per device, so the default is 1.0;
+        hand-tuned research kernels override this.
+        """
+        del native, target
+        return 1.0
+
+    # ------------------------------------------------------------------
+    # Shared cost assembly
+    # ------------------------------------------------------------------
+    def cost(self, m: int, k: int, n: int, spec: GPUSpec,
+             cfg: TilingConfig | None = None) -> CostBreakdown:
+        """Simulated execution cost of the ``m x k x n`` problem."""
+        problem = GemmProblem(m=m, k=k, n=n)
+        if cfg is None:
+            cfg = self.default_config(problem, spec)
+        padded = problem.padded(cfg.mb, cfg.nb)
+        grid, _, grid_n = cfg.grid(padded.m, padded.n)
+        a_stripe, b_stripe = self.cache_stripes(padded, cfg)
+        launch = KernelLaunch(
+            name=self.name,
+            grid_blocks=grid,
+            grid_n=grid_n,
+            block=cfg.block_resources(a_density=self.A_DENSITY),
+            iters_per_block=cfg.k_iters(padded.k),
+            compute_cycles_per_iter=self.compute_cycles_per_iter(cfg, spec),
+            smem_cycles_per_iter=self.smem_cycles_per_iter(cfg, spec),
+            dram_bytes_per_iter=(self.a_bytes_per_iter(cfg, spec)
+                                 + self.b_bytes_per_iter(cfg, spec)),
+            a_stripe_bytes=a_stripe,
+            b_stripe_bytes=b_stripe,
+            epilogue_bytes=self.epilogue_bytes(cfg),
+            prologue_bytes=self.prologue_bytes(padded),
+            pipeline_stages=cfg.stages if spec.has_async_copy else 1,
+            efficiency=self.EFFICIENCY,
+        )
+        result = simulate_kernel(launch, spec, flops=problem.flops)
+        return CostBreakdown(
+            name=result.name,
+            time_s=result.time_s
+            + (self.LAUNCH_OVERHEAD_S - spec.kernel_launch_overhead_s),
+            flops=result.flops,
+            useful_bytes=result.useful_bytes,
+            dram_bytes=result.dram_bytes,
+            compute_time_s=result.compute_time_s,
+            memory_time_s=result.memory_time_s,
+            epilogue_time_s=result.epilogue_time_s,
+            launch_overhead_s=self.LAUNCH_OVERHEAD_S,
+            waves=result.waves,
+            occupancy=result.occupancy,
+            l2_hit_fraction=result.l2_hit_fraction,
+            limiter=result.limiter,
+            detail=result.detail,
+        )

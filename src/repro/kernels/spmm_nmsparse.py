@@ -1,0 +1,76 @@
+"""nmSPARSE-class baseline: N:M structured sparsity WITHOUT SpTC.
+
+§3.3 names kernels like BBS and nmSPARSE that exploit balanced N:M
+structure for scheduling regularity but "fail to utilize SpTC for
+further acceleration".  This kernel models that class: the weight is
+2:4-balanced (perfect load balance, coalesced gathers, compile-time
+known offsets — all the wins over Sputnik), but the math runs on SIMT
+FMA units, which is exactly why Samoyeds' mma.sp path dominates it.
+
+Not part of the default ``KERNELS`` registry (the paper's Figure 12
+legend does not include it); exposed for the related-work comparison in
+tests and for users exploring the design space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.twofour import TwoFourMatrix
+from repro.hw.memory import AccessPattern, dram_bytes, smem_load_cycles
+from repro.hw.spec import GPUSpec
+from repro.hw.tensorcore import BASELINE_MMA, MmaShape
+from repro.kernels.base import MatmulKernel
+from repro.kernels.tiling import TilingConfig
+
+
+def nmsparse_spmm(weight: TwoFourMatrix, dense_rhs: np.ndarray
+                  ) -> np.ndarray:
+    """Functional N:M sparse x dense product (same math as cuSPARSELt's
+    operand; the difference is purely in the execution model)."""
+    return weight.matmul(dense_rhs)
+
+
+class NmSparseKernel(MatmulKernel):
+    """Cost model of an nmSPARSE/BBS-class SIMT N:M kernel."""
+
+    name = "nmsparse"
+    #: Well-engineered SIMT code: far better than Sputnik's irregular
+    #: path, but bounded by FMA throughput.
+    EFFICIENCY = 0.75
+    PIPELINE_STAGES = 2
+    A_DENSITY = 0.5
+
+    def mma_shape(self) -> MmaShape:
+        # SIMT kernel; the dense shape only drives tile legality.
+        return BASELINE_MMA
+
+    def compute_cycles_per_iter(self, cfg: TilingConfig,
+                                spec: GPUSpec) -> float:
+        # Only the stored half of the weights is multiplied, on CUDA
+        # cores.  The balanced pattern means no imbalance factor and no
+        # per-element index decode (offsets are pattern-derived).
+        flops = 2.0 * cfg.mb * cfg.nb * cfg.kb * self.A_DENSITY
+        return flops / spec.cuda_core_flops_per_sm_cycle
+
+    def a_bytes_per_iter(self, cfg: TilingConfig, spec: GPUSpec) -> float:
+        values = dram_bytes(
+            AccessPattern(rows=cfg.mb, row_bytes=cfg.kb), spec)
+        metadata = dram_bytes(
+            AccessPattern(rows=1, row_bytes=max(cfg.mb * cfg.kb // 8, 1),
+                          contiguous=True), spec)
+        return values + metadata
+
+    def smem_cycles_per_iter(self, cfg: TilingConfig,
+                             spec: GPUSpec) -> float:
+        # Vector-wise loads keep shared-memory access conflict-free
+        # (nmSPARSE's contribution); traffic is the compressed A plus
+        # the B fragments gathered through pattern offsets.
+        a_bytes = cfg.warps_per_block * cfg.mw * cfg.kb * 0.5 * 2
+        b_bytes = cfg.warps_per_block * cfg.kb * 0.5 * cfg.nw * 2
+        return (smem_load_cycles(int(a_bytes), conflict_ways=1, spec=spec)
+                + smem_load_cycles(int(b_bytes), conflict_ways=1,
+                                   spec=spec))
+
+
+NMSPARSE = NmSparseKernel()

@@ -1,0 +1,136 @@
+"""VENOM baseline: V:N:M sparse-weight x dense-input on SpTC.
+
+VENOM (Castro et al., SC'23) is the strongest baseline: it reaches beyond
+the fixed 50% of cuSPARSELt by layering vector-wise column selection on
+top of 2:4, and it does use ``mma.sp``.  The paper's critique (§3.3,
+Figure 6) is about what happens *around* the tensor core:
+
+* each V-row panel selects different columns, so the B operand cannot be
+  fed with ``ldmatrix`` — the kernel assembles fragments with scalar
+  shared-memory reads through an index indirection (extra SIMT work,
+  bank conflicts);
+* the panel-varying selection breaks stripe reuse granularity in L2 and
+  adds an index/metadata side-channel to every iteration;
+* its pipeline is shallower (2 stages) and tuned for its native GPU —
+  the portability experiment (Figure 18) shows the consequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.venom import VenomMatrix, VenomPattern, DEFAULT_VENOM
+from repro.hw.memory import AccessPattern, dram_bytes, smem_load_cycles
+from repro.hw.spec import GPUSpec
+from repro.hw.tensorcore import SAMOYEDS_MMA, MmaShape, require_sparse_alu
+from repro.kernels.base import GemmProblem, MatmulKernel
+from repro.kernels.tiling import TilingConfig
+
+
+def venom_spmm(weight: VenomMatrix, dense_rhs: np.ndarray) -> np.ndarray:
+    """Functional V:N:M sparse x dense product (decode + matmul)."""
+    return weight.matmul(dense_rhs)
+
+
+class VenomKernel(MatmulKernel):
+    """Cost model of VENOM's Spatha kernel."""
+
+    name = "venom"
+    #: Sustains ~72% of the sparse roofline on its native platform.
+    EFFICIENCY = 0.72
+    PIPELINE_STAGES = 2
+    #: Serial overhead on the mma stream at the native platform: every B
+    #: fragment is assembled through an index indirection (scalar address
+    #: math + non-ldmatrix loads) that cannot be hoisted off the critical
+    #: path, and the 2-stage pipeline exposes part of each fragment
+    #: latency.  The SIMT work is fixed per fragment, so on devices with
+    #: faster tensor cores it consumes relatively more of the mma budget
+    #: — the §6.6 portability collapse (Figure 18).
+    FRAGMENT_OVERHEAD_BASE = 0.75
+    REFERENCE_TC_RATE = 1024.0
+
+    def fragment_overhead(self, spec: GPUSpec) -> float:
+        """Overhead multiplier, scaled by the device's TC:SIMT ratio."""
+        return 1.0 + self.FRAGMENT_OVERHEAD_BASE * (
+            spec.tc_flops_per_sm_cycle / self.REFERENCE_TC_RATE)
+
+    def porting_factor(self, native: GPUSpec, target: GPUSpec) -> float:
+        """VENOM's §6.6 fragility: memory-computation imbalance.
+
+        Its shallow pipeline and per-fragment indirection are balanced
+        for the native device's bandwidth:compute ratio; on devices with
+        relatively faster memory and slower tensor cores (A100, 3090)
+        the pipeline stalls and the speedup collapses (Figure 18 shows
+        VENOM retaining ~5% on A100).
+        """
+        if native.name == target.name:
+            return 1.0
+        native_balance = native.dram_bandwidth / native.dense_tc_flops
+        target_balance = target.dram_bandwidth / target.dense_tc_flops
+        imbalance = max(0.0, target_balance / native_balance - 1.0)
+        return max(0.45, 1.0 - 1.1 * imbalance)
+    #: B-fragment gathers conflict 2-way (no ldmatrix on indexed rows).
+    B_CONFLICT_WAYS = 2
+
+    def __init__(self, pattern: VenomPattern = DEFAULT_VENOM) -> None:
+        self.pattern = pattern
+
+    @property
+    def A_DENSITY(self) -> float:  # type: ignore[override]
+        return self.pattern.density
+
+    def mma_shape(self) -> MmaShape:
+        return SAMOYEDS_MMA
+
+    def default_config(self, problem: GemmProblem,
+                       spec: GPUSpec) -> TilingConfig:
+        require_sparse_alu(spec)
+        cfg = super().default_config(problem, spec)
+        return cfg.scaled(stages=self.PIPELINE_STAGES)
+
+    def compute_cycles_per_iter(self, cfg: TilingConfig,
+                                spec: GPUSpec) -> float:
+        # Column selection compacts k by N/M; mma.sp doubles throughput on
+        # the inner 2:4.  Fragment assembly inflates the compute stage.
+        kept = self.pattern.n / self.pattern.m
+        flops = 2.0 * cfg.mb * cfg.nb * cfg.kb * kept
+        mma = flops / (spec.tc_flops_per_sm_cycle * spec.sparse_tc_speedup)
+        return mma * self.fragment_overhead(spec)
+
+    def a_bytes_per_iter(self, cfg: TilingConfig, spec: GPUSpec) -> float:
+        kept = self.pattern.n / self.pattern.m
+        values = dram_bytes(
+            AccessPattern(rows=cfg.mb,
+                          row_bytes=max(int(cfg.kb * kept), 4)), spec)
+        metadata = dram_bytes(
+            AccessPattern(
+                rows=1,
+                row_bytes=max(int(cfg.mb * cfg.kb * kept / 8), 1),
+                contiguous=True), spec)
+        panels = max(1, cfg.mb // self.pattern.v)
+        indices = dram_bytes(
+            AccessPattern(
+                rows=panels,
+                row_bytes=max(cfg.kb // self.pattern.m
+                              * self.pattern.n * 2, 4)), spec)
+        return values + metadata + indices
+
+    def b_bytes_per_iter(self, cfg: TilingConfig, spec: GPUSpec) -> float:
+        # The full dense B tile is staged (keeps DRAM coalesced); the
+        # selection happens at the shared-memory level.
+        return dram_bytes(
+            AccessPattern(rows=cfg.kb, row_bytes=cfg.nb * 2), spec)
+
+    def smem_cycles_per_iter(self, cfg: TilingConfig,
+                             spec: GPUSpec) -> float:
+        kept = self.pattern.n / self.pattern.m
+        a_bytes = cfg.warps_per_block * cfg.mw * cfg.kb * kept * 2
+        b_bytes = cfg.warps_per_block * cfg.kb * kept * cfg.nw * 2
+        a_cycles = smem_load_cycles(int(a_bytes), conflict_ways=1, spec=spec)
+        b_cycles = smem_load_cycles(int(b_bytes),
+                                    conflict_ways=self.B_CONFLICT_WAYS,
+                                    spec=spec)
+        return a_cycles + b_cycles
+
+
+VENOM = VenomKernel()

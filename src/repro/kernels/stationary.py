@@ -1,0 +1,95 @@
+"""Data-stationary optimisation for the output matrix (§4.3, Figure 9).
+
+Because the Samoyeds format selects *different* sub-rows in every
+``V``-column stripe, the accumulator fragments a warp produces must be
+remapped to different output rows whenever the k-loop crosses a sub-row
+boundary.  Passing indexed registers straight to ``mma.sp`` would demote
+the accumulator to local memory (left of Figure 9); Samoyeds instead keeps
+a zero-initialised intermediate register file ``C_IR`` and *shuffles* it
+into the right rows every ``V / k_b`` iterations.
+
+This module quantifies both choices so the kernel cost model and the
+ablation bench (Figure 17, ``+S``) can price the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TilingError
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class StationaryCost:
+    """Per-k-iteration cost of one accumulator-handling strategy."""
+
+    extra_smem_cycles: float      # register-shuffle work (compute stage)
+    extra_dram_bytes: float       # local-memory spill traffic
+
+
+def shuffle_interval(v: int, kb: int) -> int:
+    """Iterations between C_IR shuffles (= ``V / k_b``)."""
+    check_positive(v, "v")
+    check_positive(kb, "kb")
+    if v % kb:
+        raise TilingError(f"V={v} must be a multiple of k_b={kb}")
+    return v // kb
+
+
+def stationary_register_cost(mb: int, nb: int, v: int, kb: int,
+                             warps: int = 4,
+                             moved_fraction: float = 0.5) -> StationaryCost:
+    """Cost with the C_IR optimisation enabled.
+
+    A shuffle permutes only the accumulator fragments whose destination
+    row changed (``moved_fraction`` of the ``mb x nb x 4``-byte tile, the
+    stored-sub-row share) through warp-shuffle lanes; all warps shuffle in
+    parallel at 128 B/cycle each.  The cost amortises over ``V / k_b``
+    iterations.
+    """
+    interval = shuffle_interval(v, kb)
+    shuffle_bytes = mb * nb * 4 * moved_fraction
+    cycles_per_shuffle = shuffle_bytes / (128.0 * max(warps, 1))
+    return StationaryCost(
+        extra_smem_cycles=cycles_per_shuffle / interval,
+        extra_dram_bytes=0.0,
+    )
+
+
+#: Local-memory spill throughput seen by one block (bytes/cycle).  Spills
+#: are L1/L2-resident in practice, so the cost is cache-bandwidth class,
+#: not DRAM class.
+SPILL_BYTES_PER_CYCLE = 1024.0
+
+
+def local_memory_spill_cost(mb: int, nb: int, v: int, kb: int
+                            ) -> StationaryCost:
+    """Cost with the optimisation disabled (accumulator in local memory).
+
+    Every sub-row boundary forces a store and reload of the fp32
+    accumulator tile through the local-memory path; the traffic is mostly
+    absorbed by L1/L2 but still serialises against the compute stage.
+    """
+    interval = shuffle_interval(v, kb)
+    spill_bytes = 2.0 * mb * nb * 4      # store + load
+    return StationaryCost(
+        extra_smem_cycles=spill_bytes / SPILL_BYTES_PER_CYCLE / interval,
+        extra_dram_bytes=0.0,
+    )
+
+
+def fusion_savings_bytes(m: int, n: int, fuse_activation: bool = True,
+                         fuse_weighted_acc: bool = True) -> float:
+    """DRAM bytes saved by the §4.3 operator fusions.
+
+    Each un-fused elementwise operator costs a full intermediate round
+    trip (write fp16 result + read it back).
+    """
+    roundtrip = 2.0 * m * n * 2
+    saved = 0.0
+    if fuse_activation:
+        saved += roundtrip
+    if fuse_weighted_acc:
+        saved += roundtrip
+    return saved

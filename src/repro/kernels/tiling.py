@@ -1,0 +1,172 @@
+"""Three-step tiling (§4.2, Figure 8).
+
+A :class:`TilingConfig` fixes the thread-block tile (``mb x nb x kb``), the
+warp tile (``mw x nw``) and the pipeline depth.  Step ➌ — decomposing warp
+tiles into MMA instructions — is delegated to :mod:`repro.hw.tensorcore`.
+
+Legality enforces the same constraints a CUDA build would:
+
+* warp tiles decompose into whole MMA instructions;
+* the multi-stage shared-memory buffers fit the SM;
+* for the Samoyeds kernel, ``k_b`` divides the sub-row length ``V`` (the
+  tiling window must cross sub-row boundaries only at shuffle points) and
+  ``k_b <= V``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable
+
+from repro.errors import TilingError
+from repro.hw.occupancy import BlockResources, compute_occupancy
+from repro.hw.spec import GPUSpec
+from repro.hw.tensorcore import MmaShape, instructions_per_warp_tile
+
+
+@dataclass(frozen=True)
+class TilingConfig:
+    """One point in the kernel configuration space.
+
+    Attributes:
+        mb, nb, kb: Thread-block tile (step ➊).
+        mw, nw: Warp tile (step ➋).
+        stages: Software-pipeline depth (Algorithm 1's ``num_pipe``).
+        registers_per_thread: Register budget (occupancy input).
+    """
+
+    mb: int
+    nb: int
+    kb: int
+    mw: int
+    nw: int
+    stages: int = 3
+    registers_per_thread: int = 96
+
+    @property
+    def warps_per_block(self) -> int:
+        return (self.mb // self.mw) * (self.nb // self.nw)
+
+    def smem_bytes(self, dtype_bytes: int = 2,
+                   a_density: float = 1.0) -> int:
+        """Multi-stage A+B staging buffers (+8% for indices/SEL slack)."""
+        a_tile = self.mb * self.kb * dtype_bytes * a_density
+        b_tile = self.kb * self.nb * dtype_bytes
+        return int(self.stages * (a_tile + b_tile) * 1.08)
+
+    def block_resources(self, dtype_bytes: int = 2,
+                        a_density: float = 1.0) -> BlockResources:
+        return BlockResources(
+            warps=self.warps_per_block,
+            smem_bytes=self.smem_bytes(dtype_bytes, a_density),
+            registers_per_thread=self.registers_per_thread,
+        )
+
+    def grid(self, m: int, n: int) -> tuple[int, int, int]:
+        """(blocks, grid_m, grid_n) covering an ``m x n`` output."""
+        grid_m = math.ceil(m / self.mb)
+        grid_n = math.ceil(n / self.nb)
+        return grid_m * grid_n, grid_m, grid_n
+
+    def k_iters(self, k: int) -> int:
+        return math.ceil(k / self.kb)
+
+    def validate(self, shape: MmaShape, spec: GPUSpec,
+                 a_density: float = 1.0,
+                 subrow_v: int | None = None) -> None:
+        """Raise :class:`TilingError` on any constraint violation."""
+        if self.mb % self.mw or self.nb % self.nw:
+            raise TilingError(
+                f"block tile {self.mb}x{self.nb} not divisible by "
+                f"warp tile {self.mw}x{self.nw}")
+        if self.warps_per_block < 1 or self.warps_per_block > 16:
+            raise TilingError(
+                f"{self.warps_per_block} warps/block outside [1, 16]")
+        instructions_per_warp_tile(self.mw, self.nw, self.kb, shape)
+        if subrow_v is not None:
+            if self.kb > subrow_v:
+                raise TilingError(
+                    f"k_b={self.kb} must not exceed sub-row V={subrow_v}")
+            if subrow_v % self.kb:
+                raise TilingError(
+                    f"sub-row V={subrow_v} must be a multiple of k_b="
+                    f"{self.kb} (shuffle every V/k_b iterations)")
+        compute_occupancy(self.block_resources(a_density=a_density), spec)
+
+    def scaled(self, **changes: int) -> "TilingConfig":
+        """Copy with fields replaced (adaptation studies, Table 6)."""
+        return replace(self, **changes)
+
+
+#: The development-platform default (RTX 4070 Super, §5/§6.6).
+DEFAULT_TILING = TilingConfig(mb=128, nb=128, kb=32, mw=64, nw=64, stages=3)
+
+#: Smaller tile for many-expert models (§4.2 last paragraph).
+NARROW_TILING = TilingConfig(mb=128, nb=64, kb=32, mw=64, nw=32, stages=3)
+
+
+def heuristic_config(m: int, n: int, k: int, spec: GPUSpec,
+                     shape: MmaShape,
+                     subrow_v: int | None = None) -> TilingConfig:
+    """Pick a legal tiling for a problem size following §4.2's rules:
+    large tiles on non-reduction dims for data reuse, ``k_b`` small and
+    bounded by ``V``, shrink tiles when the problem lacks parallelism."""
+    mb = 128 if m >= 512 else 64 if m >= 128 else 32
+    nb = 128 if n >= 512 else 64 if n >= 128 else 32
+    kb = shape.k
+    if subrow_v is not None:
+        kb = min(kb, subrow_v)
+    mw = min(mb, 64)
+    nw = min(nb, 64)
+    while (mb // mw) * (nb // nw) > 8:
+        mw *= 2
+    cfg = TilingConfig(mb=mb, nb=nb, kb=kb, mw=mw, nw=nw)
+    cfg.validate(shape, spec, subrow_v=subrow_v)
+    return cfg
+
+
+def candidate_configs(shape: MmaShape, spec: GPUSpec,
+                      subrow_v: int | None = None,
+                      stages_options: Iterable[int] = (2, 3, 4),
+                      ) -> list[TilingConfig]:
+    """Enumerate the legal configuration space for autotuning."""
+    out: list[TilingConfig] = []
+    for mb in (32, 64, 128, 256):
+        for nb in (32, 64, 128, 256):
+            for kb in {shape.k, shape.k * 2}:
+                if subrow_v is not None and (kb > subrow_v
+                                             or subrow_v % kb):
+                    continue
+                for mw in (16, 32, 64, 128):
+                    for nw in (16, 32, 64, 128):
+                        if mb % mw or nb % nw:
+                            continue
+                        for stages in stages_options:
+                            cfg = TilingConfig(mb=mb, nb=nb, kb=kb,
+                                               mw=mw, nw=nw, stages=stages)
+                            try:
+                                cfg.validate(shape, spec,
+                                             subrow_v=subrow_v)
+                            except TilingError:
+                                continue
+                            out.append(cfg)
+    return out
+
+
+def autotune(configs: Iterable[TilingConfig],
+             cost_fn: Callable[[TilingConfig], float]) -> TilingConfig:
+    """Exhaustive search: return the config minimising ``cost_fn``.
+
+    ``cost_fn`` should return simulated seconds; raises
+    :class:`TilingError` when no candidate is provided.
+    """
+    best: TilingConfig | None = None
+    best_cost = math.inf
+    for cfg in configs:
+        cost = cost_fn(cfg)
+        if cost < best_cost:
+            best, best_cost = cfg, cost
+    if best is None:
+        raise TilingError("autotune received no legal configurations")
+    return best

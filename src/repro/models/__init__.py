@@ -1,0 +1,34 @@
+"""End-to-end model substrate: attention, decoder layer, latency runner."""
+
+from repro.models.attention import (
+    AttentionCost,
+    attention_cost,
+    flash_attention_cost,
+    naive_attention_cost,
+)
+from repro.models.decoder import DecoderBreakdown, decoder_cost
+from repro.models.runner import (
+    end_to_end_speedups,
+    model_latency,
+    throughput_sweep,
+)
+from repro.models.full_model import (
+    full_model_estimate,
+    min_devices_for_model,
+    total_params,
+)
+
+__all__ = [
+    "AttentionCost",
+    "attention_cost",
+    "flash_attention_cost",
+    "naive_attention_cost",
+    "DecoderBreakdown",
+    "decoder_cost",
+    "model_latency",
+    "throughput_sweep",
+    "end_to_end_speedups",
+    "full_model_estimate",
+    "min_devices_for_model",
+    "total_params",
+]

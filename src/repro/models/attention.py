@@ -1,0 +1,79 @@
+"""Attention-layer cost model (naive and FlashAttention-2).
+
+The paper uses attention only as context: Figure 2 shows the MoE layer
+dominating the decoder once FlashAttention removes the quadratic memory
+traffic, and every model-level experiment enables FlashAttention-2 for
+fairness.  The model here covers both variants:
+
+* QKVO projections — four dense GEMMs (cuBLAS class);
+* score/value core — ``2 * S^2 * hidden`` FLOPs either with materialised
+  S x S score matrices (naive: three extra DRAM round trips) or fused in
+  SRAM (flash: no quadratic traffic, ~85% tensor-core efficiency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.spec import GPUSpec
+from repro.kernels.gemm_dense import DENSE_GEMM
+from repro.moe.config import MoEModelConfig
+
+
+@dataclass(frozen=True)
+class AttentionCost:
+    """Seconds spent in one attention layer."""
+
+    projection_s: float
+    core_s: float
+    softmax_s: float
+    total_s: float
+    flash: bool
+
+
+def _projection_seconds(config: MoEModelConfig, tokens: int,
+                        spec: GPUSpec) -> float:
+    h = config.hidden_size
+    gemm = DENSE_GEMM.cost(h, h, tokens, spec)
+    return 4.0 * gemm.time_s          # Q, K, V, O projections
+
+
+def naive_attention_cost(config: MoEModelConfig, tokens: int,
+                         spec: GPUSpec, batch: int = 1) -> AttentionCost:
+    """Unfused attention: S x S scores materialised in global memory."""
+    h = config.hidden_size
+    seq = tokens
+    proj = _projection_seconds(config, batch * seq, spec)
+    core_flops = batch * 2.0 * 2.0 * seq * seq * h    # QK^T and PV
+    core_compute = core_flops / (spec.dense_tc_flops * 0.70)
+    score_bytes = batch * config.num_heads * seq * seq * 2.0
+    core_mem = 3.0 * score_bytes / spec.dram_bandwidth  # write, read, read
+    softmax = 2.0 * score_bytes / spec.dram_bandwidth \
+        + spec.kernel_launch_overhead_s
+    core = max(core_compute, core_mem)
+    total = proj + core + softmax + 2 * spec.kernel_launch_overhead_s
+    return AttentionCost(projection_s=proj, core_s=core, softmax_s=softmax,
+                         total_s=total, flash=False)
+
+
+def flash_attention_cost(config: MoEModelConfig, tokens: int,
+                         spec: GPUSpec, batch: int = 1) -> AttentionCost:
+    """FlashAttention-2: fused core, no quadratic DRAM traffic."""
+    h = config.hidden_size
+    seq = tokens
+    proj = _projection_seconds(config, batch * seq, spec)
+    core_flops = batch * 2.0 * 2.0 * seq * seq * h
+    core = core_flops / (spec.dense_tc_flops * 0.85)
+    io_bytes = batch * 4.0 * seq * h * 2.0            # Q,K,V in; O out
+    core = max(core, io_bytes / spec.dram_bandwidth)
+    total = proj + core + spec.kernel_launch_overhead_s
+    return AttentionCost(projection_s=proj, core_s=core, softmax_s=0.0,
+                         total_s=total, flash=True)
+
+
+def attention_cost(config: MoEModelConfig, tokens: int, spec: GPUSpec,
+                   batch: int = 1, flash: bool = True) -> AttentionCost:
+    """Dispatch on the FlashAttention toggle (Figure 2's two panels)."""
+    if flash:
+        return flash_attention_cost(config, tokens, spec, batch)
+    return naive_attention_cost(config, tokens, spec, batch)

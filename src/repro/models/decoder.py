@@ -1,0 +1,86 @@
+"""Decoder-layer composition: attention + MoE + normalisation.
+
+Produces the Figure 2 time breakdown and the building block for the
+end-to-end runner (§6.3 measures one decoder layer; decoder layers are
+>90% of total model time and mutually similar, per the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.spec import GPUSpec
+from repro.models.attention import attention_cost
+from repro.moe.config import MoEModelConfig
+from repro.moe.layers import ENGINES, MoEEngine
+
+
+@dataclass(frozen=True)
+class DecoderBreakdown:
+    """Per-component seconds for one decoder layer forward."""
+
+    model: str
+    engine: str
+    attention_s: float
+    moe_s: float
+    norm_s: float
+    flash: bool
+
+    @property
+    def total_s(self) -> float:
+        return self.attention_s + self.moe_s + self.norm_s
+
+    @property
+    def moe_fraction(self) -> float:
+        """Figure 2's y-axis: MoE share of the decoder layer."""
+        return self.moe_s / self.total_s if self.total_s > 0 else 0.0
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total_s
+        if total <= 0:
+            return {"attention": 0.0, "moe": 0.0, "norm": 0.0}
+        return {
+            "attention": self.attention_s / total,
+            "moe": self.moe_s / total,
+            "norm": self.norm_s / total,
+        }
+
+
+def _norm_seconds(config: MoEModelConfig, tokens: int,
+                  spec: GPUSpec) -> float:
+    """Two RMSNorms: pure elementwise traffic over the hidden states."""
+    bytes_per_pass = 2.0 * tokens * config.hidden_size * 2
+    return 2.0 * (bytes_per_pass / spec.dram_bandwidth
+                  + spec.kernel_launch_overhead_s)
+
+
+def decoder_cost(config: MoEModelConfig, tokens: int, spec: GPUSpec,
+                 engine: MoEEngine | str = "transformers",
+                 batch: int = 1, flash: bool = True,
+                 num_shared: int | None = None) -> DecoderBreakdown:
+    """Simulated latency breakdown of one decoder layer.
+
+    Args:
+        config: Table-2 model.
+        tokens: Sequence length per batch element.
+        spec: Target device.
+        engine: MoE engine instance or registry name.
+        batch: Batch size (scales every component linearly except the
+            attention core, which is quadratic in sequence, linear in
+            batch — handled inside the attention model).
+        flash: FlashAttention toggle (Figure 2's two panels).
+        num_shared: Override the config's shared-expert count.
+    """
+    if isinstance(engine, str):
+        engine = ENGINES[engine]
+    attn = attention_cost(config, tokens, spec, batch=batch, flash=flash)
+    moe = engine.cost(config, tokens * batch, spec, num_shared=num_shared)
+    norm = _norm_seconds(config, tokens * batch, spec)
+    return DecoderBreakdown(
+        model=config.name,
+        engine=engine.name,
+        attention_s=attn.total_s,
+        moe_s=moe.time_s,
+        norm_s=norm,
+        flash=flash,
+    )

@@ -1,0 +1,124 @@
+"""Whole-model extrapolation from the per-layer substrate.
+
+The paper measures one decoder layer (justified in §6.3: decoder layers
+are >90% of runtime and mutually similar).  This module provides the
+inverse direction for users sizing deployments: extrapolate a full
+model's parameters, memory, latency and serving throughput from the
+per-layer models, across devices and engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CapacityError
+from repro.hw.spec import GPUSpec
+from repro.models.decoder import decoder_cost
+from repro.moe.config import MoEModelConfig
+from repro.moe.memory_model import (
+    DTYPE,
+    FIXED_OVERHEAD,
+    FRAGMENTATION,
+    kv_cache_bytes,
+    moe_workspace_bytes,
+    weight_bytes,
+)
+from repro.utils.units import GIB
+
+
+@dataclass(frozen=True)
+class ModelEstimate:
+    """Full-model numbers for one (model, engine, device, workload)."""
+
+    model: str
+    engine: str
+    device: str
+    batch: int
+    seq_len: int
+    total_params: int
+    weights_bytes: float
+    kv_bytes: float
+    latency_s: float
+    tokens_per_s: float
+    fits: bool
+
+    @property
+    def weights_gib(self) -> float:
+        return self.weights_bytes / GIB
+
+
+def total_params(config: MoEModelConfig) -> int:
+    """All-layer parameter count (attention + experts + embeddings)."""
+    per_layer = config.attention_param_count + config.moe_param_count
+    embeddings = 2 * 32000 * config.hidden_size       # in/out embeddings
+    return per_layer * config.num_layers + embeddings
+
+
+def full_model_estimate(config: MoEModelConfig, engine: str,
+                        spec: GPUSpec, batch: int = 1,
+                        seq_len: int | None = None,
+                        flash: bool = True) -> ModelEstimate:
+    """Extrapolate one decoder layer to the whole model.
+
+    Latency scales by ``num_layers``; weights and KV cache scale the
+    same way; the workspace is reused across layers so it counts once.
+    """
+    seq = min(seq_len or config.max_seq_len, config.max_seq_len)
+    layer = decoder_cost(config, seq, spec, engine=engine, batch=batch,
+                         flash=flash)
+    latency = layer.total_s * config.num_layers
+
+    weights = weight_bytes(config, engine) * config.num_layers
+    kv = kv_cache_bytes(config, seq) * batch * config.num_layers
+    workspace = moe_workspace_bytes(config, seq, engine) * batch
+    need = (weights + kv + workspace + FIXED_OVERHEAD[engine])
+    fits = need <= spec.dram_capacity * (1.0 - FRAGMENTATION)
+
+    return ModelEstimate(
+        model=config.name,
+        engine=engine,
+        device=spec.name,
+        batch=batch,
+        seq_len=seq,
+        total_params=total_params(config),
+        weights_bytes=weights,
+        kv_bytes=kv,
+        latency_s=latency,
+        tokens_per_s=batch * seq / latency,
+        fits=fits,
+    )
+
+
+def require_fits(estimate: ModelEstimate, spec: GPUSpec) -> None:
+    """Raise :class:`CapacityError` when the estimate does not fit."""
+    if not estimate.fits:
+        raise CapacityError(
+            f"{estimate.model} with {estimate.engine} does not fit on "
+            f"{spec.name} at batch {estimate.batch}",
+            required_bytes=int(estimate.weights_bytes + estimate.kv_bytes),
+            available_bytes=int(spec.dram_capacity))
+
+
+def min_devices_for_model(config: MoEModelConfig, engine: str,
+                          spec: GPUSpec, batch: int = 1,
+                          seq_len: int | None = None) -> int:
+    """Naive tensor-parallel width: how many cards until weights fit.
+
+    Splits weights and KV evenly; workspace replicates.  A lower bound a
+    deployment planner would refine, but sufficient to show the paper's
+    memory story at model scale (Samoyeds' 3.5x weight compression cuts
+    the card count).
+    """
+    seq = min(seq_len or config.max_seq_len, config.max_seq_len)
+    weights = weight_bytes(config, engine) * config.num_layers
+    kv = kv_cache_bytes(config, seq) * batch * config.num_layers
+    workspace = moe_workspace_bytes(config, seq, engine) * batch
+    budget = spec.dram_capacity * (1.0 - FRAGMENTATION) \
+        - FIXED_OVERHEAD[engine]
+    for devices in range(1, 129):
+        if (weights + kv) / devices + workspace <= budget:
+            return devices
+    raise CapacityError(f"{config.name} needs more than 128 {spec.name}s")
+
+
+DTYPE_BYTES = DTYPE

@@ -1,0 +1,114 @@
+"""End-to-end latency / throughput runner (§6.3, Figures 15 and 16).
+
+Measures a single decoder layer per the paper's protocol and converts to
+throughput.  Memory feasibility is enforced through the Table-3 footprint
+model, so over-budget (engine, batch) points raise
+:class:`~repro.errors.CapacityError` exactly where the paper prints OOM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CapacityError, ConfigError
+from repro.hw.spec import GPUSpec
+from repro.models.decoder import DecoderBreakdown, decoder_cost
+from repro.moe.config import MoEModelConfig
+from repro.moe.layers import ENGINES, MoEEngine
+from repro.moe.memory_model import footprint
+
+
+@dataclass(frozen=True)
+class ModelPoint:
+    """One (engine, batch) measurement."""
+
+    engine: str
+    batch: int
+    seq_len: int
+    latency_s: float
+    tokens_per_s: float
+
+
+def _resolve(engine: MoEEngine | str) -> MoEEngine:
+    if isinstance(engine, str):
+        try:
+            return ENGINES[engine]
+        except KeyError:
+            raise ConfigError(f"unknown engine {engine!r}") from None
+    return engine
+
+
+def model_latency(config: MoEModelConfig, engine: MoEEngine | str,
+                  spec: GPUSpec, batch: int = 1,
+                  seq_len: int | None = None, flash: bool = True,
+                  check_memory: bool = True) -> DecoderBreakdown:
+    """Latency of one decoder layer at (batch, seq)."""
+    eng = _resolve(engine)
+    seq = min(seq_len or config.max_seq_len, config.max_seq_len)
+    if check_memory:
+        footprint(config, eng.name, seq, spec).require_batch(batch)
+    return decoder_cost(config, seq, spec, engine=eng, batch=batch,
+                        flash=flash)
+
+
+def model_point(config: MoEModelConfig, engine: MoEEngine | str,
+                spec: GPUSpec, batch: int, seq_len: int,
+                flash: bool = True,
+                check_memory: bool = True) -> ModelPoint:
+    """Latency + throughput of one configuration."""
+    eng = _resolve(engine)
+    breakdown = model_latency(config, eng, spec, batch=batch,
+                              seq_len=seq_len, flash=flash,
+                              check_memory=check_memory)
+    seq = min(seq_len, config.max_seq_len)
+    tokens = batch * seq
+    return ModelPoint(engine=eng.name, batch=batch, seq_len=seq,
+                      latency_s=breakdown.total_s,
+                      tokens_per_s=tokens / breakdown.total_s)
+
+
+def throughput_sweep(config: MoEModelConfig, spec: GPUSpec,
+                     batches: list[int], seq_len: int,
+                     engines: list[str] | None = None
+                     ) -> dict[str, list[ModelPoint | None]]:
+    """Figure 16: throughput vs batch size; ``None`` marks OOM / NS."""
+    engines = engines or list(ENGINES)
+    out: dict[str, list[ModelPoint | None]] = {}
+    for name in engines:
+        series: list[ModelPoint | None] = []
+        for batch in batches:
+            try:
+                series.append(model_point(config, name, spec, batch,
+                                          seq_len))
+            except (CapacityError, ConfigError):
+                series.append(None)
+        out[name] = series
+    return out
+
+
+def end_to_end_speedups(config: MoEModelConfig, spec: GPUSpec,
+                        batch: int = 1, seq_len: int | None = None,
+                        baseline: str = "transformers"
+                        ) -> dict[str, float | None]:
+    """Figure 15: speedup of every engine over ``baseline``.
+
+    ``None`` marks NS/OOM entries, mirroring the paper's markers.
+    """
+    seq = min(seq_len or 4096, config.max_seq_len)
+    try:
+        base = model_point(config, baseline, spec, batch, seq)
+    except (CapacityError, ConfigError) as exc:
+        raise ConfigError(
+            f"baseline {baseline} infeasible for {config.name}: {exc}"
+        ) from exc
+    out: dict[str, float | None] = {}
+    for name in ENGINES:
+        if name == baseline:
+            out[name] = 1.0
+            continue
+        try:
+            point = model_point(config, name, spec, batch, seq)
+            out[name] = base.latency_s / point.latency_s
+        except (CapacityError, ConfigError):
+            out[name] = None
+    return out

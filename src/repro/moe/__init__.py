@@ -1,0 +1,61 @@
+"""MoE substrate: configs, routing, experts, layer engines, memory model.
+
+Implements the paper's Table 2 model zoo and the five MoE layer execution
+engines compared in §6.2-6.4: HuggingFace-Transformers-style (permute +
+per-expert dense GEMMs), MegaBlocks (block-sparse grouped GEMM), vLLM-DS
+(fused MoE kernel), PIT (permutation-invariant transformation), and
+Samoyeds (dual-side sparse SSMM).
+"""
+
+from repro.moe.config import (
+    CFG_GROUPS,
+    MODEL_REGISTRY,
+    MoEModelConfig,
+    get_model,
+    list_models,
+)
+from repro.moe.router import RoutingPlan, TopKRouter
+from repro.moe.activations import get_activation, list_activations
+from repro.moe.experts import ExpertWeights, build_expert, build_experts
+from repro.moe.layers import (
+    ENGINES,
+    MegaBlocksEngine,
+    MoEEngine,
+    PitEngine,
+    SamoyedsEngine,
+    TransformersEngine,
+    VllmEngine,
+)
+from repro.moe.memory_model import MemoryFootprint, max_batch_size
+from repro.moe.dataflow import permutation_seconds, unpermutation_seconds
+from repro.moe.trace import padding_report, skewed_plan
+from repro.moe.scheduler import compare_policies
+
+__all__ = [
+    "CFG_GROUPS",
+    "MODEL_REGISTRY",
+    "MoEModelConfig",
+    "get_model",
+    "list_models",
+    "RoutingPlan",
+    "TopKRouter",
+    "get_activation",
+    "list_activations",
+    "ExpertWeights",
+    "build_expert",
+    "build_experts",
+    "ENGINES",
+    "MoEEngine",
+    "TransformersEngine",
+    "MegaBlocksEngine",
+    "VllmEngine",
+    "PitEngine",
+    "SamoyedsEngine",
+    "MemoryFootprint",
+    "max_batch_size",
+    "permutation_seconds",
+    "unpermutation_seconds",
+    "padding_report",
+    "skewed_plan",
+    "compare_policies",
+]

@@ -1,0 +1,70 @@
+"""Expert activation functions.
+
+MoE experts use gated MLPs: ``down(act(gate(x)) * up(x))``.  The
+activation registry matters to the reproduction because kernel libraries
+hard-code their fused epilogues: MegaBlocks and vLLM-DS only ship SiLU
+(and GELU) epilogues, which is why OpenMoE-34B's variant shows up as *NS*
+in Figures 14-16.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+ActivationFn = Callable[[np.ndarray], np.ndarray]
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish: ``x * sigmoid(x)`` (LLaMA / Mixtral / Qwen family)."""
+    return x / (1.0 + np.exp(-x))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Exact GELU via the error function."""
+    from scipy.special import erf
+    return 0.5 * x * (1.0 + erf(x / math.sqrt(2.0)))
+
+
+def gelu_tanh(x: np.ndarray) -> np.ndarray:
+    """Tanh-approximated GELU — OpenMoE's variant (the NS case)."""
+    c = math.sqrt(2.0 / math.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x ** 3)))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+_REGISTRY: dict[str, ActivationFn] = {
+    "silu": silu,
+    "gelu": gelu,
+    "gelu_tanh": gelu_tanh,
+    "relu": relu,
+}
+
+#: Activations with fused epilogues in MegaBlocks / vLLM-DS.
+FUSED_KERNEL_ACTIVATIONS: frozenset[str] = frozenset({"silu", "gelu"})
+
+
+def get_activation(name: str) -> ActivationFn:
+    """Look up an activation; raises :class:`ConfigError` when unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown activation {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_activations() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def supported_by_fused_kernels(name: str) -> bool:
+    """Whether MegaBlocks / vLLM-DS ship this epilogue (NS otherwise)."""
+    return name in FUSED_KERNEL_ACTIVATIONS

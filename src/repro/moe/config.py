@@ -1,0 +1,148 @@
+"""MoE model configurations (Table 2).
+
+Six real MoE LLMs define the evaluation space.  ``config_group`` mirrors
+the paper's CFG#1-#5 grouping (Qwen2-MoE and DeepSeek-MoE share CFG#1).
+Head counts and layer counts are from the public model cards; they feed
+the attention cost model and the Figure 2 breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MoEModelConfig:
+    """Architecture parameters of one MoE LLM.
+
+    Attributes:
+        name: Registry key.
+        num_experts: Routed experts per MoE layer.
+        hidden_size: Model (embedding) dimension.
+        intermediate_size: Expert MLP inner dimension.
+        top_k: Routed experts activated per token.
+        num_shared_experts: Isolated shared experts (processed by every
+            token) — the second routing type of §6.2.
+        num_heads: Attention heads.
+        num_layers: Decoder layers (for whole-model extrapolation).
+        max_seq_len: Positional limit (OpenMoE caps at 2048, §6.3.1).
+        activation: Expert activation function name; OpenMoE's variant is
+            unsupported by MegaBlocks/vLLM-DS (the NS marker).
+        config_group: Paper CFG id.
+    """
+
+    name: str
+    num_experts: int
+    hidden_size: int
+    intermediate_size: int
+    top_k: int
+    num_shared_experts: int = 0
+    num_heads: int = 32
+    num_layers: int = 24
+    max_seq_len: int = 4096
+    activation: str = "silu"
+    config_group: str = "CFG#?"
+
+    def __post_init__(self) -> None:
+        if self.top_k > self.num_experts:
+            raise ConfigError(
+                f"{self.name}: top_k={self.top_k} exceeds "
+                f"num_experts={self.num_experts}")
+        for field in ("num_experts", "hidden_size", "intermediate_size",
+                      "top_k", "num_heads", "num_layers"):
+            if getattr(self, field) <= 0:
+                raise ConfigError(f"{self.name}: {field} must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    @property
+    def expert_param_count(self) -> int:
+        """Parameters of one expert (gate/up/down projections)."""
+        return 3 * self.hidden_size * self.intermediate_size
+
+    @property
+    def moe_param_count(self) -> int:
+        """Parameters of one MoE layer (all experts, shared included)."""
+        experts = self.num_experts + self.num_shared_experts
+        return experts * self.expert_param_count
+
+    @property
+    def attention_param_count(self) -> int:
+        """QKVO projection parameters of one decoder layer."""
+        return 4 * self.hidden_size * self.hidden_size
+
+    def flops_per_token_moe(self) -> float:
+        """MoE-layer FLOPs for one token (routed + shared experts)."""
+        active = self.top_k + self.num_shared_experts
+        return 2.0 * active * self.expert_param_count
+
+    def with_experts(self, num_experts: int) -> "MoEModelConfig":
+        """Copy with a different expert count (PIT sweep, Figure 19)."""
+        from dataclasses import replace
+        return replace(self, name=f"{self.name}-e{num_experts}",
+                       num_experts=num_experts,
+                       top_k=min(self.top_k, num_experts))
+
+
+QWEN2_MOE = MoEModelConfig(
+    name="qwen2-moe", num_experts=60, hidden_size=1408,
+    intermediate_size=2048, top_k=4, num_heads=16, num_layers=24,
+    config_group="CFG#1")
+
+DEEPSEEK_MOE = MoEModelConfig(
+    name="deepseek-moe", num_experts=64, hidden_size=1408,
+    intermediate_size=2048, top_k=6, num_heads=16, num_layers=28,
+    config_group="CFG#1")
+
+MINICPM_MOE = MoEModelConfig(
+    name="minicpm-moe", num_experts=8, hidden_size=2304,
+    intermediate_size=5760, top_k=2, num_heads=36, num_layers=40,
+    config_group="CFG#2")
+
+OPENMOE_34B = MoEModelConfig(
+    name="openmoe-34b", num_experts=32, hidden_size=3072,
+    intermediate_size=12288, top_k=2, num_heads=24, num_layers=32,
+    max_seq_len=2048, activation="gelu_tanh", config_group="CFG#3")
+
+MIXTRAL_8X7B = MoEModelConfig(
+    name="mixtral-8x7b", num_experts=8, hidden_size=4096,
+    intermediate_size=14336, top_k=2, num_heads=32, num_layers=32,
+    config_group="CFG#4")
+
+MIXTRAL_8X22B = MoEModelConfig(
+    name="mixtral-8x22b", num_experts=8, hidden_size=6144,
+    intermediate_size=16384, top_k=2, num_heads=48, num_layers=56,
+    config_group="CFG#5")
+
+MODEL_REGISTRY: dict[str, MoEModelConfig] = {
+    cfg.name: cfg for cfg in (
+        QWEN2_MOE, DEEPSEEK_MOE, MINICPM_MOE, OPENMOE_34B,
+        MIXTRAL_8X7B, MIXTRAL_8X22B)
+}
+
+CFG_GROUPS: dict[str, list[str]] = {
+    "CFG#1": ["qwen2-moe", "deepseek-moe"],
+    "CFG#2": ["minicpm-moe"],
+    "CFG#3": ["openmoe-34b"],
+    "CFG#4": ["mixtral-8x7b"],
+    "CFG#5": ["mixtral-8x22b"],
+}
+
+
+def get_model(name: str) -> MoEModelConfig:
+    """Look up a Table-2 model by name."""
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown model {name!r}; known: {sorted(MODEL_REGISTRY)}"
+        ) from None
+
+
+def list_models() -> list[str]:
+    """Registry keys in Table 2 order."""
+    return list(MODEL_REGISTRY)

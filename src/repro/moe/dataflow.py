@@ -1,0 +1,65 @@
+"""Data-flow redundancy model (§3.1, Figure 5).
+
+The reference MoE implementation materialises a permuted tensor per
+expert (input permutation) and scatters expert outputs back through
+global memory for the weighted sum (un-permutation).  Both are pure
+memory-movement passes; their cost is what Samoyeds' SEL-based kernel
+eliminates, and what the ``+WI`` step of Figure 17 measures.
+"""
+
+from __future__ import annotations
+
+from repro.hw.spec import GPUSpec
+
+
+def permutation_bytes(tokens: int, hidden: int, top_k: int,
+                      dtype_bytes: int = 2) -> float:
+    """Bytes moved to build the per-expert input tensors.
+
+    Every token row is read once and written ``top_k`` times (it appears
+    in each destination expert's tensor).
+    """
+    read = tokens * hidden * dtype_bytes
+    write = tokens * top_k * hidden * dtype_bytes
+    return float(read + write)
+
+
+def unpermutation_bytes(tokens: int, hidden: int, top_k: int,
+                        dtype_bytes: int = 2) -> float:
+    """Bytes moved by the weighted un-permutation (§3.1).
+
+    Expert outputs round-trip global memory: written by the expert GEMM,
+    re-read for the element-wise weighted sum, and the final output is
+    written once more.
+    """
+    expert_out = tokens * top_k * hidden * dtype_bytes
+    final = tokens * hidden * dtype_bytes
+    return float(2 * expert_out + final)
+
+
+def permutation_seconds(tokens: int, hidden: int, top_k: int,
+                        spec: GPUSpec, dtype_bytes: int = 2) -> float:
+    """Time of the input-permutation pass (traffic + one launch)."""
+    traffic = permutation_bytes(tokens, hidden, top_k, dtype_bytes)
+    return traffic / spec.dram_bandwidth + spec.kernel_launch_overhead_s
+
+
+def unpermutation_seconds(tokens: int, hidden: int, top_k: int,
+                          spec: GPUSpec, dtype_bytes: int = 2) -> float:
+    """Time of the weighted un-permutation pass."""
+    traffic = unpermutation_bytes(tokens, hidden, top_k, dtype_bytes)
+    return traffic / spec.dram_bandwidth + spec.kernel_launch_overhead_s
+
+
+def intermediate_allocation_bytes(tokens: int, hidden: int,
+                                  intermediate: int, top_k: int,
+                                  dtype_bytes: int = 2) -> float:
+    """Workspace the permuted data flow must allocate (memory model).
+
+    Per-expert input copies plus the gate/up intermediates for every
+    routed token — the buffers Figure 5 shows being created.
+    """
+    inputs = tokens * top_k * hidden * dtype_bytes
+    intermediates = 2 * tokens * top_k * intermediate * dtype_bytes
+    outputs = tokens * top_k * hidden * dtype_bytes
+    return float(inputs + intermediates + outputs)

@@ -1,0 +1,112 @@
+"""Expert weights: dense and Samoyeds-pruned variants.
+
+An expert is a gated MLP: ``down_proj(act(gate_proj(x)) * up_proj(x))``.
+Weights are stored **pre-transposed** (output-dim x input-dim) exactly as
+§4.5's offline transposition prescribes, so every engine's GEMM is
+``W @ x^T`` with no runtime transpose of W.
+
+For functional tests the hidden/intermediate sizes can be scaled down
+(``scale``); cost models never instantiate weights at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.formats.samoyeds import (
+    SamoyedsPattern,
+    SamoyedsWeight,
+    prune_samoyeds,
+)
+from repro.moe.config import MoEModelConfig
+from repro.utils.rng import new_rng
+
+
+@dataclass(frozen=True)
+class ExpertWeights:
+    """One expert's three projection matrices (pre-transposed).
+
+    Shapes: ``gate_proj``/``up_proj`` are ``(intermediate, hidden)``;
+    ``down_proj`` is ``(hidden, intermediate)``.
+    """
+
+    gate_proj: np.ndarray
+    up_proj: np.ndarray
+    down_proj: np.ndarray
+
+    def __post_init__(self) -> None:
+        inter, hidden = self.gate_proj.shape
+        if self.up_proj.shape != (inter, hidden):
+            raise ConfigError("up_proj shape mismatch with gate_proj")
+        if self.down_proj.shape != (hidden, inter):
+            raise ConfigError("down_proj must be (hidden, intermediate)")
+
+    @property
+    def hidden_size(self) -> int:
+        return self.gate_proj.shape[1]
+
+    @property
+    def intermediate_size(self) -> int:
+        return self.gate_proj.shape[0]
+
+    def nbytes_dense(self, dtype_bytes: int = 2) -> int:
+        return (self.gate_proj.size + self.up_proj.size
+                + self.down_proj.size) * dtype_bytes
+
+    def pruned(self, pattern: SamoyedsPattern) -> "ExpertWeights":
+        """Dense weights with the Samoyeds mask applied (for references)."""
+        return ExpertWeights(
+            gate_proj=prune_samoyeds(self.gate_proj, pattern),
+            up_proj=prune_samoyeds(self.up_proj, pattern),
+            down_proj=prune_samoyeds(self.down_proj, pattern),
+        )
+
+    def encoded(self, pattern: SamoyedsPattern
+                ) -> tuple[SamoyedsWeight, SamoyedsWeight, SamoyedsWeight]:
+        """Samoyeds-format encodings of the three projections."""
+        return (SamoyedsWeight.from_dense(self.gate_proj, pattern),
+                SamoyedsWeight.from_dense(self.up_proj, pattern),
+                SamoyedsWeight.from_dense(self.down_proj, pattern))
+
+
+def build_expert(hidden_size: int, intermediate_size: int,
+                 seed: int | np.random.Generator | None = None
+                 ) -> ExpertWeights:
+    """Random expert with transformer-standard initialisation scales."""
+    rng = new_rng(seed)
+    scale_in = 1.0 / np.sqrt(hidden_size)
+    scale_out = 1.0 / np.sqrt(intermediate_size)
+    return ExpertWeights(
+        gate_proj=rng.normal(0, scale_in,
+                             size=(intermediate_size, hidden_size)),
+        up_proj=rng.normal(0, scale_in,
+                           size=(intermediate_size, hidden_size)),
+        down_proj=rng.normal(0, scale_out,
+                             size=(hidden_size, intermediate_size)),
+    )
+
+
+def build_experts(config: MoEModelConfig, scale: int = 1,
+                  seed: int | np.random.Generator | None = None,
+                  include_shared: bool = True) -> list[ExpertWeights]:
+    """All experts of one MoE layer, optionally size-scaled.
+
+    ``scale`` divides hidden/intermediate sizes for functional testing;
+    dimensions stay multiples of 32 so every sparse format still applies.
+    Shared experts (if any and ``include_shared``) are appended *after*
+    the routed experts.
+    """
+    if scale < 1:
+        raise ConfigError("scale must be >= 1")
+    hidden = max(32, config.hidden_size // scale)
+    inter = max(32, config.intermediate_size // scale)
+    hidden -= hidden % 32
+    inter -= inter % 32
+    rng = new_rng(seed)
+    count = config.num_experts
+    if include_shared:
+        count += config.num_shared_experts
+    return [build_expert(hidden, inter, rng) for _ in range(count)]

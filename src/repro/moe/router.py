@@ -1,0 +1,161 @@
+"""Top-k token routing (Figure 1's routing mechanism).
+
+The router scores every token against every expert, keeps the top-k
+experts per token and normalises their gate weights with a softmax.  Its
+output — per-expert token id lists — is precisely the information the
+Samoyeds SEL arrays encode; the reference engines instead materialise the
+permuted tensors of Figure 5 from it.
+
+Shared experts (DeepSeek/Qwen style, §6.2) bypass routing: every token is
+processed by every shared expert with unit weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.utils.rng import new_rng
+
+
+@dataclass(frozen=True)
+class RoutingPlan:
+    """Routing decision for one batch of tokens.
+
+    Attributes:
+        num_tokens: Tokens routed.
+        top_k: Experts per token.
+        expert_token_ids: Per expert, the token ids routed to it (sorted).
+        expert_gate_weights: Per expert, the gate weight of each routed
+            token, aligned with ``expert_token_ids``.
+    """
+
+    num_tokens: int
+    top_k: int
+    expert_token_ids: tuple[np.ndarray, ...]
+    expert_gate_weights: tuple[np.ndarray, ...]
+
+    @property
+    def num_experts(self) -> int:
+        return len(self.expert_token_ids)
+
+    def tokens_for(self, expert: int) -> np.ndarray:
+        return self.expert_token_ids[expert]
+
+    def load(self) -> np.ndarray:
+        """Tokens per expert — the balance profile."""
+        return np.array([ids.size for ids in self.expert_token_ids])
+
+    def load_imbalance(self) -> float:
+        """max/mean expert load (1.0 = perfectly balanced)."""
+        loads = self.load()
+        mean = loads.mean() if loads.size else 0.0
+        return float(loads.max() / mean) if mean > 0 else 1.0
+
+    def validate(self) -> None:
+        """Check the routing invariants; raises :class:`RoutingError`."""
+        counts = np.zeros(self.num_tokens, dtype=np.int64)
+        for ids, weights in zip(self.expert_token_ids,
+                                self.expert_gate_weights):
+            if ids.shape != weights.shape:
+                raise RoutingError("token ids and gate weights misaligned")
+            if ids.size and (ids.min() < 0 or ids.max() >= self.num_tokens):
+                raise RoutingError("token id out of range")
+            if np.any(np.diff(ids) <= 0):
+                raise RoutingError("expert token ids must be strictly "
+                                   "increasing (each token at most once)")
+            np.add.at(counts, ids, 1)
+        if not np.all(counts == self.top_k):
+            raise RoutingError(
+                "every token must be routed to exactly top_k experts")
+        total = np.zeros(self.num_tokens)
+        for ids, weights in zip(self.expert_token_ids,
+                                self.expert_gate_weights):
+            np.add.at(total, ids, weights)
+        if not np.allclose(total, 1.0, atol=1e-6):
+            raise RoutingError("gate weights must sum to 1 per token")
+
+
+class TopKRouter:
+    """Softmax top-k router over a learned (here: random) scoring matrix."""
+
+    def __init__(self, num_experts: int, top_k: int,
+                 hidden_size: int | None = None,
+                 seed: int | np.random.Generator | None = None) -> None:
+        if top_k > num_experts:
+            raise RoutingError(
+                f"top_k={top_k} exceeds num_experts={num_experts}")
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.hidden_size = hidden_size
+        rng = new_rng(seed)
+        if hidden_size is not None:
+            scale = 1.0 / np.sqrt(hidden_size)
+            self.gate_matrix = rng.normal(
+                0.0, scale, size=(hidden_size, num_experts))
+        else:
+            self.gate_matrix = None
+        self._rng = rng
+
+    def logits(self, tokens: np.ndarray | int) -> np.ndarray:
+        """Routing logits: ``x @ gate`` or synthetic when no weights."""
+        if isinstance(tokens, np.ndarray) and self.gate_matrix is not None:
+            return tokens @ self.gate_matrix
+        count = tokens if isinstance(tokens, int) else tokens.shape[0]
+        return self._rng.gumbel(size=(count, self.num_experts))
+
+    def route(self, tokens: np.ndarray | int) -> RoutingPlan:
+        """Route a batch; ``tokens`` is activations or a plain count."""
+        logits = self.logits(tokens)
+        num_tokens = logits.shape[0]
+        top = np.argpartition(-logits, self.top_k - 1, axis=1)[:, :self.top_k]
+        chosen = np.take_along_axis(logits, top, axis=1)
+        # Per-token softmax over the selected experts only.
+        chosen = chosen - chosen.max(axis=1, keepdims=True)
+        weights = np.exp(chosen)
+        weights /= weights.sum(axis=1, keepdims=True)
+
+        ids_per_expert: list[np.ndarray] = []
+        w_per_expert: list[np.ndarray] = []
+        flat_tokens = np.repeat(np.arange(num_tokens), self.top_k)
+        flat_experts = top.ravel()
+        flat_weights = weights.ravel()
+        for e in range(self.num_experts):
+            mask = flat_experts == e
+            ids = flat_tokens[mask]
+            order = np.argsort(ids, kind="stable")
+            ids_per_expert.append(ids[order])
+            w_per_expert.append(flat_weights[mask][order])
+        plan = RoutingPlan(
+            num_tokens=num_tokens,
+            top_k=self.top_k,
+            expert_token_ids=tuple(ids_per_expert),
+            expert_gate_weights=tuple(w_per_expert),
+        )
+        plan.validate()
+        return plan
+
+
+def uniform_plan(num_tokens: int, num_experts: int, top_k: int,
+                 seed: int | np.random.Generator | None = None
+                 ) -> RoutingPlan:
+    """A perfectly balanced plan (capacity-factor-1 analytic workloads)."""
+    rng = new_rng(seed)
+    assignment = np.empty((num_tokens, top_k), dtype=np.int64)
+    for t in range(num_tokens):
+        assignment[t] = rng.choice(num_experts, size=top_k, replace=False)
+    weights = np.full((num_tokens, top_k), 1.0 / top_k)
+    ids_per_expert = []
+    w_per_expert = []
+    for e in range(num_experts):
+        rows, cols = np.nonzero(assignment == e)
+        order = np.argsort(rows, kind="stable")
+        ids_per_expert.append(rows[order])
+        w_per_expert.append(weights[rows[order], cols[order]])
+    plan = RoutingPlan(num_tokens=num_tokens, top_k=top_k,
+                       expert_token_ids=tuple(ids_per_expert),
+                       expert_gate_weights=tuple(w_per_expert))
+    plan.validate()
+    return plan

@@ -1,0 +1,128 @@
+"""Expert-segment scheduling across GPU streams.
+
+The Samoyeds engine executes one SSMM segment per expert.  On real
+hardware those segments can overlap on separate streams until SMs are
+saturated; with skewed routing the slowest expert dominates.  This
+module models three policies and exposes the makespan arithmetic the
+engine-level numbers summarise:
+
+* ``sequential`` — one stream, segments back to back (the measurement
+  configuration of the paper);
+* ``parallel``   — greedy longest-processing-time placement onto ``s``
+  streams (classic makespan scheduling);
+* ``fused``      — one grid over all experts (the vLLM-style layout),
+  for comparison.
+
+An extension beyond the paper's evaluation, flagged as such in
+DESIGN.md; it exercises the cost model against routing traces from
+:mod:`repro.moe.trace`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hw.spec import GPUSpec
+from repro.kernels.ssmm_samoyeds import SamoyedsKernel
+from repro.moe.config import MoEModelConfig
+from repro.moe.router import RoutingPlan
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling one layer's expert segments."""
+
+    policy: str
+    streams: int
+    makespan_s: float
+    segment_seconds: tuple[float, ...]
+
+    @property
+    def total_work_s(self) -> float:
+        return sum(self.segment_seconds)
+
+    @property
+    def utilisation(self) -> float:
+        """Work / (streams x makespan) — 1.0 means perfectly packed."""
+        if self.makespan_s <= 0 or self.streams <= 0:
+            return 0.0
+        return self.total_work_s / (self.streams * self.makespan_s)
+
+
+def expert_segment_seconds(config: MoEModelConfig, plan: RoutingPlan,
+                           spec: GPUSpec, kernel: SamoyedsKernel,
+                           tile_n: int = 64) -> list[float]:
+    """Per-expert SSMM-triple time under the actual routed loads."""
+    h, inter = config.hidden_size, config.intermediate_size
+    out = []
+    for load in plan.load():
+        if load == 0:
+            out.append(0.0)
+            continue
+        n_e = math.ceil(int(load) / tile_n) * tile_n
+        triple = (kernel.cost(inter, h, n_e, spec).time_s
+                  + kernel.cost(inter, h, n_e, spec).time_s
+                  + kernel.cost(h, inter, n_e, spec).time_s)
+        out.append(triple)
+    return out
+
+
+def schedule_sequential(segments: list[float]) -> ScheduleResult:
+    """All segments on one stream."""
+    return ScheduleResult(policy="sequential", streams=1,
+                          makespan_s=sum(segments),
+                          segment_seconds=tuple(segments))
+
+
+def schedule_parallel(segments: list[float],
+                      streams: int) -> ScheduleResult:
+    """Greedy LPT placement onto ``streams`` streams.
+
+    LPT is a 4/3-approximation of optimal makespan — good enough to
+    show the skew sensitivity the scheduler exists to expose.
+    """
+    if streams <= 0:
+        raise ConfigError("streams must be positive")
+    loads = [0.0] * streams
+    heap = [(0.0, i) for i in range(streams)]
+    heapq.heapify(heap)
+    for seg in sorted(segments, reverse=True):
+        load, idx = heapq.heappop(heap)
+        loads[idx] = load + seg
+        heapq.heappush(heap, (loads[idx], idx))
+    return ScheduleResult(policy="parallel", streams=streams,
+                          makespan_s=max(loads) if loads else 0.0,
+                          segment_seconds=tuple(segments))
+
+
+def schedule_fused(config: MoEModelConfig, plan: RoutingPlan,
+                   spec: GPUSpec, kernel: SamoyedsKernel,
+                   tile_n: int = 64) -> ScheduleResult:
+    """One grouped grid over all experts (padding included)."""
+    h, inter = config.hidden_size, config.intermediate_size
+    padded_total = int(sum(math.ceil(int(load) / tile_n) * tile_n
+                           for load in plan.load() if load))
+    padded_total = max(padded_total, tile_n)
+    total = (kernel.cost(inter, h, padded_total, spec).time_s
+             + kernel.cost(inter, h, padded_total, spec).time_s
+             + kernel.cost(h, inter, padded_total, spec).time_s)
+    return ScheduleResult(policy="fused", streams=1, makespan_s=total,
+                          segment_seconds=(total,))
+
+
+def compare_policies(config: MoEModelConfig, plan: RoutingPlan,
+                     spec: GPUSpec,
+                     kernel: SamoyedsKernel | None = None,
+                     streams: int = 4,
+                     tile_n: int = 64) -> dict[str, ScheduleResult]:
+    """All three policies on one routed workload."""
+    kernel = kernel or SamoyedsKernel()
+    segments = expert_segment_seconds(config, plan, spec, kernel, tile_n)
+    return {
+        "sequential": schedule_sequential(segments),
+        "parallel": schedule_parallel(segments, streams),
+        "fused": schedule_fused(config, plan, spec, kernel, tile_n),
+    }

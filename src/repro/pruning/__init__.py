@@ -1,0 +1,60 @@
+"""Pruning and accuracy-proxy substrate (§6.5, Tables 4 and 5).
+
+The paper prunes Bert / Tiny-LLaMA / Qwen2 with WoodFisher via SparseML
+and evaluates on SQuAD / GSM8K.  Those models and datasets are not
+available offline, so this package reproduces the *relative* claim with
+exact stand-ins: trainable numpy networks on synthetic tasks, pruned
+one-shot into each competing pattern — unstructured magnitude, VENOM
+V:N:M, and Samoyeds `(N, M, V)` — at the paper's uniform 75% sparsity,
+with magnitude or Fisher-diagonal (WoodFisher-lite) saliency.
+
+The claim under test is ordering: dense >= unstructured ~= Samoyeds >
+VENOM at equal sparsity, because Samoyeds' sub-row granularity (with the
+free choice of N sub-rows per (M, V) block) preserves more salient weight
+mass than VENOM's column-vector granularity.
+"""
+
+from repro.pruning.saliency import (
+    fisher_diagonal,
+    magnitude_scores,
+    saliency_scores,
+)
+from repro.pruning.masks import build_mask, mask_sparsity, retained_saliency
+from repro.pruning.nets import MLPClassifier, TinyLM
+from repro.pruning.tasks import (
+    make_classification_task,
+    make_sequence_task,
+    macro_f1,
+    perplexity,
+)
+from repro.pruning.evaluate import (
+    AccuracyReport,
+    evaluate_classifier_pruning,
+    evaluate_lm_pruning,
+)
+from repro.pruning.sensitivity import (
+    SensitivityReport,
+    allocate_sparsity,
+    layer_sensitivity,
+)
+
+__all__ = [
+    "magnitude_scores",
+    "fisher_diagonal",
+    "saliency_scores",
+    "build_mask",
+    "mask_sparsity",
+    "retained_saliency",
+    "MLPClassifier",
+    "TinyLM",
+    "make_classification_task",
+    "make_sequence_task",
+    "macro_f1",
+    "perplexity",
+    "AccuracyReport",
+    "evaluate_classifier_pruning",
+    "evaluate_lm_pruning",
+    "SensitivityReport",
+    "allocate_sparsity",
+    "layer_sensitivity",
+]

@@ -1,0 +1,114 @@
+"""Pattern-constrained pruning masks.
+
+Builds the keep-masks each competing format allows, maximising retained
+saliency subject to the pattern constraint:
+
+* ``unstructured`` — global top-k, no constraint (the accuracy ceiling);
+* ``two_four`` — 2:4 per group (fixed 50%);
+* ``venom`` — V:N:M column-vector selection + 2:4;
+* ``samoyeds`` — `(N, M, V)` sub-row selection + 2:4.
+
+All selection runs on a *saliency* matrix, so magnitude and WoodFisher
+criteria share one code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.formats.samoyeds import SamoyedsPattern, samoyeds_mask
+from repro.formats.twofour import two_four_mask
+from repro.formats.venom import VenomPattern, venom_mask
+
+
+def block_mask(scores: np.ndarray, sparsity: float,
+               block: int = 16) -> np.ndarray:
+    """Block-wise pruning: keep whole ``block x block`` tiles by energy.
+
+    The granularity §4.1 argues *against* ("block-wise sparsity is too
+    coarse-grained to preserve model accuracy"): selection operates on
+    ``block^2`` weights at once, so salient weights inside a weak block
+    are lost wholesale.  Included as the comparison point for that
+    claim (see ``tests/test_pruning_masks.py``).
+    """
+    if scores.ndim != 2:
+        raise ShapeError("block_mask expects a 2-D array")
+    rows, cols = scores.shape
+    if rows % block or cols % block:
+        raise ShapeError(
+            f"shape {scores.shape} not divisible by block={block}")
+    tiles = scores.reshape(rows // block, block,
+                           cols // block, block)
+    energy = np.sqrt(np.sum(tiles.astype(np.float64) ** 2, axis=(1, 3)))
+    keep_tiles = unstructured_mask(energy, sparsity)
+    expanded = np.broadcast_to(keep_tiles[:, None, :, None], tiles.shape)
+    return expanded.reshape(rows, cols).copy()
+
+
+def unstructured_mask(scores: np.ndarray, sparsity: float) -> np.ndarray:
+    """Keep the globally top ``1 - sparsity`` fraction by saliency."""
+    if not 0.0 <= sparsity < 1.0:
+        raise ConfigError(f"sparsity must be in [0, 1), got {sparsity}")
+    keep = int(round(scores.size * (1.0 - sparsity)))
+    if keep <= 0:
+        return np.zeros_like(scores, dtype=bool)
+    threshold = np.partition(scores.ravel(), scores.size - keep)[
+        scores.size - keep]
+    mask = scores >= threshold
+    # Resolve threshold ties deterministically to hit the exact count.
+    excess = int(mask.sum()) - keep
+    if excess > 0:
+        tied = np.argwhere((scores == threshold) & mask)
+        for idx in map(tuple, tied[:excess]):
+            mask[idx] = False
+    return mask
+
+
+def build_mask(weights: np.ndarray, method: str,
+               scores: np.ndarray | None = None,
+               samoyeds: SamoyedsPattern | None = None,
+               venom: VenomPattern | None = None,
+               sparsity: float = 0.75) -> np.ndarray:
+    """Keep-mask for ``weights`` under the named pattern.
+
+    ``scores`` defaults to |weights|; structured selectors consume the
+    scores through the same block/vector energy ranking the format
+    encoders use.
+    """
+    if weights.ndim != 2:
+        raise ShapeError("build_mask expects a 2-D weight matrix")
+    if scores is None:
+        scores = np.abs(weights)
+    if scores.shape != weights.shape:
+        raise ShapeError("scores shape must match weights")
+
+    if method == "unstructured":
+        return unstructured_mask(scores, sparsity)
+    if method == "blockwise":
+        return block_mask(scores, sparsity)
+    if method == "two_four":
+        return two_four_mask(scores)
+    if method == "venom":
+        pattern = venom or VenomPattern(64, 2, 4)
+        return venom_mask(scores, pattern)
+    if method == "samoyeds":
+        pattern = samoyeds or SamoyedsPattern(1, 2, 32)
+        return samoyeds_mask(scores, pattern)
+    raise ConfigError(
+        f"unknown pruning method {method!r}; expected one of "
+        "unstructured/blockwise/two_four/venom/samoyeds")
+
+
+def mask_sparsity(mask: np.ndarray) -> float:
+    """Fraction of weights removed by ``mask``."""
+    return 1.0 - float(mask.sum()) / mask.size if mask.size else 0.0
+
+
+def retained_saliency(scores: np.ndarray, mask: np.ndarray) -> float:
+    """Fraction of total saliency mass the mask keeps — the analytic
+    quantity behind Table 5's ordering."""
+    total = float(scores.sum())
+    if total <= 0:
+        return 1.0
+    return float(scores[mask].sum()) / total

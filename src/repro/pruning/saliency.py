@@ -1,0 +1,50 @@
+"""Weight-saliency scores for pruning.
+
+Two scorers, matching the paper's toolchain:
+
+* **magnitude** — ``|w|``, the classic baseline (Han et al.);
+* **Fisher diagonal** — ``w^2 * E[g^2]``, a diagonal approximation of the
+  WoodFisher second-order criterion: the loss increase from zeroing a
+  weight under a quadratic model of the loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def magnitude_scores(weights: np.ndarray) -> np.ndarray:
+    """Saliency = |w|."""
+    return np.abs(weights)
+
+
+def fisher_diagonal(grad_samples: np.ndarray) -> np.ndarray:
+    """Empirical Fisher diagonal from per-sample gradients.
+
+    Args:
+        grad_samples: ``(num_samples, *weight_shape)`` gradient draws.
+
+    Returns:
+        ``E[g^2]`` over the sample axis.
+    """
+    if grad_samples.ndim < 2:
+        raise ShapeError("grad_samples must stack samples on axis 0")
+    return np.mean(grad_samples.astype(np.float64) ** 2, axis=0)
+
+
+def saliency_scores(weights: np.ndarray,
+                    fisher: np.ndarray | None = None) -> np.ndarray:
+    """WoodFisher-lite saliency: ``0.5 * w^2 * F_ii`` (or |w| without F).
+
+    With a Fisher diagonal available this is the pruning statistic of
+    Optimal Brain Surgeon restricted to the diagonal; without one it
+    degrades gracefully to magnitude.
+    """
+    if fisher is None:
+        return magnitude_scores(weights)
+    if fisher.shape != weights.shape:
+        raise ShapeError(
+            f"fisher shape {fisher.shape} != weights {weights.shape}")
+    return 0.5 * weights.astype(np.float64) ** 2 * fisher

@@ -1,0 +1,31 @@
+"""Shared helpers: validation, deterministic RNG, unit formatting."""
+
+from repro.utils.validation import (
+    check_divisible,
+    check_positive,
+    check_power_of_two,
+    require,
+)
+from repro.utils.rng import new_rng
+from repro.utils.units import (
+    GIB,
+    KIB,
+    MIB,
+    format_bytes,
+    format_seconds,
+    format_tflops,
+)
+
+__all__ = [
+    "check_divisible",
+    "check_positive",
+    "check_power_of_two",
+    "require",
+    "new_rng",
+    "GIB",
+    "KIB",
+    "MIB",
+    "format_bytes",
+    "format_seconds",
+    "format_tflops",
+]

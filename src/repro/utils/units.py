@@ -1,0 +1,33 @@
+"""Unit constants and human-readable formatting for reports."""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary-prefix unit."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with an appropriate SI unit."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3f} us"
+    return f"{seconds * 1e9:.1f} ns"
+
+
+def format_tflops(flops_per_second: float) -> str:
+    """Render a throughput in TFLOP/s."""
+    return f"{flops_per_second / 1e12:.2f} TFLOP/s"

@@ -1,0 +1,37 @@
+"""Small argument-validation helpers used across the library.
+
+These raise the library's own exception types so that user-facing APIs fail
+with actionable messages instead of bare ``AssertionError``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError, ShapeError
+
+
+def require(condition: bool, message: str,
+            error: type[ReproError] = ReproError) -> None:
+    """Raise ``error(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise error(message)
+
+
+def check_positive(value: int | float, name: str) -> None:
+    """Validate that a scalar parameter is strictly positive."""
+    if value <= 0:
+        raise ShapeError(f"{name} must be positive, got {value!r}")
+
+
+def check_divisible(value: int, divisor: int, name: str) -> None:
+    """Validate that ``value`` is an exact multiple of ``divisor``."""
+    check_positive(divisor, f"divisor of {name}")
+    if value % divisor != 0:
+        raise ShapeError(
+            f"{name}={value} must be divisible by {divisor}"
+        )
+
+
+def check_power_of_two(value: int, name: str) -> None:
+    """Validate that a parameter is a power of two (hardware sizes)."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ShapeError(f"{name} must be a power of two, got {value!r}")

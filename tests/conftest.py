@@ -1,0 +1,24 @@
+"""Shared fixtures for the unit/integration test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw import get_gpu
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def spec():
+    """The development platform (RTX 4070 Super)."""
+    return get_gpu("rtx4070s")
+
+
+@pytest.fixture
+def a100():
+    return get_gpu("a100")

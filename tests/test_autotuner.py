@@ -1,0 +1,108 @@
+"""Device-aware autotuner and tuning tables."""
+
+import pytest
+
+from repro.hw import get_gpu
+from repro.kernels import KERNELS, SAMOYEDS_KERNEL
+from repro.kernels.autotuner import (
+    TuningTable,
+    adapted_config,
+    clear_cache,
+    problem_bucket,
+    tune,
+)
+from repro.kernels.tiling import DEFAULT_TILING
+
+
+class TestBuckets:
+    def test_powers_of_two_are_fixed_points(self):
+        assert problem_bucket(4096, 2048, 1024) == (4096, 2048, 1024)
+
+    def test_rounding_up(self):
+        assert problem_bucket(1000, 1408, 5) == (1024, 2048, 8)
+
+
+class TestTune:
+    def test_tuned_never_worse_than_heuristic(self, spec):
+        clear_cache()
+        result = tune(SAMOYEDS_KERNEL, 2048, 2048, 2048, spec,
+                      subrow_v=32)
+        assert result.seconds <= result.heuristic_seconds * 1.0001
+        assert result.gain_over_heuristic >= 1.0
+        assert result.candidates > 0
+
+    def test_cache_hits(self, spec):
+        clear_cache()
+        first = tune(SAMOYEDS_KERNEL, 2048, 2048, 2048, spec,
+                     subrow_v=32)
+        second = tune(SAMOYEDS_KERNEL, 2048, 2048, 2048, spec,
+                      subrow_v=32)
+        assert first is second
+
+    def test_dense_kernel_tunable_too(self, spec):
+        clear_cache()
+        result = tune(KERNELS["cublas"], 1024, 1024, 1024, spec)
+        assert result.seconds > 0
+
+
+class TestAdaptation:
+    def test_a100_rule_shrinks_tiles(self, spec, a100):
+        out = adapted_config(DEFAULT_TILING, spec, a100)
+        assert out.mb < DEFAULT_TILING.mb
+        assert out.nb < DEFAULT_TILING.nb
+
+    def test_3090_rule_deepens_pipeline(self, spec):
+        r3090 = get_gpu("rtx3090")
+        out = adapted_config(DEFAULT_TILING, spec, r3090)
+        assert out.stages > DEFAULT_TILING.stages
+
+    def test_same_device_is_identity(self, spec):
+        assert adapted_config(DEFAULT_TILING, spec, spec) == \
+            DEFAULT_TILING
+
+    def test_adaptation_helps_on_a100_when_parallelism_scarce(
+            self, spec, a100):
+        """The Table-6 mechanism end to end: with 128x128 tiles a
+        512x4096x512 grid puts only 16 blocks on the A100's 108 SMs;
+        the tile-down adaptation quadruples parallelism and wins."""
+        base = SAMOYEDS_KERNEL.cost(512, 4096, 512, a100,
+                                    cfg=DEFAULT_TILING).time_s
+        adapted = SAMOYEDS_KERNEL.cost(
+            512, 4096, 512, a100,
+            cfg=adapted_config(DEFAULT_TILING, spec, a100)).time_s
+        assert adapted < base
+
+    def test_adaptation_is_a_tradeoff(self, spec, a100):
+        """...and Table 6's degraded column is real: large grids lose
+        L2 locality when tiles shrink."""
+        base = SAMOYEDS_KERNEL.cost(2048, 4096, 1024, a100,
+                                    cfg=DEFAULT_TILING).time_s
+        adapted = SAMOYEDS_KERNEL.cost(
+            2048, 4096, 1024, a100,
+            cfg=adapted_config(DEFAULT_TILING, spec, a100)).time_s
+        assert adapted > base
+
+
+class TestTuningTable:
+    def test_record_lookup_roundtrip(self):
+        table = TuningTable()
+        table.record("rtx4070s", 4096, 4096, 4096, DEFAULT_TILING)
+        assert table.lookup("rtx4070s", 4096, 4096, 4096) == \
+            DEFAULT_TILING
+        assert table.lookup("rtx4070s", 999, 999, 999) is None
+        assert len(table) == 1
+
+    def test_bucketed_lookup(self):
+        table = TuningTable()
+        table.record("a100", 4096, 4096, 4096, DEFAULT_TILING)
+        # 4000 rounds to the same bucket.
+        assert table.lookup("a100", 4000, 4000, 4000) == DEFAULT_TILING
+
+    def test_save_load(self, tmp_path):
+        table = TuningTable()
+        table.record("rtx4070s", 1024, 1024, 1024, DEFAULT_TILING)
+        path = tmp_path / "table.json"
+        table.save(path)
+        loaded = TuningTable.load(path)
+        assert loaded.lookup("rtx4070s", 1024, 1024, 1024) == \
+            DEFAULT_TILING

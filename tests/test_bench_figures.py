@@ -1,0 +1,81 @@
+"""Direct unit coverage of the fast experiment entry points.
+
+The heavyweight experiments are exercised by ``benchmarks/``; these
+tests pin the structured outputs of the cheap ones so a refactor of the
+figures module cannot silently change their shape.
+"""
+
+import pytest
+
+from repro.bench.figures import (
+    SEQ_FOR_MODEL,
+    fig02_breakdown,
+    fig11_layout,
+    fig12_kernels,
+    fig18_portability,
+    tab03_max_batch,
+    tab06_adaptation,
+)
+from repro.moe.config import MODEL_REGISTRY
+
+
+class TestFig02:
+    def test_covers_all_models_both_modes(self):
+        result = fig02_breakdown()
+        assert set(result.data) == set(MODEL_REGISTRY)
+        for entry in result.data.values():
+            assert 0.0 < entry["no_flash"] < 1.0
+            assert 0.0 < entry["flash"] < 1.0
+
+
+class TestFig11:
+    def test_series_aligned(self):
+        result = fig11_layout()
+        assert len(result.data["sparsity"]) == len(result.data["speedup"])
+
+    def test_zero_sparsity_is_unity(self):
+        result = fig11_layout()
+        assert result.data["speedup"][0] == pytest.approx(1.0)
+
+
+class TestFig12:
+    def test_small_suite_runs(self):
+        result = fig12_kernels(synthetic_count=10)
+        assert set(result.data) == {"synthetic", "realistic"}
+        for stats in result.data.values():
+            assert set(stats) == {"cublas", "sputnik", "cusparselt",
+                                  "venom"}
+
+
+class TestTab03:
+    def test_seq_table_covers_models(self):
+        assert set(SEQ_FOR_MODEL) == set(MODEL_REGISTRY)
+
+    def test_boost_definition(self):
+        result = tab03_max_batch()
+        entry = result.data["mixtral-8x7b"]
+        best = max(entry["transformers"], entry["megablocks"],
+                   entry["vllm-ds"])
+        assert entry["boost"] == pytest.approx(entry["samoyeds"] / best)
+
+
+class TestFig18:
+    def test_dev_platform_retains_everything(self):
+        result = fig18_portability(case_count=10)
+        dev = result.data["rtx4070s"]
+        assert dev["samoyeds_vs_ref"] > 1.0
+        assert "samoyeds_retained" not in dev   # baseline row
+
+    def test_retention_keys_on_targets(self):
+        result = fig18_portability(case_count=10)
+        for gpu in ("rtx3090", "rtx4090", "a100"):
+            assert "samoyeds_retained" in result.data[gpu]
+            assert "venom_retained" in result.data[gpu]
+
+
+class TestTab06:
+    def test_fraction_triplets(self):
+        result = tab06_adaptation(case_count=12)
+        for row in result.data.values():
+            assert (row["improved"] + row["unchanged"] + row["degraded"]
+                    == pytest.approx(1.0))

@@ -1,0 +1,47 @@
+"""The ``python -m repro.bench`` command-line interface."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_kernels_defaults(self):
+        args = build_parser().parse_args(["kernels"])
+        assert (args.m, args.k, args.n) == (4096, 4096, 4096)
+        assert args.gpu == "rtx4070s"
+
+    def test_unknown_gpu_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["kernels", "--gpu", "tpu-v9"])
+
+
+class TestCommands:
+    def test_kernels_command(self, capsys):
+        assert main(["kernels", "--m", "512", "--k", "512",
+                     "--n", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "samoyeds" in out and "cublas" in out
+
+    def test_roofline_command(self, capsys):
+        assert main(["roofline", "--m", "1024", "--k", "1024",
+                     "--n", "1024"]) == 0
+        assert "roofline" in capsys.readouterr().out
+
+    def test_tune_command(self, capsys):
+        assert main(["tune", "--m", "1024", "--k", "1024",
+                     "--n", "1024"]) == 0
+        assert "best config" in capsys.readouterr().out
+
+    def test_maxbatch_command(self, capsys):
+        assert main(["maxbatch", "--seq", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "mixtral-8x22b" in out
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "fig11"]) == 0
+        assert "Figure 11b" in capsys.readouterr().out

@@ -1,0 +1,102 @@
+"""Property-based tests on the performance models.
+
+These pin down invariants the analytical simulator must never violate,
+whatever the problem size: positivity, monotonicity, roofline bounds,
+ordering stability, and determinism.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import get_gpu
+from repro.kernels import DENSE_GEMM, KERNELS, SAMOYEDS_KERNEL
+
+SPEC = get_gpu("rtx4070s")
+
+dims = st.sampled_from([256, 512, 1024, 2048, 4096])
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(m=dims, k=dims, n=dims)
+    def test_all_kernels_positive_and_finite(self, m, k, n):
+        for name, kernel in KERNELS.items():
+            cost = kernel.cost(m, k, n, SPEC)
+            assert cost.time_s > 0, name
+            assert cost.dram_bytes > 0, name
+            assert cost.tflops > 0, name
+
+    @settings(max_examples=25, deadline=None)
+    @given(m=dims, k=dims, n=dims)
+    def test_samoyeds_never_slower_than_dense(self, m, k, n):
+        """At 75% weight sparsity the SSMM should never lose to the
+        dense baseline at any size in the paper's range."""
+        sam = SAMOYEDS_KERNEL.cost(m, k, n, SPEC).time_s
+        dense = DENSE_GEMM.cost(m, k, n, SPEC).time_s
+        assert sam <= dense
+
+    @settings(max_examples=25, deadline=None)
+    @given(m=dims, k=dims, n=dims)
+    def test_determinism(self, m, k, n):
+        a = SAMOYEDS_KERNEL.cost(m, k, n, SPEC).time_s
+        b = SAMOYEDS_KERNEL.cost(m, k, n, SPEC).time_s
+        assert a == b
+
+    @settings(max_examples=20, deadline=None)
+    @given(m=dims, k=dims, n=dims)
+    def test_doubling_k_costs_more(self, m, k, n):
+        base = SAMOYEDS_KERNEL.cost(m, k, n, SPEC).time_s
+        double = SAMOYEDS_KERNEL.cost(m, 2 * k, n, SPEC).time_s
+        assert double > base
+
+    @settings(max_examples=20, deadline=None)
+    @given(m=dims, k=dims, n=dims)
+    def test_effective_throughput_below_effective_roof(self, m, k, n):
+        """Effective TFLOP/s can exceed the dense roof but never the
+        pattern-adjusted sparse roof (2x sub-row skip x 2x mma.sp)."""
+        cost = SAMOYEDS_KERNEL.cost(m, k, n, SPEC)
+        roof = SPEC.sparse_tc_flops * 2.0
+        assert cost.flops / cost.time_s <= roof
+
+    @settings(max_examples=20, deadline=None)
+    @given(m=dims, k=dims, n=dims)
+    def test_dense_below_dense_roof(self, m, k, n):
+        cost = DENSE_GEMM.cost(m, k, n, SPEC)
+        assert cost.flops / cost.time_s <= SPEC.dense_tc_flops
+
+    @settings(max_examples=15, deadline=None)
+    @given(m=dims, k=dims, n=dims)
+    def test_device_scaling_sanity(self, m, k, n):
+        """A 4090 (more SMs, same architecture generation) is never
+        slower than the 4070S for the same kernel and problem."""
+        r4090 = get_gpu("rtx4090")
+        dev = SAMOYEDS_KERNEL.cost(m, k, n, SPEC).time_s
+        big = SAMOYEDS_KERNEL.cost(m, k, n, r4090).time_s
+        assert big <= dev * 1.001
+
+
+class TestLayerProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(tokens=st.sampled_from([1024, 2048, 4096, 8192]))
+    def test_layer_cost_monotone_in_tokens(self, tokens):
+        from repro.moe import ENGINES, MODEL_REGISTRY
+        cfg = MODEL_REGISTRY["mixtral-8x7b"]
+        small = ENGINES["samoyeds"].cost(cfg, tokens, SPEC,
+                                         num_shared=0).time_s
+        large = ENGINES["samoyeds"].cost(cfg, tokens * 2, SPEC,
+                                         num_shared=0).time_s
+        assert large > small
+
+    @settings(max_examples=8, deadline=None)
+    @given(tokens=st.sampled_from([2048, 4096]),
+           model=st.sampled_from(["qwen2-moe", "minicpm-moe",
+                                  "mixtral-8x7b"]))
+    def test_samoyeds_layer_always_wins(self, tokens, model):
+        from repro.moe import ENGINES, MODEL_REGISTRY
+        cfg = MODEL_REGISTRY[model]
+        sam = ENGINES["samoyeds"].cost(cfg, tokens, SPEC,
+                                       num_shared=0).time_s
+        base = ENGINES["transformers"].cost(cfg, tokens, SPEC,
+                                            num_shared=0).time_s
+        assert sam < base

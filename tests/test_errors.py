@@ -1,0 +1,40 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in ("FormatError", "PatternViolation", "ShapeError",
+                 "TilingError", "HardwareModelError", "UnsupportedOnDevice",
+                 "ConfigError", "CapacityError", "RoutingError"):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError), name
+
+
+def test_pattern_violation_is_format_error():
+    assert issubclass(errors.PatternViolation, errors.FormatError)
+
+
+def test_unsupported_is_hardware_error():
+    assert issubclass(errors.UnsupportedOnDevice,
+                      errors.HardwareModelError)
+
+
+def test_capacity_error_carries_byte_counts():
+    err = errors.CapacityError("too big", required_bytes=100,
+                               available_bytes=50)
+    assert err.required_bytes == 100
+    assert err.available_bytes == 50
+
+
+def test_capacity_error_defaults():
+    err = errors.CapacityError("boom")
+    assert err.required_bytes == 0
+    assert err.available_bytes == 0
+
+
+def test_errors_are_catchable_as_base():
+    with pytest.raises(errors.ReproError):
+        raise errors.TilingError("bad tile")

@@ -1,0 +1,67 @@
+"""Figure 10's metadata re-packing: bijectivity and transaction math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.formats import (
+    metadata_load_transactions,
+    pack_metadata_tile,
+    unpack_metadata_tile,
+)
+from repro.formats.metadata_packing import TILE, packed_coordinates
+
+
+class TestMapping:
+    def test_formula_spot_checks(self):
+        # [row, col] -> [row%8*2 + col//8, col%8 + row//8*8]
+        assert packed_coordinates(0, 0) == (0, 0)
+        assert packed_coordinates(1, 0) == (2, 0)
+        assert packed_coordinates(0, 8) == (1, 0)
+        assert packed_coordinates(8, 0) == (0, 8)
+        assert packed_coordinates(15, 15) == (15, 15)
+
+    def test_mapping_is_bijective(self):
+        rows, cols = np.meshgrid(np.arange(TILE), np.arange(TILE),
+                                 indexing="ij")
+        nr, nc = packed_coordinates(rows, cols)
+        flat = nr * TILE + nc
+        assert len(np.unique(flat)) == TILE * TILE
+
+    def test_pack_unpack_roundtrip(self, rng):
+        tile = rng.integers(0, 4, size=(TILE, TILE)).astype(np.uint8)
+        assert np.array_equal(unpack_metadata_tile(pack_metadata_tile(tile)),
+                              tile)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6))
+    def test_roundtrip_property(self, seed):
+        rng = np.random.default_rng(seed)
+        tile = rng.integers(0, 4, size=(TILE, TILE)).astype(np.uint8)
+        packed = pack_metadata_tile(tile)
+        assert np.array_equal(unpack_metadata_tile(packed), tile)
+        # Packing is a pure permutation: multiset of values preserved.
+        assert np.array_equal(np.sort(packed.ravel()),
+                              np.sort(tile.ravel()))
+
+    def test_wrong_tile_shape_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            pack_metadata_tile(rng.integers(0, 4, size=(8, 8)))
+
+
+class TestTransactions:
+    def test_packed_is_minimal(self):
+        # One 16x16 2-bit tile = 512 bits = 16 32-bit words.
+        assert metadata_load_transactions(1, packed=True) == 16
+
+    def test_unpacked_is_4x(self):
+        assert metadata_load_transactions(1, packed=False) == 64
+
+    def test_scales_with_tiles(self):
+        assert metadata_load_transactions(5, packed=True) == 80
+
+    def test_negative_rejected(self):
+        with pytest.raises(ShapeError):
+            metadata_load_transactions(-1, packed=True)

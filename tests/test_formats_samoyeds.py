@@ -1,0 +1,141 @@
+"""The Samoyeds dual-side weight format — the paper's core encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PatternViolation, ShapeError
+from repro.formats import SamoyedsPattern, SamoyedsWeight, prune_samoyeds
+from repro.formats.samoyeds import PAPER_PATTERNS, samoyeds_mask
+
+
+class TestPattern:
+    @pytest.mark.parametrize("pattern", PAPER_PATTERNS)
+    def test_paper_configs_are_75_percent(self, pattern):
+        assert pattern.sparsity == pytest.approx(0.75)
+
+    def test_density_formula(self):
+        assert SamoyedsPattern(2, 4, 32).density == pytest.approx(0.25)
+        assert SamoyedsPattern(4, 4, 32).density == pytest.approx(0.5)
+
+    def test_invalid_patterns_rejected(self):
+        with pytest.raises(PatternViolation):
+            SamoyedsPattern(3, 2, 32)     # N > M
+        with pytest.raises(PatternViolation):
+            SamoyedsPattern(1, 2, 30)     # V not multiple of 4
+        with pytest.raises(PatternViolation):
+            SamoyedsPattern(0, 2, 32)
+
+    def test_str(self):
+        assert str(SamoyedsPattern(1, 2, 32)) == "(1,2,32)"
+
+
+class TestMask:
+    @pytest.mark.parametrize("pattern", PAPER_PATTERNS)
+    def test_exact_density(self, rng, pattern):
+        w = rng.normal(size=(128, 128))
+        mask = samoyeds_mask(w, pattern)
+        assert mask.mean() == pytest.approx(pattern.density)
+
+    def test_subrow_granularity(self, rng):
+        """Within each (M-subrows x V) block exactly N sub-rows live."""
+        pattern = SamoyedsPattern(1, 2, 32)
+        w = rng.normal(size=(64, 64))
+        mask = samoyeds_mask(w, pattern)
+        blocks = mask.reshape(32, 2, 2, 32)       # (mb, M, kv, V)
+        alive = blocks.any(axis=3)                # (mb, M, kv)
+        assert np.all(alive.sum(axis=1) == 1)
+
+    def test_two_four_within_subrows(self, rng):
+        pattern = SamoyedsPattern(1, 2, 32)
+        w = rng.normal(size=(64, 64))
+        pruned = prune_samoyeds(w, pattern)
+        groups = np.count_nonzero(pruned.reshape(64, 16, 4), axis=2)
+        assert np.all(groups <= 2)
+
+    def test_misaligned_shapes_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            samoyeds_mask(rng.normal(size=(63, 64)),
+                          SamoyedsPattern(1, 2, 32))
+        with pytest.raises(ShapeError):
+            samoyeds_mask(rng.normal(size=(64, 63)),
+                          SamoyedsPattern(1, 2, 32))
+
+    def test_selection_keeps_heavier_subrow(self):
+        pattern = SamoyedsPattern(1, 2, 4)
+        w = np.zeros((2, 4))
+        w[1] = [1.0, 2.0, 3.0, 4.0]    # second sub-row dominates
+        mask = samoyeds_mask(w, pattern)
+        assert not mask[0].any()
+        assert mask[1].sum() == 2
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("pattern", PAPER_PATTERNS)
+    def test_roundtrip(self, rng, pattern):
+        w = rng.normal(size=(128, 128))
+        sw = SamoyedsWeight.from_dense(w, pattern)
+        assert np.allclose(sw.to_dense(), prune_samoyeds(w, pattern))
+
+    def test_component_shapes_match_figure7(self, rng):
+        # data (m/M*N, k/2); indices (m/M, k/V, N); metadata like data.
+        pattern = SamoyedsPattern(1, 2, 32)
+        sw = SamoyedsWeight.from_dense(rng.normal(size=(64, 128)),
+                                       pattern)
+        assert sw.data.shape == (32, 64)
+        assert sw.indices.shape == (32, 4, 1)
+        assert sw.metadata.shape == (32, 64)
+
+    def test_indices_within_block(self, rng):
+        pattern = SamoyedsPattern(4, 8, 32)
+        sw = SamoyedsWeight.from_dense(rng.normal(size=(64, 64)),
+                                       pattern)
+        assert sw.indices.max() < pattern.m
+
+    def test_indices_sorted_per_block(self, rng):
+        pattern = SamoyedsPattern(4, 8, 32)
+        sw = SamoyedsWeight.from_dense(rng.normal(size=(64, 64)),
+                                       pattern)
+        assert np.all(np.diff(sw.indices.astype(int), axis=2) > 0)
+
+    def test_matmul_equivalence(self, rng):
+        pattern = SamoyedsPattern(1, 2, 32)
+        w = rng.normal(size=(64, 128))
+        rhs = rng.normal(size=(128, 8))
+        sw = SamoyedsWeight.from_dense(w, pattern)
+        assert np.allclose(sw.matmul(rhs),
+                           prune_samoyeds(w, pattern) @ rhs)
+
+    def test_compression_ratio(self, rng):
+        sw = SamoyedsWeight.from_dense(rng.normal(size=(128, 128)))
+        # 28.125% of dense fp16 -> ratio ~3.5x (indices shave a little).
+        assert 3.0 < sw.compression_ratio < 3.6
+
+    def test_nbytes_decomposition(self, rng):
+        sw = SamoyedsWeight.from_dense(rng.normal(size=(128, 128)))
+        assert sw.nbytes() == (sw.data_nbytes() + sw.metadata_nbytes()
+                               + sw.indices_nbytes())
+
+    def test_wrong_component_shapes_rejected(self, rng):
+        sw = SamoyedsWeight.from_dense(rng.normal(size=(64, 64)))
+        with pytest.raises(ShapeError):
+            SamoyedsWeight(data=sw.data[:, :16], indices=sw.indices,
+                           metadata=sw.metadata, shape=sw.shape,
+                           pattern=sw.pattern)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6),
+           mb=st.integers(1, 4), kv=st.integers(1, 4),
+           pattern_idx=st.integers(0, len(PAPER_PATTERNS) - 1))
+    def test_roundtrip_property(self, seed, mb, kv, pattern_idx):
+        pattern = PAPER_PATTERNS[pattern_idx]
+        rng = np.random.default_rng(seed)
+        rows = mb * pattern.m
+        cols = kv * pattern.v
+        w = rng.normal(size=(rows, cols))
+        sw = SamoyedsWeight.from_dense(w, pattern)
+        decoded = sw.to_dense()
+        assert np.allclose(decoded, prune_samoyeds(w, pattern))
+        density = np.count_nonzero(decoded) / decoded.size
+        assert density <= pattern.density + 1e-9

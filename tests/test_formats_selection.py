@@ -1,0 +1,63 @@
+"""SEL column-selection input format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.formats import ColumnSelection
+
+
+class TestColumnSelection:
+    def test_gather_matches_fancy_indexing(self, rng):
+        x = rng.normal(size=(16, 32))
+        sel = np.array([3, 1, 30, 7])
+        cs = ColumnSelection(full=x, sel=sel)
+        assert np.array_equal(cs.gather(), x[:, sel])
+
+    def test_len_d_and_shape(self, rng):
+        cs = ColumnSelection(full=rng.normal(size=(16, 32)),
+                             sel=np.arange(10))
+        assert cs.len_d == 10
+        assert cs.shape == (16, 10)
+
+    def test_input_sparsity(self, rng):
+        cs = ColumnSelection(full=rng.normal(size=(16, 32)),
+                             sel=np.arange(8))
+        assert cs.input_sparsity == pytest.approx(0.75)
+
+    def test_out_of_range_sel_rejected(self, rng):
+        with pytest.raises(FormatError):
+            ColumnSelection(full=rng.normal(size=(16, 32)),
+                            sel=np.array([32]))
+        with pytest.raises(FormatError):
+            ColumnSelection(full=rng.normal(size=(16, 32)),
+                            sel=np.array([-1]))
+
+    def test_2d_sel_rejected(self, rng):
+        with pytest.raises(FormatError):
+            ColumnSelection(full=rng.normal(size=(16, 32)),
+                            sel=np.zeros((2, 2), dtype=int))
+
+    def test_from_routing(self, rng):
+        x = rng.normal(size=(16, 32))
+        cs = ColumnSelection.from_routing(x, [1, 5, 9])
+        assert cs.len_d == 3
+
+    def test_padded_len(self, rng):
+        cs = ColumnSelection(full=rng.normal(size=(4, 300)),
+                             sel=np.arange(130))
+        assert cs.padded_len(64) == 192
+        assert cs.padded_len(128) == 256
+        with pytest.raises(ShapeError):
+            cs.padded_len(0)
+
+    def test_sel_nbytes(self, rng):
+        cs = ColumnSelection(full=rng.normal(size=(4, 30)),
+                             sel=np.arange(10))
+        assert cs.sel_nbytes() == 40
+
+    def test_empty_selection(self, rng):
+        cs = ColumnSelection(full=rng.normal(size=(4, 8)),
+                             sel=np.array([], dtype=np.int64))
+        assert cs.len_d == 0
+        assert cs.gather().shape == (4, 0)

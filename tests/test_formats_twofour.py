@@ -1,0 +1,95 @@
+"""2:4 semi-structured format: pattern, encoding, equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PatternViolation, ShapeError
+from repro.formats import TwoFourMatrix, prune_two_four
+from repro.formats.twofour import two_four_mask
+
+
+class TestMask:
+    def test_exactly_two_per_group(self, rng):
+        w = rng.normal(size=(8, 32))
+        mask = two_four_mask(w)
+        groups = mask.reshape(8, 8, 4)
+        assert np.all(groups.sum(axis=2) == 2)
+
+    def test_keeps_top_magnitudes(self):
+        w = np.array([[0.1, -5.0, 3.0, 0.2]])
+        mask = two_four_mask(w)
+        assert mask.tolist() == [[False, True, True, False]]
+
+    def test_tie_break_is_stable(self):
+        w = np.array([[1.0, 1.0, 1.0, 1.0]])
+        mask = two_four_mask(w)
+        assert mask.tolist() == [[True, True, False, False]]
+
+    def test_bad_width_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            two_four_mask(rng.normal(size=(4, 6)))
+
+    def test_1d_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            two_four_mask(rng.normal(size=8))
+
+
+class TestEncoding:
+    def test_roundtrip_equals_pruned(self, rng):
+        w = rng.normal(size=(16, 64))
+        tf = TwoFourMatrix.from_dense(w)
+        assert np.allclose(tf.to_dense(), prune_two_four(w))
+
+    def test_data_shape_halves_k(self, rng):
+        tf = TwoFourMatrix.from_dense(rng.normal(size=(16, 64)))
+        assert tf.data.shape == (16, 32)
+        assert tf.metadata.shape == (16, 32)
+
+    def test_metadata_in_range(self, rng):
+        tf = TwoFourMatrix.from_dense(rng.normal(size=(16, 64)))
+        assert tf.metadata.max() < 4
+
+    def test_from_pruned_validates(self, rng):
+        dense = rng.normal(size=(4, 8))  # dense violates 2:4
+        with pytest.raises(PatternViolation):
+            TwoFourMatrix.from_pruned(dense)
+
+    def test_from_pruned_accepts_valid(self, rng):
+        pruned = prune_two_four(rng.normal(size=(4, 8)))
+        tf = TwoFourMatrix.from_pruned(pruned)
+        assert np.allclose(tf.to_dense(), pruned)
+
+    def test_matmul_matches_pruned_dense(self, rng):
+        w = rng.normal(size=(16, 64))
+        rhs = rng.normal(size=(64, 8))
+        tf = TwoFourMatrix.from_dense(w)
+        assert np.allclose(tf.matmul(rhs), prune_two_four(w) @ rhs)
+
+    def test_nbytes_compression(self, rng):
+        tf = TwoFourMatrix.from_dense(rng.normal(size=(16, 64)))
+        dense_bytes = 16 * 64 * 2
+        # Half values at fp16 + 2-bit metadata per stored value.
+        assert tf.nbytes() == dense_bytes // 2 + 16 * 32 * 2 // 8
+
+    def test_metadata_shape_mismatch_rejected(self, rng):
+        tf = TwoFourMatrix.from_dense(rng.normal(size=(8, 16)))
+        with pytest.raises(ShapeError):
+            TwoFourMatrix(data=tf.data, metadata=tf.metadata[:4],
+                          shape=(8, 16))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6),
+           m=st.integers(1, 16),
+           groups=st.integers(1, 16))
+    def test_roundtrip_property(self, seed, m, groups):
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(m, groups * 4))
+        tf = TwoFourMatrix.from_dense(w)
+        decoded = tf.to_dense()
+        assert np.allclose(decoded, prune_two_four(w))
+        # Decoded matrix satisfies the pattern it claims.
+        per_group = np.count_nonzero(
+            decoded.reshape(m, groups, 4), axis=2)
+        assert np.all(per_group <= 2)

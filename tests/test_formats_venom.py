@@ -1,0 +1,80 @@
+"""VENOM V:N:M format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PatternViolation, ShapeError
+from repro.formats import VenomMatrix, VenomPattern
+from repro.formats.venom import prune_venom, venom_mask
+
+
+class TestPattern:
+    def test_density_includes_inner_two_four(self):
+        assert VenomPattern(64, 2, 4).density == pytest.approx(0.25)
+        assert VenomPattern(64, 2, 8).density == pytest.approx(0.125)
+
+    def test_n_greater_than_m_rejected(self):
+        with pytest.raises(PatternViolation):
+            VenomPattern(64, 5, 4)
+
+    def test_str(self):
+        assert str(VenomPattern(64, 2, 4)) == "64:2:4"
+
+
+class TestMask:
+    def test_exact_sparsity(self, rng):
+        w = rng.normal(size=(128, 64))
+        mask = venom_mask(w, VenomPattern(64, 2, 4))
+        assert mask.mean() == pytest.approx(0.25)
+
+    def test_column_vector_granularity(self, rng):
+        # Within one V-panel, either a column participates (2:4-thinned)
+        # or it is entirely dead.
+        w = rng.normal(size=(64, 8))
+        pattern = VenomPattern(64, 2, 4)
+        mask = venom_mask(w, pattern)
+        col_alive = mask.any(axis=0)
+        assert col_alive.sum() == 4  # 2 of every 4 columns, 2 groups
+
+    def test_misaligned_rows_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            venom_mask(rng.normal(size=(100, 64)), VenomPattern(64, 2, 4))
+
+    def test_misaligned_cols_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            venom_mask(rng.normal(size=(64, 66)), VenomPattern(64, 2, 4))
+
+
+class TestEncoding:
+    def test_roundtrip(self, rng):
+        w = rng.normal(size=(128, 64))
+        pattern = VenomPattern(64, 2, 4)
+        vm = VenomMatrix.from_dense(w, pattern)
+        assert np.allclose(vm.to_dense(), prune_venom(w, pattern))
+
+    def test_matmul(self, rng):
+        w = rng.normal(size=(128, 64))
+        rhs = rng.normal(size=(64, 8))
+        pattern = VenomPattern(64, 2, 4)
+        vm = VenomMatrix.from_dense(w, pattern)
+        assert np.allclose(vm.matmul(rhs), prune_venom(w, pattern) @ rhs)
+
+    def test_nbytes_below_dense(self, rng):
+        w = rng.normal(size=(128, 64))
+        vm = VenomMatrix.from_dense(w, VenomPattern(64, 2, 4))
+        assert vm.nbytes() < w.size * 2
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6),
+           panels=st.integers(1, 3),
+           groups=st.sampled_from([2, 4, 6]))
+    def test_roundtrip_property(self, seed, panels, groups):
+        rng = np.random.default_rng(seed)
+        pattern = VenomPattern(64, 2, 4)
+        w = rng.normal(size=(panels * 64, groups * 4))
+        vm = VenomMatrix.from_dense(w, pattern)
+        pruned = prune_venom(w, pattern)
+        assert np.allclose(vm.to_dense(), pruned)
+        assert np.count_nonzero(pruned) <= pattern.density * w.size + 1

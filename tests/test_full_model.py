@@ -1,0 +1,78 @@
+"""Whole-model extrapolation and capacity planning."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.hw import get_gpu
+from repro.models.full_model import (
+    full_model_estimate,
+    min_devices_for_model,
+    require_fits,
+    total_params,
+)
+from repro.moe import MODEL_REGISTRY
+
+CFG = MODEL_REGISTRY["mixtral-8x7b"]
+
+
+class TestParams:
+    def test_mixtral_param_count_order(self):
+        # Mixtral-8x7B is ~47B parameters total.
+        params = total_params(CFG)
+        assert 40e9 < params < 55e9
+
+    def test_qwen_smaller_than_mixtral(self):
+        assert (total_params(MODEL_REGISTRY["qwen2-moe"])
+                < total_params(CFG))
+
+
+class TestEstimates:
+    def test_latency_scales_with_layers(self, spec):
+        est = full_model_estimate(CFG, "samoyeds", spec, batch=1,
+                                  seq_len=1024)
+        from repro.models import decoder_cost
+        layer = decoder_cost(CFG, 1024, spec, engine="samoyeds")
+        assert est.latency_s == pytest.approx(
+            layer.total_s * CFG.num_layers)
+
+    def test_samoyeds_weights_smaller(self, spec):
+        dense = full_model_estimate(CFG, "transformers", spec,
+                                    seq_len=1024)
+        sparse = full_model_estimate(CFG, "samoyeds", spec,
+                                     seq_len=1024)
+        assert sparse.weights_bytes < 0.4 * dense.weights_bytes
+
+    def test_full_mixtral_does_not_fit_12gb(self, spec):
+        est = full_model_estimate(CFG, "transformers", spec,
+                                  seq_len=1024)
+        assert not est.fits
+        with pytest.raises(CapacityError):
+            require_fits(est, spec)
+
+    def test_tokens_per_s_consistent(self, spec):
+        est = full_model_estimate(CFG, "samoyeds", spec, batch=2,
+                                  seq_len=1024)
+        assert est.tokens_per_s == pytest.approx(
+            2 * 1024 / est.latency_s)
+
+
+class TestDevicePlanning:
+    def test_samoyeds_needs_fewer_devices(self, spec):
+        dense = min_devices_for_model(CFG, "transformers", spec,
+                                      seq_len=1024)
+        sparse = min_devices_for_model(CFG, "samoyeds", spec,
+                                       seq_len=1024)
+        assert sparse < dense
+
+    def test_bigger_card_needs_fewer(self, spec, a100):
+        small = min_devices_for_model(CFG, "transformers", spec,
+                                      seq_len=1024)
+        big = min_devices_for_model(CFG, "transformers", a100,
+                                    seq_len=1024)
+        assert big <= small
+
+    def test_openmoe_on_a100(self, a100):
+        cfg = MODEL_REGISTRY["openmoe-34b"]
+        devices = min_devices_for_model(cfg, "samoyeds", a100,
+                                        seq_len=1024)
+        assert devices >= 1

@@ -1,0 +1,69 @@
+"""L2/L1 cache model behaviour."""
+
+import pytest
+
+from repro.hw.cache import (
+    effective_dram_bytes,
+    l1_thrash_factor,
+    l2_hit_fraction,
+    l2_reuse_count,
+    wave_working_set,
+)
+
+
+class TestL2:
+    def test_no_reuse_no_hits(self):
+        out = l2_hit_fraction(1024, 1 << 20, reuse_count=1.0)
+        assert out.hit_fraction == 0.0
+
+    def test_fitting_set_reaches_ideal(self):
+        out = l2_hit_fraction(1024, 1 << 20, reuse_count=4.0)
+        assert out.fits
+        assert out.hit_fraction == pytest.approx(0.75)
+
+    def test_overflow_decays(self):
+        small = l2_hit_fraction(2 << 20, 1 << 20, reuse_count=4.0)
+        assert not small.fits
+        assert small.hit_fraction == pytest.approx(0.75 * 0.5)
+
+    def test_hit_fraction_monotone_in_reuse(self):
+        hits = [l2_hit_fraction(1024, 1 << 20, r).hit_fraction
+                for r in (1.0, 2.0, 4.0, 8.0)]
+        assert hits == sorted(hits)
+
+    def test_effective_bytes(self):
+        assert effective_dram_bytes(1000, 0.75) == pytest.approx(250)
+        assert effective_dram_bytes(1000, 0.0) == 1000
+        assert effective_dram_bytes(1000, 1.5) == 0.0  # clamped
+
+
+class TestL1Thrash:
+    def test_below_threshold_is_clean(self):
+        assert l1_thrash_factor(8) == 1.0
+        assert l1_thrash_factor(24) == 1.0
+
+    def test_above_threshold_grows(self):
+        assert l1_thrash_factor(32) > 1.0
+
+    def test_saturates_at_two(self):
+        assert l1_thrash_factor(1000) == 2.0
+
+    def test_monotone(self):
+        values = [l1_thrash_factor(w) for w in range(0, 64, 8)]
+        assert values == sorted(values)
+
+
+class TestWaveGeometry:
+    def test_working_set_zero_blocks(self):
+        assert wave_working_set(100, 100, 0, 8) == 0.0
+
+    def test_working_set_grows_with_blocks(self):
+        small = wave_working_set(1000, 1000, 8, 8)
+        large = wave_working_set(1000, 1000, 64, 8)
+        assert large > small
+
+    def test_reuse_count_single_block(self):
+        assert l2_reuse_count(1, 8) == 1.0
+
+    def test_reuse_count_grows_with_wave(self):
+        assert l2_reuse_count(64, 8) > l2_reuse_count(8, 8)

@@ -1,0 +1,78 @@
+"""DRAM transaction and shared-memory bank models."""
+
+import pytest
+
+from repro.hw.memory import (
+    AccessPattern,
+    coalescing_efficiency,
+    dram_bytes,
+    dram_transactions,
+    gather_bytes,
+    io_amplification,
+    smem_bank_conflict_ways,
+    smem_load_cycles,
+)
+
+
+class TestDramTransactions:
+    def test_aligned_rows_are_exact(self, spec):
+        # 64-byte rows = 2 x 32-byte sectors each.
+        p = AccessPattern(rows=4, row_bytes=64)
+        assert dram_transactions(p, spec) == 8
+        assert dram_bytes(p, spec) == 256
+
+    def test_small_rows_round_up(self, spec):
+        p = AccessPattern(rows=10, row_bytes=2)
+        assert dram_transactions(p, spec) == 10
+        assert dram_bytes(p, spec) == 10 * 32
+
+    def test_contiguous_packs_tight(self, spec):
+        scattered = AccessPattern(rows=16, row_bytes=2)
+        packed = AccessPattern(rows=16, row_bytes=2, contiguous=True)
+        assert dram_bytes(packed, spec) < dram_bytes(scattered, spec)
+
+    def test_coalescing_efficiency_bounds(self, spec):
+        perfect = AccessPattern(rows=1, row_bytes=128)
+        poor = AccessPattern(rows=64, row_bytes=2)
+        assert coalescing_efficiency(perfect, spec) == 1.0
+        assert coalescing_efficiency(poor, spec) == pytest.approx(2 / 32)
+
+    def test_zero_rows_rejected(self, spec):
+        with pytest.raises(Exception):
+            dram_transactions(AccessPattern(rows=0, row_bytes=8), spec)
+
+
+class TestAmplification:
+    def test_io_amplification_floor(self):
+        assert io_amplification(100, 50) == 1.0
+        assert io_amplification(100, 250) == 2.5
+        assert io_amplification(0, 50) == 1.0
+
+    def test_gather_is_one_sector_per_element(self, spec):
+        assert gather_bytes(10, 2, spec) == 10 * 32
+        assert gather_bytes(0, 2, spec) == 0
+
+
+class TestSmemBanks:
+    def test_unit_stride_is_conflict_free(self, spec):
+        assert smem_bank_conflict_ways(1, spec) == 1
+
+    def test_stride_32_is_fully_serialised(self, spec):
+        assert smem_bank_conflict_ways(32, spec) == 32
+
+    @pytest.mark.parametrize("stride,ways", [(2, 2), (4, 4), (8, 8),
+                                             (16, 16), (3, 1), (5, 1)])
+    def test_gcd_rule(self, spec, stride, ways):
+        assert smem_bank_conflict_ways(stride, spec) == ways
+
+    def test_broadcast_degenerate(self, spec):
+        assert smem_bank_conflict_ways(0, spec) == 32
+
+    def test_load_cycles_scale_with_conflicts(self, spec):
+        clean = smem_load_cycles(4096, 1, spec)
+        dirty = smem_load_cycles(4096, 4, spec)
+        assert dirty == pytest.approx(4 * clean)
+
+    def test_load_cycles_scale_with_bytes(self, spec):
+        assert smem_load_cycles(8192, 1, spec) >= \
+            2 * smem_load_cycles(4096, 1, spec) - 1

@@ -1,0 +1,80 @@
+"""Occupancy calculator and launch-shape effects."""
+
+import pytest
+
+from repro.errors import TilingError
+from repro.hw.occupancy import (
+    BlockResources,
+    compute_occupancy,
+    parallel_efficiency,
+    wave_quantization,
+)
+
+
+class TestBlockResources:
+    def test_rejects_zero_warps(self):
+        with pytest.raises(Exception):
+            BlockResources(warps=0, smem_bytes=0)
+
+    def test_rejects_negative_smem(self):
+        with pytest.raises(TilingError):
+            BlockResources(warps=4, smem_bytes=-1)
+
+
+class TestOccupancy:
+    def test_small_block_hits_block_limit(self, spec):
+        res = BlockResources(warps=1, smem_bytes=0,
+                             registers_per_thread=16)
+        occ = compute_occupancy(res, spec)
+        assert occ.limiter in ("blocks", "registers")
+        assert occ.blocks_per_sm >= 1
+
+    def test_smem_limits(self, spec):
+        res = BlockResources(warps=4, smem_bytes=60 * 1024)
+        occ = compute_occupancy(res, spec)
+        assert occ.limiter == "smem"
+        assert occ.blocks_per_sm == 1
+
+    def test_warp_limit(self, spec):
+        res = BlockResources(warps=16, smem_bytes=1024,
+                             registers_per_thread=32)
+        occ = compute_occupancy(res, spec)
+        assert occ.blocks_per_sm <= spec.max_warps_per_sm // 16
+
+    def test_oversized_block_raises(self, spec):
+        res = BlockResources(warps=4, smem_bytes=10 * 1024 * 1024)
+        with pytest.raises(TilingError):
+            compute_occupancy(res, spec)
+
+    def test_occupancy_fraction_bounds(self, spec):
+        res = BlockResources(warps=4, smem_bytes=32 * 1024)
+        occ = compute_occupancy(res, spec)
+        assert 0.0 < occ.occupancy <= 1.0
+
+
+class TestParallelEfficiency:
+    def test_saturates_at_one(self, spec):
+        assert parallel_efficiency(10 ** 6, spec) == 1.0
+
+    def test_scales_linearly_below(self, spec):
+        half = parallel_efficiency(spec.sm_count * 6, spec,
+                                   warps_for_peak_per_sm=12)
+        assert half == pytest.approx(0.5)
+
+    def test_floor_is_positive(self, spec):
+        assert parallel_efficiency(0, spec) > 0.0
+
+
+class TestWaveQuantization:
+    def test_exact_fill_is_one(self, spec):
+        assert wave_quantization(spec.sm_count * 2, 2, spec) == 1.0
+
+    def test_one_extra_block_pays_a_wave(self, spec):
+        factor = wave_quantization(spec.sm_count + 1, 1, spec)
+        assert factor == pytest.approx(
+            2 / ((spec.sm_count + 1) / spec.sm_count))
+
+    def test_large_grids_amortise(self, spec):
+        small = wave_quantization(spec.sm_count + 1, 1, spec)
+        big = wave_quantization(spec.sm_count * 50 + 1, 1, spec)
+        assert big < small

@@ -1,0 +1,57 @@
+"""Software-pipeline timing model."""
+
+import pytest
+
+from repro.errors import TilingError
+from repro.hw import get_gpu
+from repro.hw.pipeline import PipelineModel
+
+
+class TestLoopTime:
+    def test_zero_iters_is_free(self, spec):
+        assert PipelineModel(3).loop_time(0, 1e-6, 1e-6, spec) == 0.0
+
+    def test_single_stage_serialises(self, spec):
+        t = PipelineModel(1).loop_time(10, 2e-6, 3e-6, spec)
+        assert t == pytest.approx(10 * 5e-6)
+
+    def test_overlap_bounded_by_slower_stage(self, spec):
+        t = PipelineModel(3).loop_time(100, 2e-6, 3e-6, spec)
+        # Lower bound: steady state of the slower stage.
+        assert t >= 100 * 3e-6
+        # Upper bound: fully serial execution.
+        assert t < 100 * 5e-6
+
+    def test_no_async_copy_means_no_overlap(self):
+        mi300 = get_gpu("mi300")
+        t = PipelineModel(3).loop_time(10, 2e-6, 3e-6, mi300)
+        assert t == pytest.approx(10 * 5e-6)
+
+    def test_deeper_pipeline_not_slower_when_imbalanced(self, spec):
+        shallow = PipelineModel(2).loop_time(100, 5e-6, 1e-6, spec)
+        deep = PipelineModel(4).loop_time(100, 5e-6, 1e-6, spec)
+        assert deep <= shallow * 1.01
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(TilingError):
+            PipelineModel(0)
+
+
+class TestFootprintAndStalls:
+    def test_smem_footprint(self):
+        assert PipelineModel(3).smem_footprint(1000) == 3000
+
+    def test_stall_fraction_balanced(self, spec):
+        assert PipelineModel(3).stall_fraction(1e-6, 1e-6, spec) == 0.0
+
+    def test_stall_fraction_memory_bound(self, spec):
+        frac = PipelineModel(3).stall_fraction(3e-6, 1e-6, spec)
+        assert frac == pytest.approx(2 / 3)
+
+    def test_stall_fraction_compute_bound(self, spec):
+        assert PipelineModel(3).stall_fraction(1e-6, 3e-6, spec) == 0.0
+
+    def test_stall_fraction_no_async(self):
+        mi300 = get_gpu("mi300")
+        frac = PipelineModel(3).stall_fraction(1e-6, 3e-6, mi300)
+        assert frac == pytest.approx(0.25)

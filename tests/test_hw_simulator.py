@@ -1,0 +1,107 @@
+"""Kernel-launch simulator: sanity and monotonicity properties."""
+
+import pytest
+
+from repro.hw.occupancy import BlockResources
+from repro.hw.simulator import CostBreakdown, KernelLaunch, combine, \
+    simulate_kernel
+
+
+def _launch(**overrides):
+    base = dict(
+        name="test",
+        grid_blocks=512,
+        grid_n=16,
+        block=BlockResources(warps=4, smem_bytes=32 * 1024),
+        iters_per_block=64,
+        compute_cycles_per_iter=512.0,
+        smem_cycles_per_iter=128.0,
+        dram_bytes_per_iter=8192.0,
+        a_stripe_bytes=32 * 1024.0,
+        b_stripe_bytes=32 * 1024.0,
+        epilogue_bytes=16 * 1024.0,
+    )
+    base.update(overrides)
+    return KernelLaunch(**base)
+
+
+class TestLaunchValidation:
+    def test_zero_grid_rejected(self):
+        with pytest.raises(Exception):
+            _launch(grid_blocks=0)
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            _launch(efficiency=0.0)
+        with pytest.raises(ValueError):
+            _launch(efficiency=1.5)
+
+
+class TestSimulation:
+    def test_time_positive(self, spec):
+        out = simulate_kernel(_launch(), spec, flops=1e9)
+        assert out.time_s > 0
+        assert out.tflops > 0
+
+    def test_more_iters_cost_more(self, spec):
+        fast = simulate_kernel(_launch(iters_per_block=32), spec)
+        slow = simulate_kernel(_launch(iters_per_block=128), spec)
+        assert slow.time_s > fast.time_s
+
+    def test_more_blocks_cost_more(self, spec):
+        fast = simulate_kernel(_launch(grid_blocks=128), spec)
+        slow = simulate_kernel(_launch(grid_blocks=4096), spec)
+        assert slow.time_s > fast.time_s
+
+    def test_lower_efficiency_is_slower(self, spec):
+        good = simulate_kernel(_launch(efficiency=1.0), spec)
+        bad = simulate_kernel(_launch(efficiency=0.5), spec)
+        assert bad.time_s > good.time_s
+
+    def test_heavier_traffic_is_not_faster(self, spec):
+        light = simulate_kernel(_launch(dram_bytes_per_iter=1024), spec)
+        heavy = simulate_kernel(
+            _launch(dram_bytes_per_iter=1024 * 256), spec)
+        assert heavy.time_s >= light.time_s
+
+    def test_faster_gpu_wins(self, spec, a100):
+        launch = _launch()
+        dev = simulate_kernel(launch, spec)
+        big = simulate_kernel(launch, a100)
+        assert big.time_s < dev.time_s
+
+    def test_detail_keys(self, spec):
+        out = simulate_kernel(_launch(), spec)
+        for key in ("blocks_per_sm", "concurrent_blocks",
+                    "issue_efficiency", "l1_thrash"):
+            assert key in out.detail
+
+    def test_speedup_over(self, spec):
+        a = simulate_kernel(_launch(iters_per_block=32), spec)
+        b = simulate_kernel(_launch(iters_per_block=64), spec)
+        assert a.speedup_over(b) > 1.0
+        assert b.speedup_over(a) < 1.0
+
+    def test_waves_reflect_grid(self, spec):
+        small = simulate_kernel(_launch(grid_blocks=8), spec)
+        huge = simulate_kernel(_launch(grid_blocks=8192), spec)
+        assert small.waves == 1
+        assert huge.waves > 1
+
+
+class TestCombine:
+    def test_combine_sums_time(self, spec):
+        parts = [simulate_kernel(_launch(), spec, flops=1e9)
+                 for _ in range(3)]
+        total = combine("agg", parts)
+        assert total.time_s == pytest.approx(
+            sum(p.time_s for p in parts))
+        assert total.flops == pytest.approx(3e9)
+
+    def test_combine_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine("agg", [])
+
+    def test_combine_is_cost_breakdown(self, spec):
+        total = combine("agg", [simulate_kernel(_launch(), spec)])
+        assert isinstance(total, CostBreakdown)

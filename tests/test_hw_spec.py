@@ -1,0 +1,80 @@
+"""GPU spec registry and derived quantities."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw import GPUSpec, get_gpu, list_gpus, register_gpu
+from repro.hw.spec import AMD_W7900, RTX_4070_SUPER
+
+
+class TestRegistry:
+    def test_paper_devices_present(self):
+        names = list_gpus()
+        for dev in ("rtx4070s", "rtx3090", "rtx4090", "a100", "h100",
+                    "mi300", "w7900"):
+            assert dev in names
+
+    def test_get_unknown_raises_with_suggestions(self):
+        with pytest.raises(HardwareModelError, match="rtx4070s"):
+            get_gpu("gtx1080")
+
+    def test_register_roundtrip(self):
+        spec = RTX_4070_SUPER.with_overrides(name="test-gpu")
+        register_gpu(spec)
+        assert get_gpu("test-gpu") == spec
+
+
+class TestDerived:
+    def test_dense_flops_matches_datasheet_order(self):
+        # 4070 Super: ~142 TFLOPS dense fp16.
+        spec = get_gpu("rtx4070s")
+        assert 120e12 < spec.dense_tc_flops < 165e12
+
+    def test_sparse_doubles_dense(self):
+        spec = get_gpu("rtx4070s")
+        assert spec.sparse_tc_flops == pytest.approx(
+            2.0 * spec.dense_tc_flops)
+
+    def test_a100_flops(self):
+        spec = get_gpu("a100")
+        assert 290e12 < spec.dense_tc_flops < 330e12
+
+    def test_sparse_flops_requires_sparse_alu(self):
+        with pytest.raises(HardwareModelError):
+            _ = AMD_W7900.sparse_tc_flops
+
+    def test_flops_per_byte_ordering(self):
+        # A100 is relatively more memory-rich than the 4070S (§6.6).
+        assert (get_gpu("a100").flops_per_byte
+                < get_gpu("rtx4070s").flops_per_byte)
+
+    def test_with_overrides_does_not_mutate(self):
+        spec = get_gpu("rtx4070s")
+        other = spec.with_overrides(sm_count=1)
+        assert other.sm_count == 1
+        assert spec.sm_count != 1
+
+    def test_cuda_core_flops_positive(self):
+        for name in list_gpus():
+            assert get_gpu(name).cuda_core_flops > 0
+
+
+class TestTable1Features:
+    """Table 1's hardware-support matrix."""
+
+    @pytest.mark.parametrize("name", ["rtx4070s", "rtx4090", "a100",
+                                      "h100"])
+    def test_nvidia_has_everything(self, name):
+        spec = get_gpu(name)
+        assert spec.has_sparse_alu
+        assert spec.has_async_copy
+        assert spec.has_collective_ldst
+
+    def test_mi300_sparse_but_no_async(self):
+        spec = get_gpu("mi300")
+        assert spec.has_sparse_alu
+        assert not spec.has_async_copy
+        assert not spec.has_collective_ldst
+
+    def test_w7900_lacks_sparse_alu(self):
+        assert not get_gpu("w7900").has_sparse_alu

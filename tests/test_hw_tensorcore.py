@@ -1,0 +1,76 @@
+"""MMA instruction shapes and issue-cost model."""
+
+import pytest
+
+from repro.errors import HardwareModelError, TilingError
+from repro.hw import MMA_DENSE_SHAPES, MMA_SP_SHAPES
+from repro.hw.spec import AMD_W7900
+from repro.hw.tensorcore import (
+    BASELINE_MMA,
+    SAMOYEDS_MMA,
+    instructions_per_warp_tile,
+    mma_cycles,
+    require_sparse_alu,
+)
+
+
+class TestShapes:
+    def test_samoyeds_shape_is_m16n8k32_sparse(self):
+        assert (SAMOYEDS_MMA.m, SAMOYEDS_MMA.n, SAMOYEDS_MMA.k) == \
+            (16, 8, 32)
+        assert SAMOYEDS_MMA.sparse
+        assert SAMOYEDS_MMA.name == "mma.sp.m16n8k32"
+
+    def test_flops_counts_skipped_zeros(self):
+        assert SAMOYEDS_MMA.flops == 2 * 16 * 8 * 32
+
+    def test_sparse_a_fragment_is_half(self):
+        dense_bytes = 16 * 32 * 2
+        assert SAMOYEDS_MMA.a_fragment_bytes == dense_bytes // 2
+
+    def test_dense_has_no_metadata(self):
+        assert BASELINE_MMA.metadata_bytes == 0
+
+    def test_sparse_metadata_is_two_bits_per_value(self):
+        # 16 x 16 stored values x 2 bits = 64 bytes.
+        assert SAMOYEDS_MMA.metadata_bytes == 16 * 16 * 2 // 8
+
+    def test_shape_tables_are_consistent(self):
+        assert all(s.sparse for s in MMA_SP_SHAPES)
+        assert all(not s.sparse for s in MMA_DENSE_SHAPES)
+
+
+class TestDecomposition:
+    def test_exact_decomposition(self):
+        count = instructions_per_warp_tile(64, 64, 32, SAMOYEDS_MMA)
+        assert count == (64 // 16) * (64 // 8) * (32 // 32)
+
+    @pytest.mark.parametrize("mw,nw,kb", [(60, 64, 32), (64, 60, 32),
+                                          (64, 64, 48)])
+    def test_ragged_tiles_rejected(self, mw, nw, kb):
+        with pytest.raises(TilingError):
+            instructions_per_warp_tile(mw, nw, kb, SAMOYEDS_MMA)
+
+
+class TestCycles:
+    def test_sparse_issue_is_twice_as_fast(self, spec):
+        dense = mma_cycles(10, BASELINE_MMA, spec)
+        sparse = mma_cycles(10, SAMOYEDS_MMA, spec)
+        # Same flops/instruction ratio: m16n8k32 has 2x the flops of
+        # m16n8k16 but runs on the doubled sparse rate -> equal cycles.
+        assert sparse == pytest.approx(dense)
+
+    def test_cycles_scale_linearly(self, spec):
+        assert mma_cycles(20, SAMOYEDS_MMA, spec) == pytest.approx(
+            2 * mma_cycles(10, SAMOYEDS_MMA, spec))
+
+    def test_sparse_requires_sparse_alu(self):
+        with pytest.raises(HardwareModelError):
+            mma_cycles(1, SAMOYEDS_MMA, AMD_W7900)
+
+    def test_require_sparse_alu_passes_on_nvidia(self, spec):
+        require_sparse_alu(spec)
+
+    def test_require_sparse_alu_fails_on_w7900(self):
+        with pytest.raises(HardwareModelError, match="W7900|w7900"):
+            require_sparse_alu(AMD_W7900)

@@ -1,0 +1,140 @@
+"""Kernel cost models: ordering, monotonicity, device constraints."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw import get_gpu
+from repro.kernels import (
+    CUSPARSELT,
+    DENSE_GEMM,
+    KERNELS,
+    SAMOYEDS_KERNEL,
+    SPUTNIK,
+    VENOM,
+)
+
+SIZE = (4096, 4096, 4096)
+
+
+class TestOrdering:
+    """The paper's Figure 12 ordering at a compute-heavy size."""
+
+    def test_samoyeds_beats_all_baselines(self, spec):
+        sam = SAMOYEDS_KERNEL.cost(*SIZE, spec).time_s
+        for name, kernel in KERNELS.items():
+            if name == "samoyeds":
+                continue
+            assert kernel.cost(*SIZE, spec).time_s > sam, name
+
+    def test_venom_is_closest_baseline(self, spec):
+        times = {name: k.cost(*SIZE, spec).time_s
+                 for name, k in KERNELS.items()}
+        baselines = {k: v for k, v in times.items() if k != "samoyeds"}
+        assert min(baselines, key=baselines.get) == "venom"
+
+    def test_sputnik_is_slowest(self, spec):
+        times = {name: k.cost(*SIZE, spec).time_s
+                 for name, k in KERNELS.items()}
+        assert max(times, key=times.get) == "sputnik"
+
+    def test_speedup_bands(self, spec):
+        """Paper bands (shape, not exact): venom ~2x, sputnik >>10x."""
+        sam = SAMOYEDS_KERNEL.cost(*SIZE, spec).time_s
+        venom = VENOM.cost(*SIZE, spec).time_s
+        sputnik = SPUTNIK.cost(*SIZE, spec).time_s
+        cublas = DENSE_GEMM.cost(*SIZE, spec).time_s
+        assert 1.3 < venom / sam < 3.0
+        assert sputnik / sam > 10.0
+        assert 2.0 < cublas / sam < 6.0
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("kernel_name", list(KERNELS))
+    def test_bigger_problems_cost_more(self, spec, kernel_name):
+        kernel = KERNELS[kernel_name]
+        small = kernel.cost(1024, 1024, 1024, spec).time_s
+        large = kernel.cost(4096, 4096, 4096, spec).time_s
+        assert large > small
+
+    @pytest.mark.parametrize("dim", [0, 1, 2])
+    def test_monotone_in_each_dim(self, spec, dim):
+        base = [2048, 2048, 2048]
+        grown = list(base)
+        grown[dim] *= 4
+        t0 = SAMOYEDS_KERNEL.cost(*base, spec).time_s
+        t1 = SAMOYEDS_KERNEL.cost(*grown, spec).time_s
+        assert t1 > t0
+
+    def test_throughput_rises_with_size(self, spec):
+        """Figure 13's rising edge."""
+        small = SAMOYEDS_KERNEL.cost(256, 4096, 4096, spec)
+        large = SAMOYEDS_KERNEL.cost(8192, 4096, 4096, spec)
+        assert large.tflops > small.tflops
+
+
+class TestDeviceConstraints:
+    def test_sparse_kernels_require_sparse_alu(self):
+        w7900 = get_gpu("w7900")
+        for kernel in (SAMOYEDS_KERNEL, CUSPARSELT):
+            with pytest.raises(HardwareModelError):
+                kernel.cost(1024, 1024, 1024, w7900)
+
+    def test_dense_kernel_runs_anywhere(self):
+        w7900 = get_gpu("w7900")
+        assert DENSE_GEMM.cost(1024, 1024, 1024, w7900).time_s > 0
+
+    def test_mi300_runs_but_without_overlap(self, spec):
+        """Table 1: MI300 has the sparse ALU but no cp.async."""
+        mi300 = get_gpu("mi300")
+        out = SAMOYEDS_KERNEL.cost(2048, 2048, 2048, mi300)
+        assert out.time_s > 0
+
+    def test_faster_device_is_faster(self, spec, a100):
+        t_dev = SAMOYEDS_KERNEL.cost(*SIZE, spec).time_s
+        t_a100 = SAMOYEDS_KERNEL.cost(*SIZE, a100).time_s
+        assert t_a100 < t_dev
+
+
+class TestCostReports:
+    def test_flops_reported_effectively(self, spec):
+        out = SAMOYEDS_KERNEL.cost(1024, 1024, 1024, spec)
+        assert out.flops == pytest.approx(2 * 1024 ** 3)
+
+    def test_breakdown_components_positive(self, spec):
+        out = SAMOYEDS_KERNEL.cost(*SIZE, spec)
+        assert out.compute_time_s > 0
+        assert out.memory_time_s > 0
+        assert out.dram_bytes > 0
+        assert 0.0 <= out.l2_hit_fraction < 1.0
+
+    def test_cusparselt_pads_to_quantum(self, spec):
+        # Padded problem must not be cheaper than the aligned one.
+        aligned = CUSPARSELT.cost(1024, 1024, 1024, spec).time_s
+        ragged = CUSPARSELT.cost(1000, 1024, 1000, spec).time_s
+        assert ragged >= aligned * 0.999
+
+    def test_samoyeds_dram_below_dense(self, spec):
+        sam = SAMOYEDS_KERNEL.cost(*SIZE, spec)
+        dense = DENSE_GEMM.cost(*SIZE, spec)
+        assert sam.dram_bytes < dense.dram_bytes
+
+
+class TestPortingFactors:
+    def test_native_is_unity(self, spec):
+        assert SAMOYEDS_KERNEL.porting_factor(spec, spec) == 1.0
+        assert VENOM.porting_factor(spec, spec) == 1.0
+
+    def test_vendor_kernels_retune(self, spec, a100):
+        assert DENSE_GEMM.porting_factor(spec, a100) == 1.0
+        assert CUSPARSELT.porting_factor(spec, a100) == 1.0
+
+    def test_venom_collapses_harder_than_samoyeds(self, spec, a100):
+        assert (VENOM.porting_factor(spec, a100)
+                < SAMOYEDS_KERNEL.porting_factor(spec, a100))
+
+    def test_factors_bounded(self, spec):
+        for target_name in ("rtx3090", "rtx4090", "a100", "h100"):
+            target = get_gpu(target_name)
+            for kernel in (SAMOYEDS_KERNEL, VENOM):
+                factor = kernel.porting_factor(spec, target)
+                assert 0.0 < factor <= 1.0

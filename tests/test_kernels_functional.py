@@ -1,0 +1,123 @@
+"""Functional equivalence of every kernel against the dense reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.formats import (
+    ColumnSelection,
+    CsrMatrix,
+    SamoyedsPattern,
+    SamoyedsWeight,
+    TwoFourMatrix,
+    VenomMatrix,
+    VenomPattern,
+    prune_samoyeds,
+    prune_two_four,
+)
+from repro.formats.venom import prune_venom
+from repro.kernels import (
+    cusparselt_spmm,
+    dense_gemm,
+    samoyeds_ssmm,
+    samoyeds_ssmm_tiled,
+    sputnik_spmm,
+    venom_spmm,
+)
+
+
+class TestDense:
+    def test_matches_numpy(self, rng):
+        a, b = rng.normal(size=(8, 16)), rng.normal(size=(16, 4))
+        assert np.allclose(dense_gemm(a, b), a @ b)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            dense_gemm(rng.normal(size=(8, 16)), rng.normal(size=(8, 4)))
+
+
+class TestBaselines:
+    def test_cusparselt_equals_pruned_dense(self, rng):
+        w = rng.normal(size=(16, 64))
+        b = rng.normal(size=(64, 8))
+        tf = TwoFourMatrix.from_dense(w)
+        assert np.allclose(cusparselt_spmm(tf, b),
+                           prune_two_four(w) @ b)
+
+    def test_sputnik_equals_sparse_dense(self, rng):
+        w = rng.normal(size=(16, 64))
+        w[rng.random(size=w.shape) > 0.25] = 0.0
+        b = rng.normal(size=(64, 8))
+        assert np.allclose(sputnik_spmm(CsrMatrix.from_dense(w), b),
+                           w @ b)
+
+    def test_venom_equals_pruned_dense(self, rng):
+        pattern = VenomPattern(64, 2, 4)
+        w = rng.normal(size=(128, 64))
+        b = rng.normal(size=(64, 8))
+        vm = VenomMatrix.from_dense(w, pattern)
+        assert np.allclose(venom_spmm(vm, b),
+                           prune_venom(w, pattern) @ b)
+
+
+class TestSamoyedsSsmm:
+    def _setup(self, rng, m=64, k=128, n_full=96, len_d=40,
+               pattern=SamoyedsPattern(1, 2, 32)):
+        w = rng.normal(size=(m, k))
+        x = rng.normal(size=(k, n_full))
+        sel = np.sort(rng.choice(n_full, size=len_d, replace=False))
+        sw = SamoyedsWeight.from_dense(w, pattern)
+        cs = ColumnSelection(full=x, sel=sel)
+        ref = prune_samoyeds(w, pattern) @ x[:, sel]
+        return sw, cs, ref
+
+    def test_compressed_output(self, rng):
+        sw, cs, ref = self._setup(rng)
+        assert np.allclose(samoyeds_ssmm(sw, cs), ref)
+
+    def test_scattered_output(self, rng):
+        sw, cs, ref = self._setup(rng)
+        out = samoyeds_ssmm(sw, cs, compressed_output=False)
+        assert out.shape == (64, 96)
+        assert np.allclose(out[:, cs.sel], ref)
+        dead = np.setdiff1d(np.arange(96), cs.sel)
+        assert np.all(out[:, dead] == 0)
+
+    def test_tiled_matches_reference(self, rng):
+        sw, cs, ref = self._setup(rng)
+        assert np.allclose(samoyeds_ssmm_tiled(sw, cs), ref)
+
+    @pytest.mark.parametrize("kb", [8, 16, 32])
+    def test_tiled_kb_invariance(self, rng, kb):
+        sw, cs, ref = self._setup(rng)
+        assert np.allclose(samoyeds_ssmm_tiled(sw, cs, kb=kb), ref)
+
+    def test_tiled_rejects_non_dividing_kb(self, rng):
+        sw, cs, _ = self._setup(rng)
+        with pytest.raises(ShapeError):
+            samoyeds_ssmm_tiled(sw, cs, kb=24)
+
+    def test_k_mismatch_rejected(self, rng):
+        sw, _, _ = self._setup(rng)
+        bad = ColumnSelection(full=rng.normal(size=(64, 96)),
+                              sel=np.arange(4))
+        with pytest.raises(ShapeError):
+            samoyeds_ssmm(sw, bad)
+
+    @pytest.mark.parametrize("pattern", [SamoyedsPattern(1, 2, 16),
+                                         SamoyedsPattern(4, 8, 32),
+                                         SamoyedsPattern(8, 16, 32)])
+    def test_all_paper_patterns(self, rng, pattern):
+        sw, cs, ref = self._setup(rng, pattern=pattern)
+        assert np.allclose(samoyeds_ssmm(sw, cs), ref)
+        assert np.allclose(samoyeds_ssmm_tiled(sw, cs), ref)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6),
+           len_d=st.integers(1, 96))
+    def test_ssmm_property(self, seed, len_d):
+        rng = np.random.default_rng(seed)
+        sw, cs, ref = self._setup(rng, len_d=len_d)
+        assert np.allclose(samoyeds_ssmm(sw, cs), ref)

@@ -1,0 +1,149 @@
+"""The §4.2-4.5 optimisation modules and their ablation effects."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TilingError
+from repro.kernels import (
+    SAMOYEDS_KERNEL,
+    LayoutPlan,
+    PackingPlan,
+    SamoyedsFeatures,
+    SamoyedsKernel,
+    layout_speedup,
+    local_memory_spill_cost,
+    stationary_register_cost,
+)
+from repro.kernels.fusion import (
+    FusionPlan,
+    fused_weighted_accumulate,
+    unfused_extra_seconds,
+)
+from repro.kernels.layout import extra_layout_passes_seconds, output_bytes
+from repro.kernels.packing import (
+    a_smem_conflict_ways,
+    b_tile_dram_bytes,
+    metadata_tile_bytes,
+)
+from repro.kernels.stationary import fusion_savings_bytes, shuffle_interval
+
+SIZE = (4096, 4096, 4096)
+
+
+class TestStationary:
+    def test_shuffle_interval(self):
+        assert shuffle_interval(32, 32) == 1
+        assert shuffle_interval(64, 16) == 4
+        with pytest.raises(TilingError):
+            shuffle_interval(48, 32)
+
+    def test_register_cost_cheaper_than_spill(self):
+        reg = stationary_register_cost(128, 128, 32, 32)
+        spill = local_memory_spill_cost(128, 128, 32, 32)
+        assert reg.extra_smem_cycles < spill.extra_smem_cycles
+
+    def test_costs_amortise_over_interval(self):
+        frequent = stationary_register_cost(128, 128, 32, 32)
+        rare = stationary_register_cost(128, 128, 128, 32)
+        assert rare.extra_smem_cycles < frequent.extra_smem_cycles
+
+    def test_kernel_with_stationary_is_faster(self, spec):
+        on = SamoyedsKernel(features=SamoyedsFeatures())
+        off = SamoyedsKernel(
+            features=SamoyedsFeatures().without("stationary"))
+        assert (on.cost(*SIZE, spec).time_s
+                <= off.cost(*SIZE, spec).time_s)
+
+    def test_fusion_savings(self):
+        both = fusion_savings_bytes(100, 100)
+        act_only = fusion_savings_bytes(100, 100,
+                                        fuse_weighted_acc=False)
+        assert both == 2 * act_only
+
+
+class TestPacking:
+    def test_swizzle_removes_conflicts(self):
+        assert a_smem_conflict_ways(PackingPlan(a_swizzled=True)) == 1
+        assert a_smem_conflict_ways(PackingPlan(a_swizzled=False)) > 1
+
+    def test_transposed_b_coalesces(self, spec):
+        packed = b_tile_dram_bytes(32, 128, PackingPlan(), spec)
+        scattered = b_tile_dram_bytes(
+            32, 128, PackingPlan(b_transposed=False), spec)
+        assert packed < scattered
+
+    def test_metadata_packed_loads_less(self):
+        packed = metadata_tile_bytes(128, 32, 0.5, PackingPlan())
+        unpacked = metadata_tile_bytes(
+            128, 32, 0.5, PackingPlan(metadata_packed=False))
+        assert packed < unpacked
+
+    def test_kernel_with_packing_is_faster(self, spec):
+        on = SamoyedsKernel(features=SamoyedsFeatures())
+        off = SamoyedsKernel(features=SamoyedsFeatures().without("packing"))
+        assert on.cost(*SIZE, spec).time_s < off.cost(*SIZE, spec).time_s
+
+
+class TestLayout:
+    def test_all_fused_costs_nothing(self, spec):
+        assert extra_layout_passes_seconds(
+            1024, 1024, 1024, LayoutPlan(), spec) == 0.0
+
+    def test_each_missing_fusion_adds_a_pass(self, spec):
+        partial = LayoutPlan(fused_input_transpose=False)
+        assert extra_layout_passes_seconds(
+            1024, 1024, 1024, partial, spec) > 0.0
+
+    def test_compressed_output_writes_less(self):
+        dense = output_bytes(128, 32, 256, LayoutPlan(
+            compressed_output=False))
+        compact = output_bytes(128, 32, 256, LayoutPlan())
+        assert compact < dense
+        assert compact == 128 * 32 * 2
+
+    def test_layout_speedup_monotone_in_sparsity(self, spec):
+        speeds = [layout_speedup(4096, 4096, len_d, 4096, spec)
+                  for len_d in (4096, 2048, 1024, 512)]
+        assert speeds == sorted(speeds)
+
+    def test_layout_speedup_band(self, spec):
+        """Paper: ~1.05x at low sparsity, ~2.66x at high."""
+        low = layout_speedup(4096, 4096, 3072, 4096, spec)
+        high = layout_speedup(4096, 4096, 512, 4096, spec)
+        assert 1.0 <= low < 1.4
+        assert 2.0 < high < 3.2
+
+
+class TestFusion:
+    def test_fused_accumulate_matches_manual(self, rng):
+        acc = np.zeros((10, 4))
+        out = rng.normal(size=(3, 4))
+        gates = np.array([0.5, 0.25, 1.0])
+        ids = np.array([1, 5, 1])
+        fused_weighted_accumulate(acc, out, gates, ids)
+        expected = np.zeros((10, 4))
+        for g, i, row in zip(gates, ids, out):
+            expected[i] += g * row
+        assert np.allclose(acc, expected)
+
+    def test_unfused_passes_cost_time(self, spec):
+        plan = FusionPlan(fuse_activation=False, fuse_weighted_acc=False)
+        assert plan.extra_kernel_launches == 2
+        assert unfused_extra_seconds(4096, 4096, plan, spec) > 0
+
+    def test_fused_plan_is_free(self, spec):
+        assert unfused_extra_seconds(4096, 4096, FusionPlan(), spec) == 0
+
+
+class TestFeatureFlags:
+    def test_without_unknown_feature_raises(self):
+        with pytest.raises(ValueError):
+            SamoyedsFeatures().without("warp_speed")
+
+    def test_full_features_fastest(self, spec):
+        full = SAMOYEDS_KERNEL.cost(*SIZE, spec).time_s
+        for feature in ("stationary", "packing", "layout"):
+            crippled = SamoyedsKernel(
+                features=SamoyedsFeatures().without(feature))
+            assert crippled.cost(*SIZE, spec).time_s >= full * 0.999, \
+                feature

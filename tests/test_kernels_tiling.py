@@ -1,0 +1,106 @@
+"""Three-step tiling: legality, grids, heuristics, autotuning."""
+
+import pytest
+
+from repro.errors import TilingError
+from repro.hw.tensorcore import BASELINE_MMA, SAMOYEDS_MMA
+from repro.kernels import (
+    DEFAULT_TILING,
+    NARROW_TILING,
+    TilingConfig,
+    autotune,
+    candidate_configs,
+    heuristic_config,
+)
+
+
+class TestConfigBasics:
+    def test_warps_per_block(self):
+        assert DEFAULT_TILING.warps_per_block == 4
+        assert NARROW_TILING.warps_per_block == 4
+
+    def test_grid_covers_output(self):
+        blocks, gm, gn = DEFAULT_TILING.grid(1000, 1000)
+        assert gm == 8 and gn == 8 and blocks == 64
+
+    def test_k_iters_rounds_up(self):
+        assert DEFAULT_TILING.k_iters(100) == 4
+
+    def test_smem_scales_with_stages(self):
+        deep = DEFAULT_TILING.scaled(stages=4)
+        assert deep.smem_bytes() > DEFAULT_TILING.smem_bytes()
+
+    def test_smem_scales_down_with_density(self):
+        assert (DEFAULT_TILING.smem_bytes(a_density=0.25)
+                < DEFAULT_TILING.smem_bytes(a_density=1.0))
+
+
+class TestValidation:
+    def test_default_is_legal(self, spec):
+        DEFAULT_TILING.validate(SAMOYEDS_MMA, spec)
+        DEFAULT_TILING.validate(BASELINE_MMA, spec)
+
+    def test_warp_tile_must_divide_block_tile(self, spec):
+        bad = TilingConfig(mb=128, nb=128, kb=32, mw=48, nw=64)
+        with pytest.raises(TilingError):
+            bad.validate(SAMOYEDS_MMA, spec)
+
+    def test_kb_bounded_by_subrow(self, spec):
+        cfg = TilingConfig(mb=128, nb=128, kb=64, mw=64, nw=64)
+        with pytest.raises(TilingError, match="sub-row"):
+            cfg.validate(SAMOYEDS_MMA, spec, subrow_v=32)
+
+    def test_subrow_multiple_of_kb(self, spec):
+        cfg = TilingConfig(mb=128, nb=128, kb=32, mw=64, nw=64)
+        cfg.validate(SAMOYEDS_MMA, spec, subrow_v=64)
+        with pytest.raises(TilingError):
+            cfg.validate(SAMOYEDS_MMA, spec, subrow_v=48)
+
+    def test_oversized_smem_rejected(self, spec):
+        cfg = TilingConfig(mb=256, nb=256, kb=32, mw=64, nw=64, stages=8)
+        with pytest.raises(TilingError):
+            cfg.validate(SAMOYEDS_MMA, spec)
+
+
+class TestHeuristic:
+    @pytest.mark.parametrize("m,n,k", [(256, 256, 256), (4096, 4096, 4096),
+                                       (128, 8192, 1408), (16384, 64, 512)])
+    def test_heuristic_is_always_legal(self, spec, m, n, k):
+        cfg = heuristic_config(m, n, k, spec, SAMOYEDS_MMA, subrow_v=32)
+        cfg.validate(SAMOYEDS_MMA, spec, subrow_v=32)
+
+    def test_small_problems_get_small_tiles(self, spec):
+        small = heuristic_config(64, 64, 512, spec, SAMOYEDS_MMA)
+        big = heuristic_config(4096, 4096, 512, spec, SAMOYEDS_MMA)
+        assert small.mb < big.mb
+        assert small.nb < big.nb
+
+
+class TestAutotune:
+    def test_candidates_nonempty(self, spec):
+        cands = candidate_configs(SAMOYEDS_MMA, spec, subrow_v=32)
+        assert len(cands) > 10
+
+    def test_candidates_all_legal(self, spec):
+        for cfg in candidate_configs(SAMOYEDS_MMA, spec, subrow_v=32)[:50]:
+            cfg.validate(SAMOYEDS_MMA, spec, subrow_v=32)
+
+    def test_autotune_picks_minimum(self):
+        cfgs = [DEFAULT_TILING, NARROW_TILING]
+        best = autotune(cfgs, lambda c: float(c.nb))
+        assert best is NARROW_TILING
+
+    def test_autotune_empty_raises(self):
+        with pytest.raises(TilingError):
+            autotune([], lambda c: 0.0)
+
+    def test_autotune_beats_heuristic_or_ties(self, spec):
+        from repro.kernels import SAMOYEDS_KERNEL
+        m = k = n = 2048
+        cands = candidate_configs(SAMOYEDS_MMA, spec, subrow_v=32)
+        best = autotune(
+            cands,
+            lambda c: SAMOYEDS_KERNEL.cost(m, k, n, spec, cfg=c).time_s)
+        default = SAMOYEDS_KERNEL.cost(m, k, n, spec).time_s
+        tuned = SAMOYEDS_KERNEL.cost(m, k, n, spec, cfg=best).time_s
+        assert tuned <= default * 1.0001

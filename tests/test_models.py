@@ -1,0 +1,111 @@
+"""Attention, decoder breakdown and the end-to-end runner."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigError
+from repro.models import (
+    attention_cost,
+    decoder_cost,
+    end_to_end_speedups,
+    flash_attention_cost,
+    model_latency,
+    naive_attention_cost,
+    throughput_sweep,
+)
+from repro.models.runner import model_point
+from repro.moe import MODEL_REGISTRY
+
+CFG = MODEL_REGISTRY["mixtral-8x7b"]
+
+
+class TestAttention:
+    def test_flash_is_faster_than_naive(self, spec):
+        naive = naive_attention_cost(CFG, 4096, spec)
+        flash = flash_attention_cost(CFG, 4096, spec)
+        assert flash.total_s < naive.total_s
+
+    def test_flash_removes_softmax_pass(self, spec):
+        flash = flash_attention_cost(CFG, 4096, spec)
+        assert flash.softmax_s == 0.0
+        assert flash.flash
+
+    def test_quadratic_core_growth(self, spec):
+        short = naive_attention_cost(CFG, 1024, spec)
+        long = naive_attention_cost(CFG, 4096, spec)
+        assert long.core_s > 8 * short.core_s
+
+    def test_dispatch(self, spec):
+        assert attention_cost(CFG, 1024, spec, flash=True).flash
+        assert not attention_cost(CFG, 1024, spec, flash=False).flash
+
+    def test_batch_scales_linearly(self, spec):
+        one = flash_attention_cost(CFG, 1024, spec, batch=1)
+        four = flash_attention_cost(CFG, 1024, spec, batch=4)
+        assert four.core_s == pytest.approx(4 * one.core_s, rel=0.01)
+
+
+class TestDecoder:
+    def test_fractions_sum_to_one(self, spec):
+        bd = decoder_cost(CFG, 4096, spec)
+        assert sum(bd.fractions().values()) == pytest.approx(1.0)
+
+    def test_flash_raises_moe_share(self, spec):
+        """Figure 2's core observation."""
+        no_flash = decoder_cost(CFG, 4096, spec, flash=False)
+        flash = decoder_cost(CFG, 4096, spec, flash=True)
+        assert flash.moe_fraction > no_flash.moe_fraction
+
+    def test_moe_dominates_with_flash(self, spec):
+        for name, cfg in MODEL_REGISTRY.items():
+            bd = decoder_cost(cfg, min(4096, cfg.max_seq_len), spec)
+            assert bd.moe_fraction > 0.5, name
+
+    def test_engine_by_name_or_instance(self, spec):
+        from repro.moe.layers import SamoyedsEngine
+        by_name = decoder_cost(CFG, 1024, spec, engine="samoyeds")
+        by_inst = decoder_cost(CFG, 1024, spec, engine=SamoyedsEngine())
+        assert by_name.moe_s == pytest.approx(by_inst.moe_s)
+
+
+class TestRunner:
+    def test_latency_respects_max_seq(self, spec):
+        cfg = MODEL_REGISTRY["openmoe-34b"]
+        bd = model_latency(cfg, "samoyeds", spec, seq_len=4096,
+                           check_memory=False)
+        # OpenMoE caps at 2048; the runner must clamp.
+        assert bd.total_s < model_latency(
+            CFG, "samoyeds", spec, seq_len=4096,
+            check_memory=False).total_s * 10
+
+    def test_memory_check_raises(self, spec):
+        cfg = MODEL_REGISTRY["mixtral-8x22b"]
+        with pytest.raises(CapacityError):
+            model_latency(cfg, "megablocks", spec, batch=1, seq_len=1024)
+
+    def test_unknown_engine_rejected(self, spec):
+        with pytest.raises(ConfigError):
+            model_latency(CFG, "tensorrt", spec)
+
+    def test_model_point_throughput(self, spec):
+        point = model_point(CFG, "samoyeds", spec, batch=1, seq_len=1024)
+        assert point.tokens_per_s == pytest.approx(
+            1024 / point.latency_s)
+
+    def test_throughput_sweep_marks_ooms(self, spec):
+        cfg = MODEL_REGISTRY["mixtral-8x22b"]
+        sweep = throughput_sweep(cfg, spec, [1, 512], 1024,
+                                 engines=["transformers", "samoyeds"])
+        assert sweep["transformers"][1] is None   # 512 batches: OOM
+        assert sweep["samoyeds"][0] is not None
+
+    def test_end_to_end_speedups_shape(self, spec):
+        speed = end_to_end_speedups(CFG, spec, batch=1, seq_len=2048)
+        assert speed["transformers"] == 1.0
+        assert speed["samoyeds"] > 1.0
+
+    def test_openmoe_ns_markers(self, spec):
+        cfg = MODEL_REGISTRY["openmoe-34b"]
+        speed = end_to_end_speedups(cfg, spec, batch=1, seq_len=2048)
+        assert speed["megablocks"] is None
+        assert speed["vllm-ds"] is None
+        assert speed["samoyeds"] is not None

@@ -1,0 +1,128 @@
+"""Activations, expert weights and data-flow arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.formats.samoyeds import SamoyedsPattern
+from repro.moe import build_expert, build_experts, get_activation
+from repro.moe.activations import (
+    gelu,
+    gelu_tanh,
+    list_activations,
+    relu,
+    silu,
+    supported_by_fused_kernels,
+)
+from repro.moe.config import MODEL_REGISTRY
+from repro.moe.dataflow import (
+    intermediate_allocation_bytes,
+    permutation_bytes,
+    permutation_seconds,
+    unpermutation_bytes,
+)
+
+
+class TestActivations:
+    def test_silu_values(self):
+        x = np.array([0.0, 100.0])
+        out = silu(x)
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(100.0)
+
+    def test_gelu_matches_tanh_approx(self, rng):
+        x = rng.normal(size=100)
+        assert np.allclose(gelu(x), gelu_tanh(x), atol=5e-3)
+
+    def test_relu(self):
+        assert np.array_equal(relu(np.array([-1.0, 2.0])),
+                              np.array([0.0, 2.0]))
+
+    def test_registry(self):
+        assert set(list_activations()) == {"silu", "gelu", "gelu_tanh",
+                                           "relu"}
+        with pytest.raises(ConfigError):
+            get_activation("swish9000")
+
+    def test_ns_logic(self):
+        """The OpenMoE NS marker: gelu_tanh has no fused epilogue."""
+        assert supported_by_fused_kernels("silu")
+        assert supported_by_fused_kernels("gelu")
+        assert not supported_by_fused_kernels("gelu_tanh")
+        assert not supported_by_fused_kernels("relu")
+
+
+class TestExperts:
+    def test_shapes(self, rng):
+        e = build_expert(64, 128, seed=rng)
+        assert e.gate_proj.shape == (128, 64)
+        assert e.up_proj.shape == (128, 64)
+        assert e.down_proj.shape == (64, 128)
+        assert e.hidden_size == 64
+        assert e.intermediate_size == 128
+
+    def test_nbytes(self, rng):
+        e = build_expert(64, 128, seed=rng)
+        assert e.nbytes_dense() == 3 * 64 * 128 * 2
+
+    def test_pruned_respects_pattern(self, rng):
+        e = build_expert(64, 128, seed=rng)
+        pattern = SamoyedsPattern(1, 2, 32)
+        pruned = e.pruned(pattern)
+        for w in (pruned.gate_proj, pruned.up_proj, pruned.down_proj):
+            density = np.count_nonzero(w) / w.size
+            assert density == pytest.approx(pattern.density)
+
+    def test_encoded_roundtrip(self, rng):
+        e = build_expert(64, 128, seed=rng)
+        pattern = SamoyedsPattern(1, 2, 32)
+        gate_enc, up_enc, down_enc = e.encoded(pattern)
+        pruned = e.pruned(pattern)
+        assert np.allclose(gate_enc.to_dense(), pruned.gate_proj)
+        assert np.allclose(up_enc.to_dense(), pruned.up_proj)
+        assert np.allclose(down_enc.to_dense(), pruned.down_proj)
+
+    def test_build_experts_scaled(self):
+        cfg = MODEL_REGISTRY["mixtral-8x7b"]
+        experts = build_experts(cfg, scale=64, seed=0)
+        assert len(experts) == cfg.num_experts
+        assert experts[0].hidden_size % 32 == 0
+        assert experts[0].intermediate_size % 32 == 0
+
+    def test_build_experts_includes_shared(self):
+        from dataclasses import replace
+        cfg = replace(MODEL_REGISTRY["mixtral-8x7b"],
+                      num_shared_experts=2)
+        experts = build_experts(cfg, scale=64, seed=0)
+        assert len(experts) == cfg.num_experts + 2
+
+    def test_bad_scale_rejected(self):
+        cfg = MODEL_REGISTRY["mixtral-8x7b"]
+        with pytest.raises(ConfigError):
+            build_experts(cfg, scale=0)
+
+    def test_mismatched_shapes_rejected(self, rng):
+        from repro.moe.experts import ExpertWeights
+        with pytest.raises(ConfigError):
+            ExpertWeights(gate_proj=rng.normal(size=(128, 64)),
+                          up_proj=rng.normal(size=(128, 64)),
+                          down_proj=rng.normal(size=(128, 64)))
+
+
+class TestDataflow:
+    def test_permutation_bytes(self):
+        # read T*h once, write T*topk*h.
+        assert permutation_bytes(100, 10, 2) == (100 * 10 + 200 * 10) * 2
+
+    def test_unpermutation_double_roundtrip(self):
+        out = unpermutation_bytes(100, 10, 2)
+        assert out == (2 * 200 * 10 + 100 * 10) * 2
+
+    def test_seconds_include_launch(self, spec):
+        t = permutation_seconds(1, 1, 1, spec)
+        assert t > spec.kernel_launch_overhead_s * 0.99
+
+    def test_workspace_grows_with_topk(self):
+        small = intermediate_allocation_bytes(100, 64, 256, 2)
+        large = intermediate_allocation_bytes(100, 64, 256, 4)
+        assert large > small

@@ -1,0 +1,80 @@
+"""Table-2 model registry and configuration arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.moe import MODEL_REGISTRY, MoEModelConfig, get_model, list_models
+from repro.moe.config import CFG_GROUPS
+
+
+class TestRegistry:
+    def test_all_six_models_present(self):
+        assert list_models() == ["qwen2-moe", "deepseek-moe",
+                                 "minicpm-moe", "openmoe-34b",
+                                 "mixtral-8x7b", "mixtral-8x22b"]
+
+    def test_table2_dimensions(self):
+        """The exact Table-2 rows."""
+        expect = {
+            "qwen2-moe": (60, 1408, 2048),
+            "deepseek-moe": (64, 1408, 2048),
+            "minicpm-moe": (8, 2304, 5760),
+            "openmoe-34b": (32, 3072, 12288),
+            "mixtral-8x7b": (8, 4096, 14336),
+            "mixtral-8x22b": (8, 6144, 16384),
+        }
+        for name, (e, h, i) in expect.items():
+            cfg = get_model(name)
+            assert cfg.num_experts == e
+            assert cfg.hidden_size == h
+            assert cfg.intermediate_size == i
+
+    def test_cfg_groups_cover_all_models(self):
+        grouped = [m for models in CFG_GROUPS.values() for m in models]
+        assert sorted(grouped) == sorted(MODEL_REGISTRY)
+
+    def test_cfg1_is_shared(self):
+        assert set(CFG_GROUPS["CFG#1"]) == {"qwen2-moe", "deepseek-moe"}
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ConfigError):
+            get_model("gpt-5")
+
+    def test_openmoe_quirks(self):
+        cfg = get_model("openmoe-34b")
+        assert cfg.max_seq_len == 2048
+        assert cfg.activation == "gelu_tanh"
+
+
+class TestDerived:
+    def test_expert_param_count(self):
+        cfg = get_model("mixtral-8x7b")
+        assert cfg.expert_param_count == 3 * 4096 * 14336
+
+    def test_moe_param_count_scales_with_experts(self):
+        cfg = get_model("mixtral-8x7b")
+        assert cfg.moe_param_count == 8 * cfg.expert_param_count
+
+    def test_flops_per_token(self):
+        cfg = get_model("mixtral-8x7b")
+        assert cfg.flops_per_token_moe() == \
+            2.0 * cfg.top_k * cfg.expert_param_count
+
+    def test_head_dim(self):
+        cfg = get_model("mixtral-8x7b")
+        assert cfg.head_dim == 128
+
+    def test_with_experts(self):
+        cfg = get_model("qwen2-moe").with_experts(16)
+        assert cfg.num_experts == 16
+        assert cfg.top_k <= 16
+
+    def test_validation_rejects_bad_topk(self):
+        with pytest.raises(ConfigError):
+            MoEModelConfig(name="bad", num_experts=4, hidden_size=64,
+                           intermediate_size=128, top_k=8)
+
+    def test_validation_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            MoEModelConfig(name="bad", num_experts=0, hidden_size=64,
+                           intermediate_size=128, top_k=0)

@@ -1,0 +1,107 @@
+"""Memory footprint model and the Table-3 max-batch machinery."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigError
+from repro.moe import MODEL_REGISTRY, max_batch_size
+from repro.moe.memory_model import (
+    SAMOYEDS_WEIGHT_FACTOR,
+    footprint,
+    kv_cache_bytes,
+    moe_workspace_bytes,
+    weight_bytes,
+)
+
+SEQ = 1024
+
+
+class TestWeights:
+    def test_samoyeds_weight_compression(self):
+        cfg = MODEL_REGISTRY["mixtral-8x7b"]
+        dense = weight_bytes(cfg, "transformers")
+        sparse = weight_bytes(cfg, "samoyeds")
+        assert sparse < dense
+        # Expert weights compressed to 28.125%; attention stays dense.
+        expected = (cfg.attention_param_count * 2
+                    + cfg.moe_param_count * 2 * SAMOYEDS_WEIGHT_FACTOR)
+        assert sparse == pytest.approx(expected)
+
+    def test_repacked_frameworks_hold_more(self):
+        cfg = MODEL_REGISTRY["mixtral-8x7b"]
+        assert weight_bytes(cfg, "megablocks") > weight_bytes(
+            cfg, "transformers")
+        assert weight_bytes(cfg, "vllm-ds") > weight_bytes(
+            cfg, "transformers")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError):
+            weight_bytes(MODEL_REGISTRY["mixtral-8x7b"], "pytorch-eager")
+
+
+class TestWorkspace:
+    def test_kv_cache_linear_in_seq(self):
+        cfg = MODEL_REGISTRY["mixtral-8x7b"]
+        assert kv_cache_bytes(cfg, 2048) == 2 * kv_cache_bytes(cfg, 1024)
+
+    def test_samoyeds_workspace_smallest(self):
+        cfg = MODEL_REGISTRY["mixtral-8x7b"]
+        sam = moe_workspace_bytes(cfg, SEQ, "samoyeds")
+        for engine in ("transformers", "megablocks", "vllm-ds"):
+            assert sam < moe_workspace_bytes(cfg, SEQ, engine), engine
+
+    def test_openmoe_einsum_blowup(self):
+        """The T5X dispatch path behind the 18.67x boost."""
+        cfg = MODEL_REGISTRY["openmoe-34b"]
+        mix = MODEL_REGISTRY["mixtral-8x7b"]
+        openmoe_ws = moe_workspace_bytes(cfg, SEQ, "transformers")
+        mixtral_ws = moe_workspace_bytes(mix, SEQ, "transformers")
+        assert openmoe_ws > 3 * mixtral_ws
+
+    def test_fused_engines_reject_openmoe(self):
+        cfg = MODEL_REGISTRY["openmoe-34b"]
+        for engine in ("megablocks", "vllm-ds"):
+            with pytest.raises(ConfigError):
+                moe_workspace_bytes(cfg, SEQ, engine)
+
+
+class TestMaxBatch:
+    def test_samoyeds_always_largest(self, spec):
+        for name, cfg in MODEL_REGISTRY.items():
+            sam = max_batch_size(cfg, "samoyeds", SEQ, spec)
+            base = max_batch_size(cfg, "transformers", SEQ, spec)
+            assert sam > base, name
+
+    def test_mixtral_8x22b_ooms_fused_baselines(self, spec):
+        cfg = MODEL_REGISTRY["mixtral-8x22b"]
+        assert max_batch_size(cfg, "megablocks", SEQ, spec) == 0
+        assert max_batch_size(cfg, "vllm-ds", SEQ, spec) == 0
+        assert max_batch_size(cfg, "samoyeds", SEQ, spec) > 0
+
+    def test_longer_sequences_shrink_batches(self, spec):
+        cfg = MODEL_REGISTRY["mixtral-8x7b"]
+        short = max_batch_size(cfg, "samoyeds", 512, spec)
+        long = max_batch_size(cfg, "samoyeds", 4096, spec)
+        assert short > long
+
+    def test_bigger_card_fits_more(self, spec, a100):
+        cfg = MODEL_REGISTRY["mixtral-8x7b"]
+        assert (max_batch_size(cfg, "transformers", SEQ, a100)
+                > max_batch_size(cfg, "transformers", SEQ, spec))
+
+
+class TestFootprint:
+    def test_require_batch_raises_capacity_error(self, spec):
+        cfg = MODEL_REGISTRY["mixtral-8x22b"]
+        fp = footprint(cfg, "transformers", SEQ, spec)
+        limit = fp.max_batch()
+        fp.require_batch(limit)                 # fits
+        with pytest.raises(CapacityError) as exc:
+            fp.require_batch(limit + 1)
+        assert exc.value.required_bytes > exc.value.available_bytes
+
+    def test_footprint_components_positive(self, spec):
+        fp = footprint(MODEL_REGISTRY["mixtral-8x7b"], "samoyeds", SEQ,
+                       spec)
+        assert fp.weights_bytes > 0
+        assert fp.fixed_bytes > 0
+        assert fp.per_batch_bytes > 0

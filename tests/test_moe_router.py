@@ -1,0 +1,94 @@
+"""Top-k router invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.moe import TopKRouter
+from repro.moe.router import RoutingPlan, uniform_plan
+
+
+class TestRouting:
+    def test_each_token_gets_topk_experts(self):
+        plan = TopKRouter(8, 2, seed=1).route(100)
+        counts = np.zeros(100, dtype=int)
+        for ids in plan.expert_token_ids:
+            np.add.at(counts, ids, 1)
+        assert np.all(counts == 2)
+
+    def test_gate_weights_normalised(self):
+        plan = TopKRouter(8, 2, seed=1).route(50)
+        total = np.zeros(50)
+        for ids, w in zip(plan.expert_token_ids,
+                          plan.expert_gate_weights):
+            np.add.at(total, ids, w)
+        assert np.allclose(total, 1.0)
+
+    def test_deterministic_with_seed(self):
+        a = TopKRouter(8, 2, seed=42).route(64)
+        b = TopKRouter(8, 2, seed=42).route(64)
+        for x, y in zip(a.expert_token_ids, b.expert_token_ids):
+            assert np.array_equal(x, y)
+
+    def test_routes_from_activations(self, rng):
+        router = TopKRouter(8, 2, hidden_size=32, seed=3)
+        x = rng.normal(size=(40, 32))
+        plan = router.route(x)
+        assert plan.num_tokens == 40
+        plan.validate()
+
+    def test_topk_exceeding_experts_rejected(self):
+        with pytest.raises(RoutingError):
+            TopKRouter(4, 8)
+
+    def test_load_and_imbalance(self):
+        plan = TopKRouter(8, 2, seed=5).route(400)
+        assert plan.load().sum() == 800
+        assert plan.load_imbalance() >= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(tokens=st.integers(1, 200), experts=st.integers(1, 32),
+           seed=st.integers(0, 10 ** 6))
+    def test_invariants_property(self, tokens, experts, seed):
+        top_k = min(2, experts)
+        plan = TopKRouter(experts, top_k, seed=seed).route(tokens)
+        plan.validate()
+        assert plan.load().sum() == tokens * top_k
+
+
+class TestUniformPlan:
+    def test_uniform_plan_valid(self):
+        plan = uniform_plan(128, 8, 2, seed=0)
+        plan.validate()
+
+    def test_uniform_plan_is_balanced_ish(self):
+        plan = uniform_plan(800, 8, 2, seed=0)
+        assert plan.load_imbalance() < 1.5
+
+
+class TestValidation:
+    def test_bad_counts_detected(self):
+        plan = RoutingPlan(
+            num_tokens=4, top_k=1,
+            expert_token_ids=(np.array([0, 1]), np.array([2])),
+            expert_gate_weights=(np.array([1.0, 1.0]), np.array([1.0])))
+        with pytest.raises(RoutingError):
+            plan.validate()
+
+    def test_duplicate_token_in_expert_detected(self):
+        plan = RoutingPlan(
+            num_tokens=2, top_k=1,
+            expert_token_ids=(np.array([0, 0]), np.array([1])),
+            expert_gate_weights=(np.array([0.5, 0.5]), np.array([1.0])))
+        with pytest.raises(RoutingError):
+            plan.validate()
+
+    def test_unnormalised_weights_detected(self):
+        plan = RoutingPlan(
+            num_tokens=2, top_k=1,
+            expert_token_ids=(np.array([0]), np.array([1])),
+            expert_gate_weights=(np.array([0.4]), np.array([1.0])))
+        with pytest.raises(RoutingError):
+            plan.validate()

@@ -1,0 +1,85 @@
+"""Expert-segment scheduling policies."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.moe import MODEL_REGISTRY
+from repro.moe.scheduler import (
+    compare_policies,
+    expert_segment_seconds,
+    schedule_parallel,
+    schedule_sequential,
+)
+from repro.moe.trace import skewed_plan
+
+CFG = MODEL_REGISTRY["mixtral-8x7b"]
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return skewed_plan(512, CFG.num_experts, CFG.top_k, skew=1.0,
+                       seed=31)
+
+
+class TestSegments:
+    def test_segment_count_matches_experts(self, spec, plan):
+        from repro.kernels.ssmm_samoyeds import SamoyedsKernel
+        segments = expert_segment_seconds(CFG, plan, spec,
+                                          SamoyedsKernel())
+        assert len(segments) == CFG.num_experts
+        assert all(s >= 0 for s in segments)
+
+    def test_loaded_experts_cost_time(self, spec, plan):
+        from repro.kernels.ssmm_samoyeds import SamoyedsKernel
+        segments = expert_segment_seconds(CFG, plan, spec,
+                                          SamoyedsKernel())
+        loads = plan.load()
+        for load, seg in zip(loads, segments):
+            assert (seg > 0) == (load > 0)
+
+
+class TestPolicies:
+    def test_sequential_makespan_is_sum(self):
+        out = schedule_sequential([1.0, 2.0, 3.0])
+        assert out.makespan_s == 6.0
+        assert out.total_work_s == 6.0
+
+    def test_parallel_beats_sequential(self):
+        segments = [1.0] * 8
+        seq = schedule_sequential(segments)
+        par = schedule_parallel(segments, streams=4)
+        assert par.makespan_s < seq.makespan_s
+        assert par.makespan_s == pytest.approx(2.0)
+
+    def test_parallel_bounded_by_longest_segment(self):
+        par = schedule_parallel([10.0, 1.0, 1.0, 1.0], streams=4)
+        assert par.makespan_s == pytest.approx(10.0)
+
+    def test_utilisation_bounds(self):
+        par = schedule_parallel([1.0, 1.0, 1.0], streams=2)
+        assert 0.0 < par.utilisation <= 1.0
+
+    def test_zero_streams_rejected(self):
+        with pytest.raises(ConfigError):
+            schedule_parallel([1.0], streams=0)
+
+
+class TestComparison:
+    def test_all_policies_present(self, spec, plan):
+        out = compare_policies(CFG, plan, spec, streams=4)
+        assert set(out) == {"sequential", "parallel", "fused"}
+
+    def test_parallel_never_slower_than_sequential(self, spec, plan):
+        out = compare_policies(CFG, plan, spec, streams=4)
+        assert (out["parallel"].makespan_s
+                <= out["sequential"].makespan_s * 1.0001)
+
+    def test_skew_hurts_parallel_utilisation(self, spec):
+        flat = skewed_plan(512, CFG.num_experts, CFG.top_k, skew=0.0,
+                           seed=32)
+        hot = skewed_plan(512, CFG.num_experts, CFG.top_k, skew=1.5,
+                          seed=32)
+        flat_out = compare_policies(CFG, flat, spec, streams=4)
+        hot_out = compare_policies(CFG, hot, spec, streams=4)
+        assert (hot_out["parallel"].utilisation
+                <= flat_out["parallel"].utilisation + 0.05)

@@ -1,0 +1,100 @@
+"""Trace-driven routing: skew, padding, capacity, critical path."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.moe.trace import (
+    apply_capacity,
+    critical_path_tokens,
+    padding_report,
+    skewed_plan,
+    zipf_expert_popularity,
+)
+
+
+class TestPopularity:
+    def test_uniform_at_zero_skew(self):
+        pop = zipf_expert_popularity(8, 0.0)
+        assert np.allclose(pop, 1 / 8)
+
+    def test_normalised(self):
+        assert zipf_expert_popularity(16, 1.2).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        pop = zipf_expert_popularity(8, 1.0)
+        assert np.all(np.diff(pop) < 0)
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(RoutingError):
+            zipf_expert_popularity(8, -0.1)
+
+
+class TestSkewedPlan:
+    def test_plan_is_valid(self):
+        plan = skewed_plan(200, 8, 2, skew=1.0, seed=1)
+        plan.validate()
+
+    def test_skew_increases_imbalance(self):
+        flat = skewed_plan(600, 8, 2, skew=0.0, seed=2)
+        skewed = skewed_plan(600, 8, 2, skew=1.5, seed=2)
+        assert skewed.load_imbalance() > flat.load_imbalance()
+
+    def test_topk_bounds(self):
+        with pytest.raises(RoutingError):
+            skewed_plan(10, 4, 8)
+
+
+class TestPadding:
+    def test_no_waste_when_aligned(self):
+        plan = skewed_plan(256, 4, 1, skew=0.0, seed=3)
+        # force exact alignment by using tile 1
+        report = padding_report(plan, tile_n=1)
+        assert report.waste_fraction == 0.0
+
+    def test_waste_grows_with_tile(self):
+        plan = skewed_plan(300, 16, 2, skew=0.5, seed=4)
+        small = padding_report(plan, tile_n=16)
+        large = padding_report(plan, tile_n=128)
+        assert large.waste_fraction >= small.waste_fraction
+
+    def test_many_experts_waste_more(self):
+        """§6.2: more experts -> fewer tokens each -> worse padding."""
+        few = padding_report(skewed_plan(512, 8, 2, seed=5), 64)
+        many = padding_report(skewed_plan(512, 64, 2, seed=5), 64)
+        assert many.waste_fraction > few.waste_fraction
+
+
+class TestCapacity:
+    def test_no_drops_with_big_factor(self):
+        plan = skewed_plan(200, 8, 2, skew=0.0, seed=6)
+        _, report = apply_capacity(plan, capacity_factor=10.0)
+        assert report.dropped_tokens == 0
+
+    def test_skew_causes_drops_at_unit_capacity(self):
+        plan = skewed_plan(400, 8, 2, skew=1.5, seed=7)
+        _, report = apply_capacity(plan, capacity_factor=1.0)
+        assert report.dropped_tokens > 0
+        assert 0.0 < report.drop_fraction < 1.0
+
+    def test_clamped_plan_respects_capacity(self):
+        plan = skewed_plan(400, 8, 2, skew=1.5, seed=8)
+        clamped, report = apply_capacity(plan, capacity_factor=1.0)
+        assert int(clamped.load().max()) <= report.capacity
+
+    def test_bad_factor_rejected(self):
+        plan = skewed_plan(10, 4, 1, seed=9)
+        with pytest.raises(RoutingError):
+            apply_capacity(plan, capacity_factor=0.0)
+
+
+class TestCriticalPath:
+    def test_skew_stretches_critical_path(self):
+        flat = skewed_plan(600, 8, 2, skew=0.0, seed=10)
+        skewed = skewed_plan(600, 8, 2, skew=1.5, seed=10)
+        assert (critical_path_tokens(skewed, 64)
+                >= critical_path_tokens(flat, 64))
+
+    def test_tile_rounding(self):
+        plan = skewed_plan(100, 4, 1, skew=0.0, seed=11)
+        assert critical_path_tokens(plan, 64) % 64 == 0

@@ -1,0 +1,120 @@
+"""Saliency scores and pattern-constrained masks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, ShapeError
+from repro.formats.samoyeds import SamoyedsPattern
+from repro.formats.venom import VenomPattern
+from repro.pruning import (
+    build_mask,
+    fisher_diagonal,
+    magnitude_scores,
+    mask_sparsity,
+    retained_saliency,
+    saliency_scores,
+)
+from repro.pruning.masks import unstructured_mask
+
+
+class TestSaliency:
+    def test_magnitude(self):
+        assert np.array_equal(magnitude_scores(np.array([-2.0, 1.0])),
+                              np.array([2.0, 1.0]))
+
+    def test_fisher_diagonal_is_mean_square(self, rng):
+        grads = rng.normal(size=(10, 4, 4))
+        fisher = fisher_diagonal(grads)
+        assert fisher.shape == (4, 4)
+        assert np.allclose(fisher, np.mean(grads ** 2, axis=0))
+
+    def test_fisher_requires_samples_axis(self):
+        with pytest.raises(ShapeError):
+            fisher_diagonal(np.zeros(4))
+
+    def test_saliency_without_fisher_is_magnitude(self, rng):
+        w = rng.normal(size=(4, 4))
+        assert np.array_equal(saliency_scores(w), np.abs(w))
+
+    def test_saliency_with_fisher(self, rng):
+        w = rng.normal(size=(4, 4))
+        fisher = np.ones_like(w) * 2.0
+        assert np.allclose(saliency_scores(w, fisher), w ** 2)
+
+    def test_fisher_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            saliency_scores(rng.normal(size=(4, 4)), np.ones((2, 2)))
+
+
+class TestUnstructured:
+    def test_exact_sparsity(self, rng):
+        scores = rng.random(size=(64, 64))
+        mask = unstructured_mask(scores, 0.75)
+        assert mask_sparsity(mask) == pytest.approx(0.75)
+
+    def test_keeps_largest(self):
+        scores = np.array([[1.0, 2.0, 3.0, 4.0]])
+        mask = unstructured_mask(scores, 0.5)
+        assert mask.tolist() == [[False, False, True, True]]
+
+    def test_handles_ties_exactly(self):
+        scores = np.ones((8, 8))
+        mask = unstructured_mask(scores, 0.75)
+        assert mask.sum() == 16
+
+    def test_invalid_sparsity_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            unstructured_mask(rng.random(size=(4, 4)), 1.0)
+
+
+class TestBuildMask:
+    @pytest.mark.parametrize("method,kwargs,expected", [
+        ("unstructured", {}, 0.75),
+        ("two_four", {}, 0.5),
+        ("samoyeds", {"samoyeds": SamoyedsPattern(1, 2, 32)}, 0.75),
+        ("venom", {"venom": VenomPattern(64, 2, 4)}, 0.75),
+    ])
+    def test_mask_sparsities(self, rng, method, kwargs, expected):
+        w = rng.normal(size=(128, 128))
+        mask = build_mask(w, method, sparsity=0.75, **kwargs)
+        assert mask_sparsity(mask) == pytest.approx(expected, abs=0.01)
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ConfigError):
+            build_mask(rng.normal(size=(64, 64)), "optimal-brain-llama")
+
+    def test_scores_steer_selection(self, rng):
+        w = rng.normal(size=(64, 64))
+        inverse = 1.0 / (np.abs(w) + 1e-6)
+        default = build_mask(w, "unstructured", sparsity=0.5)
+        steered = build_mask(w, "unstructured", scores=inverse,
+                             sparsity=0.5)
+        assert not np.array_equal(default, steered)
+
+    def test_retained_saliency_ordering(self, rng):
+        """The analytic core of Table 5: unstructured >= samoyeds >=
+        venom at equal sparsity."""
+        w = rng.normal(size=(256, 256))
+        scores = np.abs(w)
+        uns = retained_saliency(scores, build_mask(w, "unstructured",
+                                                   sparsity=0.75))
+        sam = retained_saliency(scores, build_mask(
+            w, "samoyeds", samoyeds=SamoyedsPattern(1, 2, 32)))
+        ven = retained_saliency(scores, build_mask(
+            w, "venom", venom=VenomPattern(64, 2, 4)))
+        assert uns >= sam >= ven
+
+    def test_1d_weights_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            build_mask(rng.normal(size=64), "unstructured")
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6),
+           sparsity=st.floats(0.1, 0.9))
+    def test_unstructured_property(self, seed, sparsity):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(size=(32, 32))
+        mask = unstructured_mask(scores, sparsity)
+        assert abs(mask_sparsity(mask) - sparsity) < 0.01

@@ -1,0 +1,133 @@
+"""Trainable numpy networks: learning, masking, fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.pruning import MLPClassifier, TinyLM
+from repro.pruning.tasks import (
+    macro_f1,
+    make_classification_task,
+    make_sequence_task,
+    perplexity,
+)
+
+
+class TestMLP:
+    def test_training_reduces_loss(self):
+        task = make_classification_task(num_samples=400, seed=0)
+        net = MLPClassifier(task.in_dim, [64], task.num_classes, seed=0)
+        history = net.fit(task.x_train, task.y_train, epochs=10, seed=0)
+        assert history[-1] < history[0]
+
+    def test_learns_above_chance(self):
+        task = make_classification_task(num_samples=800, seed=1)
+        net = MLPClassifier(task.in_dim, [64, 64], task.num_classes,
+                            seed=1)
+        net.fit(task.x_train, task.y_train, epochs=15, seed=1)
+        f1 = macro_f1(task.y_test, net.predict(task.x_test),
+                      task.num_classes)
+        assert f1 > 3.0 / task.num_classes
+
+    def test_mask_is_preserved_through_finetuning(self):
+        task = make_classification_task(num_samples=300, seed=2)
+        net = MLPClassifier(task.in_dim, [64], task.num_classes, seed=2)
+        net.fit(task.x_train, task.y_train, epochs=3, seed=2)
+        mask = np.zeros_like(net.weights[0], dtype=bool)
+        mask[:, ::2] = True
+        net.set_mask(0, mask)
+        net.fit(task.x_train, task.y_train, epochs=3, seed=3)
+        assert np.all(net.weights[0][~mask] == 0.0)
+
+    def test_mask_shape_checked(self):
+        net = MLPClassifier(8, [16], 4, seed=0)
+        with pytest.raises(ShapeError):
+            net.set_mask(0, np.ones((2, 2), dtype=bool))
+
+    def test_prunable_layers_exclude_head(self):
+        net = MLPClassifier(8, [16, 16], 4, seed=0)
+        assert net.prunable_layers() == [0, 1]
+
+    def test_clone_restore(self):
+        net = MLPClassifier(8, [16], 4, seed=0)
+        saved = net.clone_weights()
+        net.weights[0][...] = 0.0
+        net.restore_weights(saved)
+        assert np.any(net.weights[0] != 0.0)
+
+    def test_needs_two_dims(self):
+        with pytest.raises(ConfigError):
+            MLPClassifier.__bases__[0]([8])  # _DenseNet with one dim
+
+
+class TestTinyLM:
+    def test_training_reduces_loss(self):
+        task = make_sequence_task(train_tokens=2000, test_tokens=500,
+                                  seed=0)
+        net = TinyLM(task.vocab, task.context, 16, [64], seed=0)
+        history = net.fit(task.train_contexts, task.train_targets,
+                          epochs=3, seed=0)
+        assert history[-1] < history[0]
+
+    def test_beats_uniform_perplexity(self):
+        task = make_sequence_task(train_tokens=6000, test_tokens=1500,
+                                  seed=1)
+        net = TinyLM(task.vocab, task.context, 16, [64], seed=1)
+        net.fit(task.train_contexts, task.train_targets, epochs=5,
+                seed=1)
+        ppl = perplexity(net.token_nll(task.test_contexts,
+                                       task.test_targets))
+        assert ppl < task.vocab        # uniform model has ppl == vocab
+
+    def test_token_nll_shape(self):
+        task = make_sequence_task(train_tokens=500, test_tokens=200,
+                                  seed=2)
+        net = TinyLM(task.vocab, task.context, 8, [32], seed=2)
+        nll = net.token_nll(task.test_contexts, task.test_targets)
+        assert nll.shape == task.test_targets.shape
+        assert np.all(nll >= 0)
+
+
+class TestMetrics:
+    def test_macro_f1_perfect(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert macro_f1(y, y, 3) == 1.0
+
+    def test_macro_f1_worst(self):
+        y_true = np.zeros(6, dtype=int)
+        y_pred = np.ones(6, dtype=int)
+        assert macro_f1(y_true, y_pred, 2) == 0.0
+
+    def test_macro_f1_absent_class_counts_as_perfect(self):
+        y_true = np.array([0, 0])
+        y_pred = np.array([0, 0])
+        assert macro_f1(y_true, y_pred, 2) == 1.0
+
+    def test_perplexity(self):
+        assert perplexity(np.array([0.0, 0.0])) == pytest.approx(1.0)
+        assert perplexity(np.log(np.array([4.0]))) == pytest.approx(4.0)
+
+
+class TestTasks:
+    def test_classification_split_sizes(self):
+        task = make_classification_task(num_samples=100,
+                                        test_fraction=0.25, seed=0)
+        assert len(task.x_train) == 75
+        assert len(task.x_test) == 25
+
+    def test_classification_needs_two_classes(self):
+        with pytest.raises(ConfigError):
+            make_classification_task(num_classes=1)
+
+    def test_sequence_windows_align(self):
+        task = make_sequence_task(train_tokens=1000, test_tokens=300,
+                                  seed=0)
+        assert task.train_contexts.shape[1] == task.context
+        assert len(task.train_contexts) == len(task.train_targets)
+        # Every context's successor is the target of that window.
+        assert task.train_contexts.max() < task.vocab
+
+    def test_sequence_task_deterministic(self):
+        a = make_sequence_task(train_tokens=500, test_tokens=100, seed=9)
+        b = make_sequence_task(train_tokens=500, test_tokens=100, seed=9)
+        assert np.array_equal(a.train_targets, b.train_targets)

@@ -1,0 +1,69 @@
+"""Roofline analytics over the simulator."""
+
+import pytest
+
+from repro.hw.roofline import place, render, ridge_intensity
+from repro.kernels import DENSE_GEMM, SAMOYEDS_KERNEL, SPUTNIK
+
+SIZE = (4096, 4096, 4096)
+
+
+class TestRidge:
+    def test_ridge_positive(self, spec):
+        assert ridge_intensity(spec) > 0
+
+    def test_sparse_ridge_is_higher(self, spec):
+        assert ridge_intensity(spec, sparse=True) == pytest.approx(
+            2 * ridge_intensity(spec))
+
+    def test_a100_ridge_below_4070s(self, spec, a100):
+        """A100 is relatively memory-rich (§6.6)."""
+        assert ridge_intensity(a100) < ridge_intensity(spec)
+
+
+class TestPlacement:
+    def test_efficiency_bounded(self, spec):
+        cost = DENSE_GEMM.cost(*SIZE, spec)
+        point = place(cost, spec)
+        assert 0.0 < point.efficiency <= 1.0
+
+    def test_dense_gemm_is_compute_bound(self, spec):
+        point = place(DENSE_GEMM.cost(*SIZE, spec), spec)
+        assert point.bound == "compute"
+        assert point.arithmetic_intensity > ridge_intensity(spec)
+
+    def test_sputnik_is_memory_bound(self, spec):
+        point = place(SPUTNIK.cost(*SIZE, spec), spec)
+        assert point.bound == "memory"
+
+    def test_samoyeds_achieved_below_its_effective_roof(self, spec):
+        # Samoyeds skips M/N = 2x sub-rows on top of mma.sp's 2:4, so
+        # its effective roof is sparse_roof * 2; achieved effective
+        # throughput must stay under that bound.
+        point = place(SAMOYEDS_KERNEL.cost(*SIZE, spec), spec,
+                      sparse=True, zero_skip_factor=2.0)
+        assert point.efficiency <= 1.0
+
+    def test_effective_throughput_can_exceed_dense_roof(self, spec):
+        # The paper's headline: skipping zeros lets effective TFLOP/s
+        # exceed what dense hardware could ever issue.
+        point = place(SAMOYEDS_KERNEL.cost(*SIZE, spec), spec,
+                      sparse=True, zero_skip_factor=2.0)
+        assert point.achieved_flops_per_s > spec.dense_tc_flops
+
+    def test_samoyeds_intensity_above_dense(self, spec):
+        sam = place(SAMOYEDS_KERNEL.cost(*SIZE, spec), spec, sparse=True)
+        dense = place(DENSE_GEMM.cost(*SIZE, spec), spec)
+        # Same effective flops over fewer bytes.
+        assert sam.arithmetic_intensity > dense.arithmetic_intensity
+
+
+class TestRender:
+    def test_render_contains_all_kernels(self, spec):
+        points = [place(DENSE_GEMM.cost(*SIZE, spec), spec),
+                  place(SPUTNIK.cost(*SIZE, spec), spec)]
+        text = render(points)
+        assert "cublas" in text and "sputnik" in text
+
+    def test_render_empty(self):
+        assert "no roofline" in render([])
