@@ -8,4 +8,5 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.24"],
+    entry_points={"console_scripts": ["repro=repro.__main__:main"]},
 )

@@ -15,6 +15,7 @@ Public surface (see README for a tour):
 * :mod:`repro.moe` - routers, experts, and the five MoE layer engines;
 * :mod:`repro.models` - attention + decoder-layer end-to-end runner;
 * :mod:`repro.pruning` - pattern-constrained pruning and accuracy proxy;
+* :mod:`repro.serve` - request-level continuous-batching serving simulator;
 * :mod:`repro.bench` - the harness that regenerates every paper figure.
 """
 
@@ -36,8 +37,10 @@ from repro.formats import (
     prune_samoyeds,
 )
 from repro.hw import GPUSpec, get_gpu, list_gpus
+from repro.context import ExecutionContext
 
 __all__ = [
+    "ExecutionContext",
     "CapacityError",
     "ConfigError",
     "FormatError",

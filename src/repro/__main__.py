@@ -1,0 +1,30 @@
+"""Top-level dispatcher: ``python -m repro`` / the ``repro`` script.
+
+``repro bench <subcommand>`` forwards to :mod:`repro.bench.cli`, so the
+installed console script mirrors the module entry point::
+
+    repro bench serve --engines samoyeds,vllm --trace poisson
+    python -m repro bench maxbatch --gpu a100
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print("usage: repro bench <subcommand> [options]\n"
+              "       (see `repro bench --help` for subcommands)")
+        return 0 if argv else 2
+    if argv[0] == "bench":
+        from repro.bench.cli import main as bench_main
+        return bench_main(argv[1:])
+    print(f"repro: unknown command {argv[0]!r}; try `repro bench --help`",
+          file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

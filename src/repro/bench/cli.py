@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro.bench``.
+"""Command-line interface: ``python -m repro.bench`` (or ``repro bench``).
 
 Subcommands:
 
@@ -6,7 +6,9 @@ Subcommands:
 * ``kernels --m --k --n [--gpu]`` — one-off kernel comparison;
 * ``tune --m --k --n [--gpu]`` — autotune the Samoyeds kernel;
 * ``roofline --m --k --n [--gpu]`` — place every kernel on the roofline;
-* ``maxbatch [--gpu] [--seq]`` — Table-3 style memory report.
+* ``maxbatch [--gpu] [--seq]`` — Table-3 style memory report;
+* ``serve --engines a,b --trace poisson`` — continuous-batching serving
+  simulation comparing engines under identical traffic (JSON report).
 """
 
 from __future__ import annotations
@@ -15,14 +17,18 @@ import argparse
 import sys
 
 from repro.bench.figures import EXPERIMENTS, run_experiment
-from repro.bench.report import render_table
+from repro.bench.report import render_json, render_table
 from repro.hw.roofline import place, render
 from repro.hw.spec import get_gpu, list_gpus
 from repro.kernels import KERNELS
 from repro.kernels.autotuner import tune
 from repro.moe.config import MODEL_REGISTRY
 from repro.moe.memory_model import max_batch_size
+from repro.utils.rng import DEFAULT_SEED
 from repro.utils.units import format_seconds
+
+#: Friendly aliases accepted by ``serve --engines``.
+ENGINE_ALIASES = {"vllm": "vllm-ds", "hf": "transformers"}
 
 
 def _add_gpu_arg(parser: argparse.ArgumentParser) -> None:
@@ -107,6 +113,86 @@ def cmd_maxbatch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.context import ExecutionContext
+    from repro.errors import ReproError
+    from repro.serve import (
+        ContinuousBatcher,
+        StaticBatcher,
+        bursty_trace,
+        poisson_trace,
+        simulate,
+    )
+    from repro.serve.metrics import REPORT_HEADERS
+
+    from repro.moe.layers import ENGINES
+
+    config = MODEL_REGISTRY[args.model]
+    make_trace = poisson_trace if args.trace == "poisson" else bursty_trace
+    engines = []
+    for raw in args.engines.split(","):
+        name = ENGINE_ALIASES.get(raw.strip(), raw.strip())
+        if name not in ENGINES:
+            known = ", ".join([*ENGINES, *ENGINE_ALIASES])
+            print(f"repro bench serve: unknown engine {raw.strip()!r}; "
+                  f"known: {known}", file=sys.stderr)
+            return 2
+        engines.append(name)
+    try:
+        trace = make_trace(args.requests, args.qps,
+                           prompt_tokens=args.prompt_tokens,
+                           output_tokens=args.output_tokens,
+                           seed=args.seed)
+    except ReproError as exc:
+        print(f"repro bench serve: invalid trace parameters: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.batcher == "continuous":
+        batcher_factory = lambda: ContinuousBatcher(  # noqa: E731
+            token_budget=args.token_budget)
+    else:
+        batcher_factory = lambda: StaticBatcher(  # noqa: E731
+            batch_size=args.batch_size)
+
+    reports = []
+    rows = []
+    for name in engines:
+        ctx = ExecutionContext.create(config, name, args.gpu,
+                                      streams=args.streams)
+        try:
+            report = simulate(ctx, trace=trace, batcher=batcher_factory(),
+                              num_layers=args.layers, seed=args.seed)
+        except ReproError as exc:
+            print(f"# {name}: infeasible ({exc})", file=sys.stderr)
+            reports.append({"engine": name, "error": str(exc)})
+            continue
+        reports.append(report.to_dict())
+        rows.append(report.summary_row())
+    if rows:
+        print(render_table(
+            REPORT_HEADERS, rows,
+            title=(f"{args.model} on {args.gpu}: {args.trace} trace, "
+                   f"{args.requests} requests at {args.qps} QPS")),
+            file=sys.stderr)
+    payload = {
+        "model": args.model,
+        "gpu": args.gpu,
+        "trace": args.trace,
+        "qps_offered": args.qps,
+        "requests": args.requests,
+        "seed": args.seed,
+        "batcher": args.batcher,
+        "engines": reports,
+    }
+    text = render_json(payload)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -137,6 +223,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seq", type=int, default=1024)
     _add_gpu_arg(p)
     p.set_defaults(fn=cmd_maxbatch)
+
+    p = sub.add_parser("serve",
+                       help="continuous-batching serving simulation")
+    p.add_argument("--model", default="mixtral-8x7b",
+                   choices=sorted(MODEL_REGISTRY))
+    p.add_argument("--engines", default="samoyeds,vllm-ds",
+                   help="comma-separated engines (vllm = vllm-ds)")
+    p.add_argument("--trace", default="poisson",
+                   choices=["poisson", "bursty"])
+    p.add_argument("--qps", type=float, default=2.0,
+                   help="offered load in requests/second")
+    p.add_argument("--requests", type=int, default=48)
+    p.add_argument("--prompt-tokens", type=int, default=512)
+    p.add_argument("--output-tokens", type=int, default=32)
+    p.add_argument("--batcher", default="continuous",
+                   choices=["continuous", "static"])
+    p.add_argument("--token-budget", type=int, default=4096,
+                   help="continuous batcher per-step token budget")
+    p.add_argument("--batch-size", type=int, default=8,
+                   help="static batcher batch size")
+    p.add_argument("--layers", type=int, default=None,
+                   help="decoder layers per step (default: model's)")
+    p.add_argument("--streams", type=int, default=1,
+                   help="expert-segment streams (LPT overlap when > 1)")
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.add_argument("--output", default=None,
+                   help="write the JSON report here instead of stdout")
+    _add_gpu_arg(p)
+    p.set_defaults(fn=cmd_serve)
     return parser
 
 

@@ -7,6 +7,7 @@ by line with the paper (EXPERIMENTS.md records both).
 
 from __future__ import annotations
 
+import json
 from typing import Iterable, Sequence
 
 
@@ -42,6 +43,16 @@ def render_series(name: str, xs: Sequence[object],
             row.append(series[key][i])
         rows.append(row)
     return render_table(headers, rows, title=name)
+
+
+def render_json(payload: object, indent: int = 2) -> str:
+    """Canonical JSON rendering for machine-readable reports.
+
+    Keys keep insertion order (report dataclasses emit them in a stable
+    order already) and floats round-trip exactly, so two runs with the
+    same seed produce byte-identical reports.
+    """
+    return json.dumps(payload, indent=indent, allow_nan=False)
 
 
 def _fmt(value: object) -> str:

@@ -3,10 +3,15 @@
 from repro.models.attention import (
     AttentionCost,
     attention_cost,
+    decode_attention_cost,
     flash_attention_cost,
     naive_attention_cost,
 )
-from repro.models.decoder import DecoderBreakdown, decoder_cost
+from repro.models.decoder import (
+    DecoderBreakdown,
+    decoder_cost,
+    decoder_decode_cost,
+)
 from repro.models.runner import (
     end_to_end_speedups,
     model_latency,
@@ -21,10 +26,12 @@ from repro.models.full_model import (
 __all__ = [
     "AttentionCost",
     "attention_cost",
+    "decode_attention_cost",
     "flash_attention_cost",
     "naive_attention_cost",
     "DecoderBreakdown",
     "decoder_cost",
+    "decoder_decode_cost",
     "model_latency",
     "throughput_sweep",
     "end_to_end_speedups",

@@ -77,3 +77,36 @@ def attention_cost(config: MoEModelConfig, tokens: int, spec: GPUSpec,
     if flash:
         return flash_attention_cost(config, tokens, spec, batch)
     return naive_attention_cost(config, tokens, spec, batch)
+
+
+def decode_attention_cost(config: MoEModelConfig, context_tokens: int,
+                          spec: GPUSpec, batch: int = 1,
+                          flash: bool = True) -> AttentionCost:
+    """One decode step: ``batch`` new tokens against cached contexts.
+
+    ``context_tokens`` is the *total* KV-cache length summed across the
+    batch (continuous batching mixes sequences of different ages, so the
+    per-request contexts are heterogeneous; their attention costs are
+    additive).  Decode attention is a GEMV per head: the score/value core
+    streams the K and V caches once, so it is memory-bound on every
+    device in the registry.  The quadratic term of prefill disappears —
+    each new token does ``O(context)`` work.
+    """
+    h = config.hidden_size
+    proj = _projection_seconds(config, batch, spec)
+    core_flops = 2.0 * 2.0 * context_tokens * h        # QK^T and PV rows
+    kv_bytes = 2.0 * 2.0 * context_tokens * h          # K and V, fp16
+    # GEMV-shaped work: tensor cores idle, SIMT FLOPs bound compute.
+    core_compute = core_flops / spec.cuda_core_flops
+    core = max(core_compute, kv_bytes / spec.dram_bandwidth)
+    if flash:
+        total = proj + core + spec.kernel_launch_overhead_s
+        return AttentionCost(projection_s=proj, core_s=core, softmax_s=0.0,
+                             total_s=total, flash=True)
+    score_bytes = batch * config.num_heads * max(
+        context_tokens / max(batch, 1), 1.0) * 2.0
+    softmax = 2.0 * score_bytes / spec.dram_bandwidth \
+        + spec.kernel_launch_overhead_s
+    total = proj + core + softmax + 2 * spec.kernel_launch_overhead_s
+    return AttentionCost(projection_s=proj, core_s=core, softmax_s=softmax,
+                         total_s=total, flash=False)

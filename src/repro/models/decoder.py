@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hw.spec import GPUSpec
-from repro.models.attention import attention_cost
+from repro.models.attention import attention_cost, decode_attention_cost
 from repro.moe.config import MoEModelConfig
 from repro.moe.layers import ENGINES, MoEEngine
 
@@ -25,6 +25,7 @@ class DecoderBreakdown:
     moe_s: float
     norm_s: float
     flash: bool
+    phase: str = "prefill"
 
     @property
     def total_s(self) -> float:
@@ -46,12 +47,15 @@ class DecoderBreakdown:
         }
 
 
-def _norm_seconds(config: MoEModelConfig, tokens: int,
-                  spec: GPUSpec) -> float:
+def norm_seconds(config: MoEModelConfig, tokens: int,
+                 spec: GPUSpec) -> float:
     """Two RMSNorms: pure elementwise traffic over the hidden states."""
     bytes_per_pass = 2.0 * tokens * config.hidden_size * 2
     return 2.0 * (bytes_per_pass / spec.dram_bandwidth
                   + spec.kernel_launch_overhead_s)
+
+
+_norm_seconds = norm_seconds
 
 
 def decoder_cost(config: MoEModelConfig, tokens: int, spec: GPUSpec,
@@ -83,4 +87,37 @@ def decoder_cost(config: MoEModelConfig, tokens: int, spec: GPUSpec,
         moe_s=moe.time_s,
         norm_s=norm,
         flash=flash,
+        phase="prefill",
+    )
+
+
+def decoder_decode_cost(config: MoEModelConfig, context_tokens: int,
+                        spec: GPUSpec,
+                        engine: MoEEngine | str = "transformers",
+                        batch: int = 1, flash: bool = True,
+                        num_shared: int | None = None) -> DecoderBreakdown:
+    """Decode-phase decoder layer: one new token per sequence.
+
+    Serving splits request lifetime into a *prefill* step (the whole
+    prompt, :func:`decoder_cost`) and many *decode* steps.  A decode step
+    processes ``batch`` fresh tokens — one per running sequence — while
+    attention reads the cumulative KV caches (``context_tokens`` summed
+    across the batch).  Only the new tokens traverse the MoE layer, so
+    the expert workload shrinks to ``batch`` tokens and the per-expert
+    padding discussion of §6.2 bites hardest here.
+    """
+    if isinstance(engine, str):
+        engine = ENGINES[engine]
+    attn = decode_attention_cost(config, context_tokens, spec,
+                                 batch=batch, flash=flash)
+    moe = engine.cost(config, max(batch, 1), spec, num_shared=num_shared)
+    norm = norm_seconds(config, max(batch, 1), spec)
+    return DecoderBreakdown(
+        model=config.name,
+        engine=engine.name,
+        attention_s=attn.total_s,
+        moe_s=moe.time_s,
+        norm_s=norm,
+        flash=flash,
+        phase="decode",
     )

@@ -4,18 +4,22 @@ Measures a single decoder layer per the paper's protocol and converts to
 throughput.  Memory feasibility is enforced through the Table-3 footprint
 model, so over-budget (engine, batch) points raise
 :class:`~repro.errors.CapacityError` exactly where the paper prints OOM.
+
+Every entry point accepts either an :class:`~repro.context.ExecutionContext`
+or the legacy ``(config, engine, spec)`` positional triple; the serving
+engine in :mod:`repro.serve` always passes a context.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.context import ExecutionContext
 from repro.errors import CapacityError, ConfigError
 from repro.hw.spec import GPUSpec
 from repro.models.decoder import DecoderBreakdown, decoder_cost
 from repro.moe.config import MoEModelConfig
 from repro.moe.layers import ENGINES, MoEEngine
-from repro.moe.memory_model import footprint
 
 
 @dataclass(frozen=True)
@@ -29,74 +33,90 @@ class ModelPoint:
     tokens_per_s: float
 
 
-def _resolve(engine: MoEEngine | str) -> MoEEngine:
-    if isinstance(engine, str):
-        try:
-            return ENGINES[engine]
-        except KeyError:
-            raise ConfigError(f"unknown engine {engine!r}") from None
-    return engine
-
-
-def model_latency(config: MoEModelConfig, engine: MoEEngine | str,
-                  spec: GPUSpec, batch: int = 1,
-                  seq_len: int | None = None, flash: bool = True,
+def model_latency(context: ExecutionContext | MoEModelConfig,
+                  engine: MoEEngine | str | None = None,
+                  spec: GPUSpec | None = None, batch: int = 1,
+                  seq_len: int | None = None, flash: bool | None = None,
                   check_memory: bool = True) -> DecoderBreakdown:
     """Latency of one decoder layer at (batch, seq)."""
-    eng = _resolve(engine)
-    seq = min(seq_len or config.max_seq_len, config.max_seq_len)
+    ctx = ExecutionContext.resolve(context, engine, spec, flash)
+    seq = min(seq_len or ctx.config.max_seq_len, ctx.config.max_seq_len)
     if check_memory:
-        footprint(config, eng.name, seq, spec).require_batch(batch)
-    return decoder_cost(config, seq, spec, engine=eng, batch=batch,
-                        flash=flash)
+        ctx.footprint(seq).require_batch(batch)
+    return decoder_cost(ctx.config, seq, ctx.spec, engine=ctx.engine,
+                        batch=batch, flash=ctx.flash)
 
 
-def model_point(config: MoEModelConfig, engine: MoEEngine | str,
-                spec: GPUSpec, batch: int, seq_len: int,
-                flash: bool = True,
+def model_point(context: ExecutionContext | MoEModelConfig,
+                engine: MoEEngine | str | None = None,
+                spec: GPUSpec | None = None, batch: int = 1,
+                seq_len: int | None = None, flash: bool | None = None,
                 check_memory: bool = True) -> ModelPoint:
     """Latency + throughput of one configuration."""
-    eng = _resolve(engine)
-    breakdown = model_latency(config, eng, spec, batch=batch,
-                              seq_len=seq_len, flash=flash,
+    ctx = ExecutionContext.resolve(context, engine, spec, flash)
+    breakdown = model_latency(ctx, batch=batch, seq_len=seq_len,
                               check_memory=check_memory)
-    seq = min(seq_len, config.max_seq_len)
+    seq = min(seq_len or ctx.config.max_seq_len, ctx.config.max_seq_len)
     tokens = batch * seq
-    return ModelPoint(engine=eng.name, batch=batch, seq_len=seq,
+    return ModelPoint(engine=ctx.engine.name, batch=batch, seq_len=seq,
                       latency_s=breakdown.total_s,
                       tokens_per_s=tokens / breakdown.total_s)
 
 
-def throughput_sweep(config: MoEModelConfig, spec: GPUSpec,
-                     batches: list[int], seq_len: int,
+def throughput_sweep(context: ExecutionContext | MoEModelConfig,
+                     spec: GPUSpec | None = None,
+                     batches: list[int] | None = None,
+                     seq_len: int | None = None,
                      engines: list[str] | None = None
                      ) -> dict[str, list[ModelPoint | None]]:
-    """Figure 16: throughput vs batch size; ``None`` marks OOM / NS."""
+    """Figure 16: throughput vs batch size; ``None`` marks OOM / NS.
+
+    With an :class:`ExecutionContext` first argument the sweep keeps the
+    context's device and flash setting and still compares every engine
+    (pass ``engines`` to narrow it); the context's own engine is only the
+    default when ``engines`` is a one-element list elsewhere.
+    """
+    if isinstance(context, ExecutionContext):
+        base = context
+    else:
+        base = ExecutionContext.resolve(context, "transformers", spec)
+    if batches is None:
+        raise ConfigError("throughput_sweep requires explicit batches")
+    seq = seq_len if seq_len is not None else base.config.max_seq_len
     engines = engines or list(ENGINES)
     out: dict[str, list[ModelPoint | None]] = {}
     for name in engines:
+        ctx = base.with_engine(name)
         series: list[ModelPoint | None] = []
         for batch in batches:
             try:
-                series.append(model_point(config, name, spec, batch,
-                                          seq_len))
+                series.append(model_point(ctx, batch=batch, seq_len=seq))
             except (CapacityError, ConfigError):
                 series.append(None)
         out[name] = series
     return out
 
 
-def end_to_end_speedups(config: MoEModelConfig, spec: GPUSpec,
+def end_to_end_speedups(context: ExecutionContext | MoEModelConfig,
+                        spec: GPUSpec | None = None,
                         batch: int = 1, seq_len: int | None = None,
                         baseline: str = "transformers"
                         ) -> dict[str, float | None]:
     """Figure 15: speedup of every engine over ``baseline``.
 
-    ``None`` marks NS/OOM entries, mirroring the paper's markers.
+    ``None`` marks NS/OOM entries, mirroring the paper's markers.  The
+    default sequence length is the model's positional limit
+    (``config.max_seq_len``), matching §6.3's protocol of measuring each
+    model at its own maximum context.
     """
-    seq = min(seq_len or 4096, config.max_seq_len)
+    if isinstance(context, ExecutionContext):
+        base_ctx = context.with_engine(baseline)
+    else:
+        base_ctx = ExecutionContext.resolve(context, baseline, spec)
+    config = base_ctx.config
+    seq = min(seq_len or config.max_seq_len, config.max_seq_len)
     try:
-        base = model_point(config, baseline, spec, batch, seq)
+        base = model_point(base_ctx, batch=batch, seq_len=seq)
     except (CapacityError, ConfigError) as exc:
         raise ConfigError(
             f"baseline {baseline} infeasible for {config.name}: {exc}"
@@ -107,7 +127,8 @@ def end_to_end_speedups(config: MoEModelConfig, spec: GPUSpec,
             out[name] = 1.0
             continue
         try:
-            point = model_point(config, name, spec, batch, seq)
+            point = model_point(base_ctx.with_engine(name), batch=batch,
+                                seq_len=seq)
             out[name] = base.latency_s / point.latency_s
         except (CapacityError, ConfigError):
             out[name] = None

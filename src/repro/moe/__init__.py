@@ -26,7 +26,12 @@ from repro.moe.layers import (
     TransformersEngine,
     VllmEngine,
 )
-from repro.moe.memory_model import MemoryFootprint, max_batch_size
+from repro.moe.memory_model import (
+    KVCacheTracker,
+    MemoryFootprint,
+    max_batch_size,
+    per_sequence_bytes,
+)
 from repro.moe.dataflow import permutation_seconds, unpermutation_seconds
 from repro.moe.trace import padding_report, skewed_plan
 from repro.moe.scheduler import compare_policies
@@ -52,7 +57,9 @@ __all__ = [
     "PitEngine",
     "SamoyedsEngine",
     "MemoryFootprint",
+    "KVCacheTracker",
     "max_batch_size",
+    "per_sequence_bytes",
     "permutation_seconds",
     "unpermutation_seconds",
     "padding_report",

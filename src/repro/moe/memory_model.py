@@ -182,3 +182,107 @@ def max_batch_size(config: MoEModelConfig, engine: str, seq_len: int,
                    spec: GPUSpec) -> int:
     """Table 3's quantity: the largest batch size that fits in memory."""
     return footprint(config, engine, seq_len, spec).max_batch()
+
+
+def per_sequence_bytes(config: MoEModelConfig, engine: str,
+                       seq_len: int) -> float:
+    """Peak per-sequence bytes at context length ``seq_len``.
+
+    Exactly the ``per_batch_bytes`` term of :func:`footprint`, exposed so
+    request-level admission control charges each sequence the same price
+    the Table-3 model charges a batch element — which is what makes the
+    serving simulator's emergent concurrency limit agree with Table 3.
+    """
+    return (kv_cache_bytes(config, seq_len)
+            + _base_activation_bytes(config, seq_len)
+            + moe_workspace_bytes(config, seq_len, engine))
+
+
+@dataclass
+class KVCacheTracker:
+    """Time-varying device-memory ledger for a serving engine.
+
+    Static state (weights + framework overhead) is charged up front; each
+    admitted request *reserves* its peak footprint — KV cache at its full
+    final context plus the engine's per-sequence workspace — so decode
+    steps can never OOM mid-request (the vLLM-style conservative
+    admission policy).  ``live_bytes`` additionally reports the
+    instantaneous footprint as KV caches grow token by token, which the
+    serving metrics sample per step.
+    """
+
+    config: MoEModelConfig
+    engine: str
+    spec: GPUSpec
+
+    def __post_init__(self) -> None:
+        self.static_bytes = (weight_bytes(self.config, self.engine)
+                             + float(FIXED_OVERHEAD[self.engine]))
+        self.budget_bytes = (float(self.spec.dram_capacity)
+                             * (1.0 - FRAGMENTATION))
+        self._reserved: dict[int, float] = {}
+        self._context: dict[int, int] = {}
+
+    # -- admission -----------------------------------------------------
+    def sequence_bytes(self, seq_len: int) -> float:
+        return per_sequence_bytes(self.config, self.engine, seq_len)
+
+    @property
+    def reserved_bytes(self) -> float:
+        return self.static_bytes + sum(self._reserved.values())
+
+    @property
+    def free_bytes(self) -> float:
+        return self.budget_bytes - self.reserved_bytes
+
+    def can_admit(self, final_seq_len: int) -> bool:
+        """Would a request peaking at ``final_seq_len`` tokens fit?"""
+        return self.sequence_bytes(final_seq_len) <= self.free_bytes
+
+    def admit(self, request_id: int, prompt_tokens: int,
+              final_seq_len: int) -> None:
+        """Reserve a request's peak footprint (raises on overflow)."""
+        need = self.sequence_bytes(final_seq_len)
+        if need > self.free_bytes:
+            raise CapacityError(
+                f"{self.engine}: request {request_id} needs "
+                f"{need / GIB:.2f} GiB > {self.free_bytes / GIB:.2f} GiB "
+                f"free", required_bytes=int(need),
+                available_bytes=int(max(self.free_bytes, 0)))
+        if request_id in self._reserved:
+            raise ConfigError(f"request {request_id} already admitted")
+        self._reserved[request_id] = need
+        self._context[request_id] = prompt_tokens
+
+    def grow(self, request_id: int, new_tokens: int = 1) -> None:
+        """Advance a request's live KV context by ``new_tokens``."""
+        self._context[request_id] += new_tokens
+
+    def release(self, request_id: int) -> None:
+        """Free a finished (or evicted) request's reservation."""
+        self._reserved.pop(request_id, None)
+        self._context.pop(request_id, None)
+
+    # -- observation ---------------------------------------------------
+    @property
+    def active_requests(self) -> int:
+        return len(self._reserved)
+
+    @property
+    def live_bytes(self) -> float:
+        """Instantaneous footprint: static + grown-so-far KV caches."""
+        return self.static_bytes + sum(
+            kv_cache_bytes(self.config, tokens)
+            for tokens in self._context.values())
+
+    def max_concurrent(self, seq_len: int) -> int:
+        """Emergent concurrency limit for uniform ``seq_len`` requests.
+
+        Equals :meth:`MemoryFootprint.max_batch` by construction — the
+        serving engine reproduces Table 3 without consulting it.
+        """
+        per_seq = self.sequence_bytes(seq_len)
+        if per_seq <= 0:
+            raise ConfigError("per-sequence bytes must be positive")
+        return max(0, int((self.budget_bytes - self.static_bytes)
+                          // per_seq))

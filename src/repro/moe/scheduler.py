@@ -23,12 +23,16 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import ConfigError
 from repro.hw.spec import GPUSpec
 from repro.kernels.ssmm_samoyeds import SamoyedsKernel
 from repro.moe.config import MoEModelConfig
 from repro.moe.router import RoutingPlan
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.context import ExecutionContext
 
 
 @dataclass(frozen=True)
@@ -52,22 +56,60 @@ class ScheduleResult:
         return self.total_work_s / (self.streams * self.makespan_s)
 
 
-def expert_segment_seconds(config: MoEModelConfig, plan: RoutingPlan,
-                           spec: GPUSpec, kernel: SamoyedsKernel,
-                           tile_n: int = 64) -> list[float]:
-    """Per-expert SSMM-triple time under the actual routed loads."""
+def segment_seconds_from_loads(config: MoEModelConfig,
+                               loads: Iterable[int], spec: GPUSpec,
+                               kernel: SamoyedsKernel,
+                               tile_n: int = 64) -> list[float]:
+    """Per-expert SSMM-triple time for the given per-expert token loads.
+
+    The gate and up projections share one GEMM shape ``(inter, h, n_e)``
+    so their cost is computed once and counted twice; repeated padded
+    loads (common under near-uniform routing) hit a per-call memo so a
+    serving step prices a 64-expert layer with a handful of kernel-model
+    evaluations.
+    """
+    if tile_n <= 0:
+        raise ConfigError("tile_n must be positive")
     h, inter = config.hidden_size, config.intermediate_size
+    memo: dict[int, float] = {}
     out = []
-    for load in plan.load():
+    for load in loads:
         if load == 0:
             out.append(0.0)
             continue
         n_e = math.ceil(int(load) / tile_n) * tile_n
-        triple = (kernel.cost(inter, h, n_e, spec).time_s
-                  + kernel.cost(inter, h, n_e, spec).time_s
-                  + kernel.cost(h, inter, n_e, spec).time_s)
+        triple = memo.get(n_e)
+        if triple is None:
+            gate_up = kernel.cost(inter, h, n_e, spec).time_s
+            down = kernel.cost(h, inter, n_e, spec).time_s
+            triple = memo[n_e] = 2.0 * gate_up + down
         out.append(triple)
     return out
+
+
+def expert_segment_seconds(config: "MoEModelConfig | ExecutionContext",
+                           plan: RoutingPlan,
+                           spec: GPUSpec | None = None,
+                           kernel: SamoyedsKernel | None = None,
+                           tile_n: int | None = None) -> list[float]:
+    """Per-expert SSMM-triple time under the actual routed loads.
+
+    Accepts either the legacy ``(config, plan, spec, kernel)`` arguments
+    or an :class:`~repro.context.ExecutionContext` first argument that
+    supplies device, kernel and tile choices.
+    """
+    from repro.context import ExecutionContext
+    if isinstance(config, ExecutionContext):
+        ctx = config
+        spec = spec or ctx.spec
+        kernel = kernel or ctx.segment_kernel()
+        tile_n = ctx.effective_tile_n if tile_n is None else tile_n
+        config = ctx.config
+    if spec is None or kernel is None:
+        raise ConfigError(
+            "spec and kernel are required without an ExecutionContext")
+    return segment_seconds_from_loads(config, plan.load(), spec, kernel,
+                                      64 if tile_n is None else tile_n)
 
 
 def schedule_sequential(segments: list[float]) -> ScheduleResult:
@@ -113,13 +155,30 @@ def schedule_fused(config: MoEModelConfig, plan: RoutingPlan,
                           segment_seconds=(total,))
 
 
-def compare_policies(config: MoEModelConfig, plan: RoutingPlan,
-                     spec: GPUSpec,
+def compare_policies(config: "MoEModelConfig | ExecutionContext",
+                     plan: RoutingPlan,
+                     spec: GPUSpec | None = None,
                      kernel: SamoyedsKernel | None = None,
-                     streams: int = 4,
-                     tile_n: int = 64) -> dict[str, ScheduleResult]:
-    """All three policies on one routed workload."""
+                     streams: int | None = None,
+                     tile_n: int | None = None) -> dict[str, ScheduleResult]:
+    """All three policies on one routed workload.
+
+    The first argument may be an :class:`~repro.context.ExecutionContext`
+    supplying device, kernel, stream count and tile size.
+    """
+    from repro.context import ExecutionContext
+    if isinstance(config, ExecutionContext):
+        ctx = config
+        spec = spec or ctx.spec
+        kernel = kernel or ctx.segment_kernel()
+        streams = streams if streams is not None else ctx.streams
+        tile_n = ctx.effective_tile_n if tile_n is None else tile_n
+        config = ctx.config
+    if spec is None:
+        raise ConfigError("spec is required without an ExecutionContext")
     kernel = kernel or SamoyedsKernel()
+    streams = 4 if streams is None else streams
+    tile_n = 64 if tile_n is None else tile_n
     segments = expert_segment_seconds(config, plan, spec, kernel, tile_n)
     return {
         "sequential": schedule_sequential(segments),

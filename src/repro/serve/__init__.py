@@ -1,0 +1,36 @@
+"""Request-level serving simulator (continuous batching).
+
+Everything below the serving layer prices one decoder layer for one
+token batch; this package lifts the cost stack to the *request* level: a
+discrete-event loop admits requests from an arrival trace, packs prefill
+and decode work into engine steps under a token budget, charges
+KV-cache growth against device memory, and reports TTFT / TPOT /
+throughput / queue-depth percentiles per engine.  DESIGN.md documents
+how the simulator composes with the per-layer models; this is an
+extension beyond the paper's per-layer evaluation.
+"""
+
+from repro.serve.request import (
+    Request,
+    bursty_trace,
+    poisson_trace,
+    replay_trace,
+)
+from repro.serve.batcher import ContinuousBatcher, StaticBatcher, StepPlan
+from repro.serve.engine import ServingEngine, simulate
+from repro.serve.metrics import ServeReport, percentile, summarise
+
+__all__ = [
+    "Request",
+    "poisson_trace",
+    "bursty_trace",
+    "replay_trace",
+    "ContinuousBatcher",
+    "StaticBatcher",
+    "StepPlan",
+    "ServingEngine",
+    "simulate",
+    "ServeReport",
+    "percentile",
+    "summarise",
+]

@@ -1,0 +1,170 @@
+"""Step composition policies: continuous vs static batching.
+
+A *step* is one full-model forward.  The batcher decides, at each step
+boundary, which waiting requests to admit (prefill) and which running
+requests advance by one token (decode):
+
+* :class:`ContinuousBatcher` — vLLM/Orca-style iteration-level
+  scheduling: every running request decodes each step, and new requests
+  are admitted the moment the token budget and device memory allow,
+  mixing prefill and decode work in one step;
+* :class:`StaticBatcher` — the classic baseline: collect a fixed batch,
+  run it to completion, admit nothing in between.  Short requests wait
+  for the stragglers (the convoy effect continuous batching removes).
+
+Admission charges each request's peak footprint against the
+:class:`~repro.moe.memory_model.KVCacheTracker`, so the concurrency
+ceiling per engine emerges from the Table-3 memory model rather than a
+configured limit.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.moe.memory_model import KVCacheTracker
+from repro.serve.request import Request
+
+
+@dataclass
+class ActiveRequest:
+    """A request resident in device memory (admitted, not finished)."""
+
+    request: Request
+    admitted_s: float
+    generated: int = 0
+    prefilled: bool = False
+
+    @property
+    def context_tokens(self) -> int:
+        """Current KV-cache length of this request."""
+        return self.request.prompt_tokens + self.generated
+
+    @property
+    def finished(self) -> bool:
+        return self.generated >= self.request.output_tokens
+
+
+@dataclass(frozen=True)
+class StepPlan:
+    """Work selected for one engine step."""
+
+    prefill: tuple[ActiveRequest, ...] = ()
+    decode: tuple[ActiveRequest, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not self.prefill and not self.decode
+
+    @property
+    def prefill_tokens(self) -> int:
+        return sum(ar.request.prompt_tokens for ar in self.prefill)
+
+    @property
+    def decode_tokens(self) -> int:
+        return len(self.decode)
+
+    @property
+    def total_tokens(self) -> int:
+        """New tokens traversing the MoE layer this step."""
+        return self.prefill_tokens + self.decode_tokens
+
+
+class Batcher(abc.ABC):
+    """Step-composition policy interface."""
+
+    name: str = "batcher"
+
+    @abc.abstractmethod
+    def plan_step(self, clock: float, waiting: "deque[Request]",
+                  running: list[ActiveRequest], tracker: KVCacheTracker,
+                  more_arrivals: bool) -> StepPlan:
+        """Select this step's work; admits from ``waiting`` in place."""
+
+    def _admit(self, clock: float, waiting: "deque[Request]",
+               tracker: KVCacheTracker) -> ActiveRequest | None:
+        """Admit the head of the queue if its peak footprint fits."""
+        req = waiting[0]
+        if not tracker.can_admit(req.total_tokens):
+            return None
+        waiting.popleft()
+        tracker.admit(req.rid, req.prompt_tokens, req.total_tokens)
+        return ActiveRequest(request=req, admitted_s=clock)
+
+
+@dataclass
+class ContinuousBatcher(Batcher):
+    """Iteration-level scheduling under a per-step token budget.
+
+    ``token_budget`` bounds the *new* tokens packed into one step
+    (prompt tokens for prefill, one per decode); decode work is never
+    throttled — running requests always advance, the budget only limits
+    how much prefill is mixed in alongside them.  ``max_running``
+    optionally caps resident requests below the memory-derived limit.
+    """
+
+    token_budget: int = 4096
+    max_running: int | None = None
+
+    name: str = field(default="continuous", init=False)
+
+    def __post_init__(self) -> None:
+        if self.token_budget <= 0:
+            raise ConfigError("token_budget must be positive")
+        if self.max_running is not None and self.max_running <= 0:
+            raise ConfigError("max_running must be positive")
+
+    def plan_step(self, clock: float, waiting: "deque[Request]",
+                  running: list[ActiveRequest], tracker: KVCacheTracker,
+                  more_arrivals: bool) -> StepPlan:
+        decode = tuple(running)
+        budget = self.token_budget - len(decode)
+        prefill: list[ActiveRequest] = []
+        while waiting:
+            resident = len(decode) + len(prefill)
+            if (self.max_running is not None
+                    and resident >= self.max_running):
+                break
+            prompt = waiting[0].prompt_tokens
+            oversized = prompt > self.token_budget
+            if prompt > budget and not (oversized and resident == 0):
+                # Budget exhausted — except an over-budget prompt on an
+                # otherwise idle engine, which must run alone or starve.
+                break
+            admitted = self._admit(clock, waiting, tracker)
+            if admitted is None:
+                break                     # memory-bound: retry next step
+            prefill.append(admitted)
+            budget -= prompt
+        return StepPlan(prefill=tuple(prefill), decode=decode)
+
+
+@dataclass
+class StaticBatcher(Batcher):
+    """Fixed-size batches run to completion (the convoy baseline)."""
+
+    batch_size: int = 8
+
+    name: str = field(default="static", init=False)
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ConfigError("batch_size must be positive")
+
+    def plan_step(self, clock: float, waiting: "deque[Request]",
+                  running: list[ActiveRequest], tracker: KVCacheTracker,
+                  more_arrivals: bool) -> StepPlan:
+        if running:
+            return StepPlan(decode=tuple(running))
+        if len(waiting) < self.batch_size and more_arrivals:
+            return StepPlan()             # wait for the batch to fill
+        prefill: list[ActiveRequest] = []
+        while waiting and len(prefill) < self.batch_size:
+            admitted = self._admit(clock, waiting, tracker)
+            if admitted is None:
+                break
+            prefill.append(admitted)
+        return StepPlan(prefill=tuple(prefill))

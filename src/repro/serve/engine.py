@@ -1,0 +1,219 @@
+"""Discrete-event serving loop over the per-layer cost stack.
+
+The engine advances a clock from step to step: at each boundary the
+batcher composes the step (admissions + decodes), the step's duration is
+priced with the prefill/decode cost split from :mod:`repro.models` —
+scaled by ``num_layers`` to a full-model forward — and request lifecycle
+timestamps fall out of the clock.  Memory is charged through
+:class:`~repro.moe.memory_model.KVCacheTracker`, so each engine's
+sustainable concurrency (and therefore its saturation QPS) emerges from
+the same footprint model that reproduces Table 3.
+
+Inside a step, the MoE layer can optionally be priced through the
+expert-segment LPT scheduler (``streams > 1`` on a Samoyeds context):
+per-expert loads are drawn from the routing-skew profile and the
+segments are packed onto streams, replacing the sequential segment sum
+of the engine cost model while keeping its data-flow overheads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.context import ExecutionContext
+from repro.errors import CapacityError, ConfigError
+from repro.models.attention import attention_cost, decode_attention_cost
+from repro.models.decoder import norm_seconds
+from repro.moe.layers import SamoyedsEngine
+from repro.moe.memory_model import KVCacheTracker
+from repro.moe.scheduler import schedule_parallel, segment_seconds_from_loads
+from repro.moe.trace import zipf_expert_popularity
+from repro.serve.batcher import (
+    ActiveRequest,
+    Batcher,
+    ContinuousBatcher,
+    StepPlan,
+)
+from repro.serve.metrics import (
+    MetricsCollector,
+    RequestRecord,
+    ServeReport,
+    StepSample,
+    summarise,
+)
+from repro.serve.request import Request, validate_trace
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class ServingEngine:
+    """One simulated model server: context + batching policy + memory.
+
+    Attributes:
+        ctx: Execution context (model, engine, device, stream count).
+        batcher: Step-composition policy (continuous by default).
+        num_layers: Decoder layers per forward; ``None`` uses the
+            model's layer count (full-model steps), ``1`` reproduces the
+            paper's single-layer protocol.
+        routing_skew: Zipf skew of the per-step expert loads used by the
+            LPT segment scheduler when ``ctx.streams > 1``.
+        seed: RNG seed for the per-step routing draws.
+    """
+
+    ctx: ExecutionContext
+    batcher: Batcher = field(default_factory=ContinuousBatcher)
+    num_layers: int | None = None
+    routing_skew: float = 0.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        self._layers = self.num_layers or self.ctx.config.num_layers
+        if self._layers <= 0:
+            raise ConfigError("num_layers must be positive")
+        self._rng = new_rng(self.seed)
+        self._moe_memo: dict[int, float] = {}
+        self._popularity = zipf_expert_popularity(
+            self.ctx.config.num_experts, self.routing_skew)
+
+    # ------------------------------------------------------------------
+    # Step pricing
+    # ------------------------------------------------------------------
+    def step_seconds(self, plan: StepPlan) -> float:
+        """Duration of one engine step (full forward over all layers)."""
+        cfg, spec = self.ctx.config, self.ctx.spec
+        attn = 0.0
+        for ar in plan.prefill:
+            attn += attention_cost(cfg, ar.request.prompt_tokens, spec,
+                                   batch=1, flash=self.ctx.flash).total_s
+        if plan.decode:
+            context = sum(ar.context_tokens for ar in plan.decode)
+            attn += decode_attention_cost(cfg, context, spec,
+                                          batch=len(plan.decode),
+                                          flash=self.ctx.flash).total_s
+        tokens = plan.total_tokens
+        layer = attn + self._moe_seconds(tokens) \
+            + norm_seconds(cfg, tokens, spec)
+        return layer * self._layers
+
+    def _moe_seconds(self, tokens: int) -> float:
+        """MoE-layer seconds for ``tokens`` new tokens in one step."""
+        if tokens <= 0:
+            return 0.0
+        ctx = self.ctx
+        use_lpt = ctx.streams > 1 and isinstance(ctx.engine, SamoyedsEngine)
+        if not use_lpt:
+            cached = self._moe_memo.get(tokens)
+            if cached is None:
+                cached = ctx.engine.cost(ctx.config, tokens,
+                                         ctx.spec).time_s
+                self._moe_memo[tokens] = cached
+            return cached
+        # LPT path: overlap per-expert SSMM segments on ctx.streams
+        # streams; keep the engine model's data-flow overheads.
+        cost = ctx.engine.cost(ctx.config, tokens, ctx.spec)
+        routed = tokens * ctx.config.top_k
+        loads = self._rng.multinomial(routed, self._popularity)
+        segments = segment_seconds_from_loads(
+            ctx.config, loads, ctx.spec, ctx.segment_kernel(),
+            ctx.effective_tile_n)
+        makespan = schedule_parallel(segments, ctx.streams).makespan_s
+        dataflow = float(cost.detail.get("dataflow_s", 0.0))
+        return makespan + dataflow
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def run(self, trace: Sequence[Request],
+            max_steps: int = 1_000_000) -> ServeReport:
+        """Serve ``trace`` to completion and summarise the run."""
+        validate_trace(trace)
+        tracker = KVCacheTracker(self.ctx.config, self.ctx.engine.name,
+                                 self.ctx.spec)
+        arrivals = deque(sorted(trace, key=lambda r: r.arrival_s))
+        records = {req.rid: RequestRecord(req) for req in trace}
+        waiting: deque[Request] = deque()
+        running: list[ActiveRequest] = []
+        collector = MetricsCollector()
+        clock = 0.0
+        steps = 0
+
+        while arrivals or waiting or running:
+            while arrivals and arrivals[0].arrival_s <= clock + 1e-12:
+                waiting.append(arrivals.popleft())
+            plan = self.batcher.plan_step(clock, waiting, running, tracker,
+                                          bool(arrivals))
+            if plan.empty:
+                if arrivals:                       # idle until next arrival
+                    clock = max(clock, arrivals[0].arrival_s)
+                    continue
+                head = waiting[0]
+                raise CapacityError(
+                    f"request {head.rid} ({head.total_tokens} tokens) can "
+                    f"never fit on {self.ctx.spec.name} with "
+                    f"{self.ctx.engine.name}",
+                    required_bytes=int(
+                        tracker.sequence_bytes(head.total_tokens)),
+                    available_bytes=int(tracker.budget_bytes
+                                        - tracker.static_bytes))
+            steps += 1
+            if steps > max_steps:
+                raise ConfigError(f"exceeded {max_steps} steps; trace too "
+                                  f"large or engine starved")
+            clock += self.step_seconds(plan)
+
+            for ar in plan.prefill:                # prompt + first token
+                record = records[ar.request.rid]
+                record.admitted_s = ar.admitted_s
+                record.first_token_s = clock
+                ar.prefilled = True
+                ar.generated = 1
+                tracker.grow(ar.request.rid)
+                running.append(ar)
+            for ar in plan.decode:
+                ar.generated += 1
+                tracker.grow(ar.request.rid)
+
+            collector.observe(StepSample(
+                clock_s=clock,
+                queue_depth=len(waiting),
+                running=tracker.active_requests,
+                step_tokens=plan.total_tokens,
+                live_bytes=tracker.live_bytes,
+            ))
+            for ar in [ar for ar in running if ar.finished]:
+                running.remove(ar)
+                tracker.release(ar.request.rid)
+                record = records[ar.request.rid]
+                record.finished_s = clock
+                collector.finish(record)
+
+        return summarise(collector, engine=self.ctx.engine.name,
+                         model=self.ctx.config.name,
+                         gpu=self.ctx.spec.name, batcher=self.batcher.name,
+                         num_requests=len(trace))
+
+
+def simulate(model: str | ExecutionContext, engine: str = "samoyeds",
+             gpu: str = "rtx4070s", *, trace: Sequence[Request],
+             batcher: Batcher | None = None, num_layers: int | None = None,
+             streams: int = 1, flash: bool = True,
+             routing_skew: float = 0.0,
+             seed: int | None = None) -> ServeReport:
+    """One-call serving simulation from registry names.
+
+    ``model`` may also be a prebuilt :class:`ExecutionContext`, in which
+    case ``engine``/``gpu``/``streams``/``flash`` are ignored.
+    """
+    if isinstance(model, ExecutionContext):
+        ctx = model
+    else:
+        ctx = ExecutionContext.create(model, engine, gpu, streams=streams,
+                                      flash=flash)
+    server = ServingEngine(ctx=ctx, batcher=batcher or ContinuousBatcher(),
+                           num_layers=num_layers,
+                           routing_skew=routing_skew, seed=seed)
+    return server.run(trace)

@@ -1,0 +1,204 @@
+"""Serving metrics: TTFT / TPOT / throughput / queue-depth percentiles.
+
+The serving literature's standard quantities:
+
+* **TTFT** — time to first token: arrival until the prefill step that
+  produces the request's first output token completes;
+* **TPOT** — time per output token: decode-phase pacing, ``(finish -
+  first token) / (output_tokens - 1)``;
+* **sustained QPS** — completed requests over the busy interval;
+* **queue depth** — waiting requests sampled at every engine step.
+
+Percentiles use the deterministic sorted-linear-interpolation rule so a
+fixed RNG seed reproduces a report bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.serve.request import Request
+
+PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Deterministic percentile (sorted, linear interpolation)."""
+    if not values:
+        raise ConfigError("cannot take a percentile of no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigError("percentile must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def _summary(values: Sequence[float]) -> dict[str, float]:
+    out = {f"p{int(q)}": percentile(values, q) for q in PERCENTILES}
+    out["mean"] = sum(values) / len(values)
+    out["max"] = max(values)
+    return out
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle timestamps of one request through the engine."""
+
+    request: Request
+    admitted_s: float | None = None
+    first_token_s: float | None = None
+    finished_s: float | None = None
+
+    @property
+    def completed(self) -> bool:
+        return self.finished_s is not None
+
+    @property
+    def ttft_s(self) -> float:
+        if self.first_token_s is None:
+            raise ConfigError(
+                f"request {self.request.rid} produced no token")
+        return self.first_token_s - self.request.arrival_s
+
+    @property
+    def queueing_s(self) -> float:
+        if self.admitted_s is None:
+            raise ConfigError(f"request {self.request.rid} never admitted")
+        return self.admitted_s - self.request.arrival_s
+
+    @property
+    def tpot_s(self) -> float:
+        """Decode pacing; 0 for single-token outputs."""
+        if self.finished_s is None or self.first_token_s is None:
+            raise ConfigError(f"request {self.request.rid} unfinished")
+        produced = self.request.output_tokens - 1
+        if produced <= 0:
+            return 0.0
+        return (self.finished_s - self.first_token_s) / produced
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """One engine's result under one trace."""
+
+    engine: str
+    model: str
+    gpu: str
+    batcher: str
+    num_requests: int
+    completed: int
+    duration_s: float
+    steps: int
+    qps_sustained: float
+    output_tokens_per_s: float
+    ttft_s: dict[str, float]
+    tpot_s: dict[str, float]
+    queueing_s: dict[str, float]
+    queue_depth: dict[str, float]
+    batch_tokens: dict[str, float]
+    max_concurrency: int
+    peak_memory_bytes: float
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready payload (plain types only, stable key order)."""
+        return {
+            "engine": self.engine,
+            "model": self.model,
+            "gpu": self.gpu,
+            "batcher": self.batcher,
+            "num_requests": self.num_requests,
+            "completed": self.completed,
+            "duration_s": self.duration_s,
+            "steps": self.steps,
+            "qps_sustained": self.qps_sustained,
+            "output_tokens_per_s": self.output_tokens_per_s,
+            "ttft_s": dict(self.ttft_s),
+            "tpot_s": dict(self.tpot_s),
+            "queueing_s": dict(self.queueing_s),
+            "queue_depth": dict(self.queue_depth),
+            "batch_tokens": dict(self.batch_tokens),
+            "max_concurrency": self.max_concurrency,
+            "peak_memory_bytes": self.peak_memory_bytes,
+        }
+
+    def summary_row(self) -> list[object]:
+        """One table row for ``bench/report.render_table``."""
+        return [self.engine, self.batcher, self.completed,
+                f"{self.qps_sustained:.2f}",
+                f"{self.output_tokens_per_s:.0f}",
+                f"{self.ttft_s['p50'] * 1e3:.1f}",
+                f"{self.ttft_s['p99'] * 1e3:.1f}",
+                f"{self.tpot_s['p50'] * 1e3:.2f}",
+                f"{self.queue_depth['max']:.0f}",
+                self.max_concurrency]
+
+
+REPORT_HEADERS = ["engine", "batcher", "done", "qps", "tok/s",
+                  "ttft p50 ms", "ttft p99 ms", "tpot p50 ms",
+                  "queue max", "max conc"]
+
+
+@dataclass
+class StepSample:
+    """Per-step observability sample taken by the event loop."""
+
+    clock_s: float
+    queue_depth: int
+    running: int
+    step_tokens: int
+    live_bytes: float = 0.0
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates per-step samples and finished request records."""
+
+    samples: list[StepSample] = field(default_factory=list)
+    records: list[RequestRecord] = field(default_factory=list)
+
+    def observe(self, sample: StepSample) -> None:
+        self.samples.append(sample)
+
+    def finish(self, record: RequestRecord) -> None:
+        self.records.append(record)
+
+
+def summarise(collector: MetricsCollector, *, engine: str, model: str,
+              gpu: str, batcher: str, num_requests: int) -> ServeReport:
+    """Fold a run's samples and records into a :class:`ServeReport`."""
+    done = [r for r in collector.records if r.completed]
+    if not done:
+        raise ConfigError("no request completed; cannot summarise")
+    samples = collector.samples
+    if not samples:
+        raise ConfigError("completed requests but no observed steps")
+    first_arrival = min(r.request.arrival_s for r in done)
+    last_finish = max(r.finished_s for r in done)          # type: ignore
+    duration = max(last_finish - first_arrival, 1e-12)
+    out_tokens = sum(r.request.output_tokens for r in done)
+    return ServeReport(
+        engine=engine,
+        model=model,
+        gpu=gpu,
+        batcher=batcher,
+        num_requests=num_requests,
+        completed=len(done),
+        duration_s=duration,
+        steps=len(collector.samples),
+        qps_sustained=len(done) / duration,
+        output_tokens_per_s=out_tokens / duration,
+        ttft_s=_summary([r.ttft_s for r in done]),
+        tpot_s=_summary([r.tpot_s for r in done]),
+        queueing_s=_summary([r.queueing_s for r in done]),
+        queue_depth=_summary([float(s.queue_depth) for s in samples]),
+        batch_tokens=_summary([float(s.step_tokens) for s in samples]),
+        max_concurrency=max(s.running for s in samples),
+        peak_memory_bytes=max(s.live_bytes for s in samples),
+    )

@@ -109,3 +109,46 @@ class TestRunner:
         assert speed["megablocks"] is None
         assert speed["vllm-ds"] is None
         assert speed["samoyeds"] is not None
+
+    def test_default_seq_is_model_max(self, spec):
+        """No hard-coded 4096: the default comes from config.max_seq_len."""
+        cfg = MODEL_REGISTRY["openmoe-34b"]        # max_seq_len = 2048
+        default = end_to_end_speedups(cfg, spec, batch=1)
+        explicit = end_to_end_speedups(cfg, spec, batch=1,
+                                       seq_len=cfg.max_seq_len)
+        assert default == explicit
+        shorter = end_to_end_speedups(cfg, spec, batch=1, seq_len=1024)
+        assert default != shorter
+
+
+class TestDecodePhase:
+    def test_decode_breakdown_marked(self, spec):
+        from repro.models import decoder_decode_cost
+        bd = decoder_decode_cost(CFG, 1024, spec, engine="samoyeds",
+                                 batch=4)
+        assert bd.phase == "decode"
+        assert decoder_cost(CFG, 1024, spec).phase == "prefill"
+
+    def test_decode_much_cheaper_than_prefill(self, spec):
+        # The gap is bounded by per-expert tile padding: even one decode
+        # token pays for tile_n rows per touched expert (§6.2), so the
+        # ratio grows with sequence length rather than being ~seq_len.
+        from repro.models import decoder_decode_cost
+        prefill = decoder_cost(CFG, 4096, spec, engine="samoyeds")
+        decode = decoder_decode_cost(CFG, 4096, spec, engine="samoyeds",
+                                     batch=1)
+        assert decode.total_s < prefill.total_s / 5
+
+    def test_decode_attention_linear_in_context(self, spec):
+        from repro.models import decode_attention_cost
+        short = decode_attention_cost(CFG, 1024, spec)
+        long = decode_attention_cost(CFG, 8192, spec)
+        assert long.core_s == pytest.approx(8 * short.core_s, rel=0.01)
+
+    def test_decode_attention_memory_bound(self, spec):
+        """KV streaming dominates: core time >= cache bytes / bandwidth."""
+        from repro.models import decode_attention_cost
+        context = 4096
+        cost = decode_attention_cost(CFG, context, spec, batch=1)
+        kv_bytes = 2.0 * 2.0 * context * CFG.hidden_size
+        assert cost.core_s >= kv_bytes / spec.dram_bandwidth * 0.999

@@ -105,3 +105,63 @@ class TestFootprint:
         assert fp.weights_bytes > 0
         assert fp.fixed_bytes > 0
         assert fp.per_batch_bytes > 0
+
+
+class TestKVCacheTracker:
+    """Time-varying admission ledger for the serving engine."""
+
+    CFG = None  # set in setup
+
+    def _tracker(self, spec, engine="samoyeds"):
+        from repro.moe.memory_model import KVCacheTracker
+        return KVCacheTracker(MODEL_REGISTRY["mixtral-8x7b"], engine,
+                              spec)
+
+    def test_per_sequence_matches_footprint(self, spec):
+        from repro.moe.memory_model import per_sequence_bytes
+        cfg = MODEL_REGISTRY["mixtral-8x7b"]
+        fp = footprint(cfg, "vllm-ds", SEQ, spec)
+        assert per_sequence_bytes(cfg, "vllm-ds",
+                                  SEQ) == fp.per_batch_bytes
+
+    def test_admit_release_cycle(self, a100):
+        tracker = self._tracker(a100)
+        free0 = tracker.free_bytes
+        tracker.admit(0, prompt_tokens=512, final_seq_len=640)
+        assert tracker.active_requests == 1
+        assert tracker.free_bytes < free0
+        tracker.release(0)
+        assert tracker.free_bytes == free0
+        assert tracker.active_requests == 0
+
+    def test_double_admit_rejected(self, a100):
+        tracker = self._tracker(a100)
+        tracker.admit(0, 128, 256)
+        with pytest.raises(ConfigError):
+            tracker.admit(0, 128, 256)
+
+    def test_admit_over_budget_raises(self, spec):
+        tracker = self._tracker(spec, "vllm-ds")
+        limit = tracker.max_concurrent(4096)
+        for rid in range(limit):
+            tracker.admit(rid, 4000, 4096)
+        assert not tracker.can_admit(4096)
+        with pytest.raises(CapacityError):
+            tracker.admit(limit, 4000, 4096)
+
+    def test_live_bytes_grow_with_decode(self, a100):
+        tracker = self._tracker(a100)
+        tracker.admit(0, prompt_tokens=512, final_seq_len=1024)
+        before = tracker.live_bytes
+        tracker.grow(0, 64)
+        grown = tracker.live_bytes - before
+        assert grown == pytest.approx(
+            kv_cache_bytes(MODEL_REGISTRY["mixtral-8x7b"], 64))
+
+    def test_reservation_constant_while_growing(self, a100):
+        """Peak reservation is charged at admission, not per token."""
+        tracker = self._tracker(a100)
+        tracker.admit(0, 512, 1024)
+        reserved = tracker.reserved_bytes
+        tracker.grow(0, 100)
+        assert tracker.reserved_bytes == reserved

@@ -9,6 +9,7 @@ from repro.moe.scheduler import (
     expert_segment_seconds,
     schedule_parallel,
     schedule_sequential,
+    segment_seconds_from_loads,
 )
 from repro.moe.trace import skewed_plan
 
@@ -83,3 +84,57 @@ class TestComparison:
         hot_out = compare_policies(CFG, hot, spec, streams=4)
         assert (hot_out["parallel"].utilisation
                 <= flat_out["parallel"].utilisation + 0.05)
+
+
+class TestEdgeCases:
+    def test_empty_segment_list(self):
+        seq = schedule_sequential([])
+        par = schedule_parallel([], streams=4)
+        assert seq.makespan_s == 0.0 and seq.total_work_s == 0.0
+        assert par.makespan_s == 0.0
+        assert par.utilisation == 0.0
+
+    def test_one_stream_parallel_equals_sequential(self):
+        segments = [0.4, 0.1, 0.9, 0.2]
+        seq = schedule_sequential(segments)
+        par = schedule_parallel(segments, streams=1)
+        assert par.makespan_s == pytest.approx(seq.makespan_s)
+        assert par.total_work_s == pytest.approx(seq.total_work_s)
+
+    def test_all_zero_loads(self, spec):
+        from repro.kernels.ssmm_samoyeds import SamoyedsKernel
+        segments = segment_seconds_from_loads(
+            CFG, [0] * CFG.num_experts, spec, SamoyedsKernel())
+        assert segments == [0.0] * CFG.num_experts
+        assert schedule_parallel(segments, streams=4).makespan_s == 0.0
+
+    def test_gate_up_share_one_cost(self, spec):
+        """Gate and up projections have one GEMM shape: the triple is
+        2 * cost(inter, h, n) + cost(h, inter, n)."""
+        from repro.kernels.ssmm_samoyeds import SamoyedsKernel
+        kernel = SamoyedsKernel()
+        [seg] = segment_seconds_from_loads(CFG, [64], spec, kernel,
+                                           tile_n=64)
+        h, inter = CFG.hidden_size, CFG.intermediate_size
+        expected = (2.0 * kernel.cost(inter, h, 64, spec).time_s
+                    + kernel.cost(h, inter, 64, spec).time_s)
+        assert seg == pytest.approx(expected)
+
+    def test_invalid_tile_rejected(self, spec):
+        from repro.kernels.ssmm_samoyeds import SamoyedsKernel
+        with pytest.raises(ConfigError):
+            segment_seconds_from_loads(CFG, [64], spec, SamoyedsKernel(),
+                                       tile_n=0)
+
+
+class TestContextIntegration:
+    def test_context_first_argument(self, spec, plan):
+        from repro.context import ExecutionContext
+        ctx = ExecutionContext.create(CFG, "samoyeds", spec, streams=4)
+        from repro.kernels.ssmm_samoyeds import SamoyedsKernel
+        legacy = expert_segment_seconds(CFG, plan, spec, SamoyedsKernel(),
+                                        tile_n=ctx.effective_tile_n)
+        via_ctx = expert_segment_seconds(ctx, plan)
+        assert via_ctx == pytest.approx(legacy)
+        out = compare_policies(ctx, plan)
+        assert out["parallel"].streams == 4

@@ -1,0 +1,89 @@
+"""The ``repro bench serve`` CLI subcommand and top-level dispatcher."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.bench.cli import build_parser, main
+
+
+SERVE_ARGS = ["serve", "--engines", "samoyeds,vllm", "--trace", "poisson",
+              "--requests", "10", "--qps", "4", "--prompt-tokens", "128",
+              "--output-tokens", "6", "--layers", "4"]
+
+
+class TestParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.trace == "poisson"
+        assert args.engines == "samoyeds,vllm-ds"
+        assert args.batcher == "continuous"
+
+    def test_serve_rejects_unknown_trace(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--trace", "weibull"])
+
+    def test_serve_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--model", "gpt-5"])
+
+
+class TestServeCommand:
+    def test_emits_json_report(self, capsys):
+        assert main(SERVE_ARGS) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["trace"] == "poisson"
+        assert [e["engine"] for e in payload["engines"]] == [
+            "samoyeds", "vllm-ds"]        # vllm alias resolves
+        for entry in payload["engines"]:
+            assert entry["completed"] == 10
+            assert entry["ttft_s"]["p50"] > 0
+        assert "ttft p50 ms" in captured.err   # summary table on stderr
+
+    def test_deterministic_given_seed(self, capsys):
+        assert main(SERVE_ARGS + ["--seed", "42"]) == 0
+        first = capsys.readouterr().out
+        assert main(SERVE_ARGS + ["--seed", "42"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_bursty_static(self, capsys):
+        assert main(SERVE_ARGS[:1] + [
+            "--engines", "samoyeds", "--trace", "bursty",
+            "--batcher", "static", "--batch-size", "4",
+            "--requests", "8", "--output-tokens", "4",
+            "--layers", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["batcher"] == "static"
+        assert payload["engines"][0]["completed"] == 8
+
+    def test_infeasible_engine_reported_not_fatal(self, capsys):
+        assert main(["serve", "--model", "mixtral-8x22b",
+                     "--engines", "vllm-ds,samoyeds",
+                     "--requests", "6", "--output-tokens", "4",
+                     "--layers", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_engine = {e["engine"]: e for e in payload["engines"]}
+        assert "error" in by_engine["vllm-ds"]      # Table-3 OOM
+        assert by_engine["samoyeds"]["completed"] == 6
+
+    def test_output_file(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(SERVE_ARGS + ["--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["requests"] == 10
+        assert capsys.readouterr().out == ""
+
+
+class TestDispatcher:
+    def test_repro_bench_forwards(self, capsys):
+        assert repro_main(["bench", "maxbatch", "--seq", "512"]) == 0
+        assert "mixtral" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert repro_main(["frobnicate"]) == 2
+
+    def test_no_args_usage(self, capsys):
+        assert repro_main([]) == 2
+        assert "usage" in capsys.readouterr().out

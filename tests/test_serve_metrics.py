@@ -1,0 +1,105 @@
+"""Serving metrics: percentiles and report folding."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.metrics import (
+    MetricsCollector,
+    RequestRecord,
+    StepSample,
+    percentile,
+    summarise,
+)
+from repro.serve.request import Request
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_interpolates(self):
+        assert percentile([0.0, 10.0], 50.0) == 5.0
+        assert percentile([0.0, 10.0], 90.0) == 9.0
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 9.0
+
+    def test_single_sample(self):
+        assert percentile([4.2], 99.0) == 4.2
+
+    def test_order_invariant(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 90.0) == percentile(
+            [4.0, 2.0, 1.0, 3.0], 90.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            percentile([], 50.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            percentile([1.0], 101.0)
+
+
+def _record(rid, arrival, admitted, first, finished, output=4):
+    rec = RequestRecord(Request(rid=rid, arrival_s=arrival,
+                                prompt_tokens=16, output_tokens=output))
+    rec.admitted_s = admitted
+    rec.first_token_s = first
+    rec.finished_s = finished
+    return rec
+
+
+class TestRecord:
+    def test_derived_quantities(self):
+        rec = _record(0, 1.0, 1.5, 2.0, 5.0, output=4)
+        assert rec.ttft_s == 1.0
+        assert rec.queueing_s == 0.5
+        assert rec.tpot_s == pytest.approx(1.0)
+
+    def test_single_token_tpot_zero(self):
+        rec = _record(0, 0.0, 0.0, 1.0, 1.0, output=1)
+        assert rec.tpot_s == 0.0
+
+    def test_unfinished_rejected(self):
+        rec = RequestRecord(Request(rid=0, arrival_s=0.0,
+                                    prompt_tokens=16, output_tokens=4))
+        with pytest.raises(ConfigError):
+            _ = rec.tpot_s
+
+
+class TestSummarise:
+    def _collector(self):
+        col = MetricsCollector()
+        col.finish(_record(0, 0.0, 0.0, 1.0, 4.0))
+        col.finish(_record(1, 1.0, 1.0, 3.0, 6.0))
+        col.observe(StepSample(clock_s=1.0, queue_depth=2, running=1,
+                               step_tokens=32, live_bytes=100.0))
+        col.observe(StepSample(clock_s=4.0, queue_depth=0, running=2,
+                               step_tokens=2, live_bytes=300.0))
+        return col
+
+    def test_report_quantities(self):
+        report = summarise(self._collector(), engine="samoyeds",
+                           model="m", gpu="g", batcher="continuous",
+                           num_requests=2)
+        assert report.completed == 2
+        assert report.duration_s == pytest.approx(6.0)
+        assert report.qps_sustained == pytest.approx(2 / 6.0)
+        assert report.max_concurrency == 2
+        assert report.peak_memory_bytes == 300.0
+        assert report.ttft_s["p50"] == pytest.approx(1.5)
+
+    def test_to_dict_round_trips_json(self):
+        import json
+        report = summarise(self._collector(), engine="e", model="m",
+                           gpu="g", batcher="b", num_requests=2)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["engine"] == "e"
+        assert payload["ttft_s"]["p99"] >= payload["ttft_s"]["p50"]
+
+    def test_no_completion_rejected(self):
+        with pytest.raises(ConfigError):
+            summarise(MetricsCollector(), engine="e", model="m", gpu="g",
+                      batcher="b", num_requests=0)
