@@ -2,9 +2,10 @@
 
 Drives the repro.serve API: build an ExecutionContext, generate arrival
 traces, compare continuous vs static batching on a bursty workload,
-race the engines under identical Poisson traffic, and show the
-emergent memory-derived concurrency limit (the request-level analogue
-of Table 3).
+race the engines under identical Poisson traffic, show the emergent
+memory-derived concurrency limit (the request-level analogue of
+Table 3), and demonstrate the paged KV cache + chunked prefill
+configuration on a long-prompt trace.
 
 Run:  PYTHONPATH=src python examples/serving_simulation.py
 """
@@ -12,6 +13,7 @@ Run:  PYTHONPATH=src python examples/serving_simulation.py
 from repro.context import ExecutionContext
 from repro.moe.memory_model import KVCacheTracker, max_batch_size
 from repro.serve import (
+    ChunkedPrefillBatcher,
     ContinuousBatcher,
     StaticBatcher,
     bursty_trace,
@@ -63,6 +65,27 @@ def main() -> None:
         table3 = max_batch_size(ctx.config, engine, seq, ctx.spec)
         print(f"  {engine:12s} tracker {emergent:4d}  "
               f"table-3 {table3:4d}  agree={emergent == table3}")
+
+    # ------------------------------------------------------------------
+    # Paged KV cache + chunked prefill on a bursty long-prompt trace.
+    # ------------------------------------------------------------------
+    long_trace = bursty_trace(24, rate_qps=2.0, prompt_tokens=2048,
+                              output_tokens=16, seed=SEED,
+                              eos_sampling=True)
+    print("\npaged KV + chunked prefill, 2k-token prompts "
+          "(EOS-sampled outputs):")
+    for engine in ("samoyeds", "vllm-ds"):
+        base = simulate(ctx.with_engine(engine), trace=long_trace,
+                        batcher=ContinuousBatcher(token_budget=1024),
+                        num_layers=4, seed=SEED)
+        paged = simulate(ctx.with_engine(engine), trace=long_trace,
+                         batcher=ChunkedPrefillBatcher(token_budget=1024),
+                         num_layers=4, seed=SEED, page_size=16)
+        print(f"  {engine:9s} conservative: conc {base.max_concurrency:2d}"
+              f"  ttft p99 {base.ttft_s['p99'] * 1e3:7.1f} ms   "
+              f"paged+chunked: conc {paged.max_concurrency:2d}  "
+              f"ttft p99 {paged.ttft_s['p99'] * 1e3:7.1f} ms  "
+              f"preemptions {paged.preemptions}")
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ import sys
 
 from repro.bench.figures import EXPERIMENTS, run_experiment
 from repro.bench.report import render_json, render_table
+from repro.errors import CapacityError, ConfigError
 from repro.hw.roofline import place, render
 from repro.hw.spec import get_gpu, list_gpus
 from repro.kernels import KERNELS
@@ -105,7 +106,9 @@ def cmd_maxbatch(args: argparse.Namespace) -> int:
         for engine in engines:
             try:
                 row.append(max_batch_size(cfg, engine, args.seq, spec))
-            except Exception:
+            except (CapacityError, ConfigError):
+                # Genuine OOM / unsupported model-engine pair; anything
+                # else is a bug and should surface, not render as None.
                 row.append(None)
         rows.append(row)
     print(render_table(["model", *engines], rows,
@@ -117,6 +120,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.context import ExecutionContext
     from repro.errors import ReproError
     from repro.serve import (
+        ChunkedPrefillBatcher,
         ContinuousBatcher,
         StaticBatcher,
         bursty_trace,
@@ -138,17 +142,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   f"known: {known}", file=sys.stderr)
             return 2
         engines.append(name)
+    if args.page_size < 0:
+        # A bad flag is a usage error, not per-engine infeasibility.
+        print("repro bench serve: --page-size must be >= 0",
+              file=sys.stderr)
+        return 2
     try:
         trace = make_trace(args.requests, args.qps,
                            prompt_tokens=args.prompt_tokens,
                            output_tokens=args.output_tokens,
-                           seed=args.seed)
+                           seed=args.seed, eos_sampling=args.eos_sampling)
     except ReproError as exc:
         print(f"repro bench serve: invalid trace parameters: {exc}",
               file=sys.stderr)
         return 2
     if args.batcher == "continuous":
         batcher_factory = lambda: ContinuousBatcher(  # noqa: E731
+            token_budget=args.token_budget)
+    elif args.batcher == "chunked":
+        batcher_factory = lambda: ChunkedPrefillBatcher(  # noqa: E731
             token_budget=args.token_budget)
     else:
         batcher_factory = lambda: StaticBatcher(  # noqa: E731
@@ -161,7 +173,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                       streams=args.streams)
         try:
             report = simulate(ctx, trace=trace, batcher=batcher_factory(),
-                              num_layers=args.layers, seed=args.seed)
+                              num_layers=args.layers, seed=args.seed,
+                              page_size=args.page_size or None)
         except ReproError as exc:
             print(f"# {name}: infeasible ({exc})", file=sys.stderr)
             reports.append({"engine": name, "error": str(exc)})
@@ -182,6 +195,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         "requests": args.requests,
         "seed": args.seed,
         "batcher": args.batcher,
+        "page_size": args.page_size,
+        "eos_sampling": args.eos_sampling,
         "engines": reports,
     }
     text = render_json(payload)
@@ -238,11 +253,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prompt-tokens", type=int, default=512)
     p.add_argument("--output-tokens", type=int, default=32)
     p.add_argument("--batcher", default="continuous",
-                   choices=["continuous", "static"])
+                   choices=["continuous", "chunked", "static"])
     p.add_argument("--token-budget", type=int, default=4096,
-                   help="continuous batcher per-step token budget")
+                   help="continuous/chunked batcher per-step token budget")
     p.add_argument("--batch-size", type=int, default=8,
                    help="static batcher batch size")
+    p.add_argument("--page-size", type=int, default=0,
+                   help="KV-cache page size in tokens; enables paged "
+                        "admission with preemption (0 = conservative "
+                        "whole-request reservation)")
+    p.add_argument("--eos-sampling", action="store_true",
+                   help="geometric EOS-sampled output lengths instead "
+                        "of the uniform jitter band (seeded)")
     p.add_argument("--layers", type=int, default=None,
                    help="decoder layers per step (default: model's)")
     p.add_argument("--streams", type=int, default=1,

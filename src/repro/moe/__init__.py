@@ -27,8 +27,10 @@ from repro.moe.layers import (
     VllmEngine,
 )
 from repro.moe.memory_model import (
+    BlockAllocator,
     KVCacheTracker,
     MemoryFootprint,
+    MemoryLedger,
     max_batch_size,
     per_sequence_bytes,
 )
@@ -57,7 +59,9 @@ __all__ = [
     "PitEngine",
     "SamoyedsEngine",
     "MemoryFootprint",
+    "MemoryLedger",
     "KVCacheTracker",
+    "BlockAllocator",
     "max_batch_size",
     "per_sequence_bytes",
     "permutation_seconds",

@@ -96,9 +96,8 @@ def weight_bytes(config: MoEModelConfig, engine: str) -> float:
         factor = WEIGHT_FACTOR[engine]
     except KeyError:
         raise ConfigError(f"unknown engine {engine!r}") from None
-    if engine == "samoyeds":
-        # Attention stays dense: the paper prunes expert weights only.
-        return attn + moe_dense * factor
+    # Attention stays dense for every engine: the paper (and the sparse
+    # baselines) prune or repack expert weights only.
     return attn + moe_dense * factor
 
 
@@ -199,16 +198,25 @@ def per_sequence_bytes(config: MoEModelConfig, engine: str,
 
 
 @dataclass
-class KVCacheTracker:
+class MemoryLedger:
     """Time-varying device-memory ledger for a serving engine.
 
-    Static state (weights + framework overhead) is charged up front; each
-    admitted request *reserves* its peak footprint — KV cache at its full
-    final context plus the engine's per-sequence workspace — so decode
-    steps can never OOM mid-request (the vLLM-style conservative
-    admission policy).  ``live_bytes`` additionally reports the
-    instantaneous footprint as KV caches grow token by token, which the
-    serving metrics sample per step.
+    Static state (weights + framework overhead) is charged up front;
+    subclasses implement the admission policy:
+
+    * :class:`KVCacheTracker` — conservative vLLM-v0-style admission:
+      each request reserves its *peak* footprint up front, so growth can
+      never fail;
+    * :class:`BlockAllocator` — paged admission: each request is charged
+      only the fixed-size token blocks that are currently live, so the
+      same budget sustains more concurrent requests, at the price that
+      :meth:`grow` can raise :class:`CapacityError` mid-decode (the
+      serving engine resolves that by preempting the youngest request).
+
+    ``live_bytes`` reports the instantaneous static + KV footprint as
+    caches grow token by token; ``reserved_bytes`` reports what the
+    admission policy has actually charged.  The serving metrics sample
+    both per step.
     """
 
     config: MoEModelConfig
@@ -220,24 +228,122 @@ class KVCacheTracker:
                              + float(FIXED_OVERHEAD[self.engine]))
         self.budget_bytes = (float(self.spec.dram_capacity)
                              * (1.0 - FRAGMENTATION))
-        self._reserved: dict[int, float] = {}
         self._context: dict[int, int] = {}
 
-    # -- admission -----------------------------------------------------
+    # -- shared arithmetic ---------------------------------------------
     def sequence_bytes(self, seq_len: int) -> float:
         return per_sequence_bytes(self.config, self.engine, seq_len)
 
     @property
     def reserved_bytes(self) -> float:
-        return self.static_bytes + sum(self._reserved.values())
+        """Bytes the admission policy has charged (static included)."""
+        raise NotImplementedError
 
     @property
     def free_bytes(self) -> float:
         return self.budget_bytes - self.reserved_bytes
 
+    def _require(self, request_id: int) -> None:
+        if request_id not in self._context:
+            raise ConfigError(
+                f"unknown request {request_id}: admit() before grow()")
+
+    # -- admission policy (per subclass) -------------------------------
+    def can_admit_request(self, prompt_tokens: int,
+                          final_seq_len: int) -> bool:
+        """Would a request fit, with ``prompt_tokens`` of KV resident
+        immediately and a lifetime peak of ``final_seq_len`` tokens?"""
+        raise NotImplementedError
+
+    def admit(self, request_id: int, prompt_tokens: int,
+              final_seq_len: int) -> None:
+        """Charge a new request (``prompt_tokens`` = immediately-live
+        KV context; 0 under chunked prefill)."""
+        raise NotImplementedError
+
+    def admission_chunk(self, desired_tokens: int,
+                        final_seq_len: int) -> int:
+        """Largest first prefill chunk (<= ``desired_tokens``) admissible
+        now; 0 means the request cannot be admitted this step."""
+        raise NotImplementedError
+
+    def clamp_growth(self, request_id: int, desired_tokens: int) -> int:
+        """Largest growth (<= ``desired_tokens``) the ledger can charge
+        for an admitted request without raising."""
+        raise NotImplementedError
+
+    def peak_bytes(self, final_seq_len: int) -> float:
+        """Bytes this policy charges a request at its lifetime peak."""
+        raise NotImplementedError
+
+    def grow(self, request_id: int, new_tokens: int = 1) -> None:
+        """Advance a request's live KV context by ``new_tokens``."""
+        self._require(request_id)
+        self._context[request_id] += new_tokens
+
+    def release(self, request_id: int) -> None:
+        """Free a finished (or preempted) request's charge."""
+        self._context.pop(request_id, None)
+
+    def max_concurrent(self, seq_len: int) -> int:
+        """Emergent concurrency limit for uniform fully-grown
+        ``seq_len`` requests.
+
+        Equals :meth:`MemoryFootprint.max_batch` by construction (for
+        the paged policy: at block-aligned ``seq_len``) — the serving
+        engine reproduces Table 3 without consulting it.
+        """
+        per_seq = self.peak_bytes(seq_len)
+        if per_seq <= 0:
+            raise ConfigError("per-sequence bytes must be positive")
+        return max(0, int((self.budget_bytes - self.static_bytes)
+                          // per_seq))
+
+    # -- observation ---------------------------------------------------
+    @property
+    def active_requests(self) -> int:
+        return len(self._context)
+
+    @property
+    def live_bytes(self) -> float:
+        """Instantaneous footprint: static + grown-so-far KV caches."""
+        return self.static_bytes + sum(
+            kv_cache_bytes(self.config, tokens)
+            for tokens in self._context.values())
+
+    @property
+    def pool_utilisation(self) -> float:
+        """Charged fraction of the post-static memory pool, in [0, 1+)."""
+        pool = self.budget_bytes - self.static_bytes
+        if pool <= 0:
+            return 0.0
+        return max(0.0, (self.reserved_bytes - self.static_bytes) / pool)
+
+
+@dataclass
+class KVCacheTracker(MemoryLedger):
+    """Conservative admission: reserve each request's peak footprint.
+
+    Each admitted request reserves KV cache at its full final context
+    plus the engine's per-sequence workspace, so decode steps can never
+    OOM mid-request (the vLLM-style conservative admission policy).
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._reserved: dict[int, float] = {}
+
+    @property
+    def reserved_bytes(self) -> float:
+        return self.static_bytes + sum(self._reserved.values())
+
     def can_admit(self, final_seq_len: int) -> bool:
         """Would a request peaking at ``final_seq_len`` tokens fit?"""
         return self.sequence_bytes(final_seq_len) <= self.free_bytes
+
+    def can_admit_request(self, prompt_tokens: int,
+                          final_seq_len: int) -> bool:
+        return self.can_admit(final_seq_len)
 
     def admit(self, request_id: int, prompt_tokens: int,
               final_seq_len: int) -> None:
@@ -254,35 +360,153 @@ class KVCacheTracker:
         self._reserved[request_id] = need
         self._context[request_id] = prompt_tokens
 
-    def grow(self, request_id: int, new_tokens: int = 1) -> None:
-        """Advance a request's live KV context by ``new_tokens``."""
-        self._context[request_id] += new_tokens
+    def admission_chunk(self, desired_tokens: int,
+                        final_seq_len: int) -> int:
+        return desired_tokens if self.can_admit(final_seq_len) else 0
+
+    def clamp_growth(self, request_id: int, desired_tokens: int) -> int:
+        self._require(request_id)
+        return desired_tokens          # peak already reserved at admit
+
+    def peak_bytes(self, final_seq_len: int) -> float:
+        return self.sequence_bytes(final_seq_len)
 
     def release(self, request_id: int) -> None:
-        """Free a finished (or evicted) request's reservation."""
         self._reserved.pop(request_id, None)
-        self._context.pop(request_id, None)
+        super().release(request_id)
 
-    # -- observation ---------------------------------------------------
-    @property
-    def active_requests(self) -> int:
-        return len(self._reserved)
 
-    @property
-    def live_bytes(self) -> float:
-        """Instantaneous footprint: static + grown-so-far KV caches."""
-        return self.static_bytes + sum(
-            kv_cache_bytes(self.config, tokens)
-            for tokens in self._context.values())
+@dataclass
+class BlockAllocator(MemoryLedger):
+    """Paged admission: charge only the live fixed-size token blocks.
 
-    def max_concurrent(self, seq_len: int) -> int:
-        """Emergent concurrency limit for uniform ``seq_len`` requests.
+    The KV cache of each request is held in ``page_size``-token blocks;
+    a request with ``n`` live blocks is charged exactly what the Table-3
+    per-sequence model charges a context of ``n * page_size`` tokens —
+    KV cache plus the engine's per-sequence workspace — so the cumulative
+    price of a fully-grown request telescopes to the conservative
+    tracker's reservation, and a uniform trace of block-aligned requests
+    still saturates at :meth:`MemoryFootprint.max_batch` concurrent
+    requests.  Until then, the headroom the conservative policy wastes on
+    not-yet-generated tokens admits extra requests.
 
-        Equals :meth:`MemoryFootprint.max_batch` by construction — the
-        serving engine reproduces Table 3 without consulting it.
+    :meth:`grow` raises :class:`CapacityError` when the pool cannot back
+    a new block; the serving engine answers by preempting the youngest
+    resident request (recompute-on-readmit).
+    """
+
+    page_size: int = 16
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.page_size <= 0:
+            raise ConfigError("page_size must be positive")
+        self._blocks: dict[int, int] = {}
+        self._cum_memo: dict[int, float] = {0: 0.0}
+
+    # -- block arithmetic ----------------------------------------------
+    def blocks_for(self, tokens: int) -> int:
+        """Blocks needed to hold ``tokens`` KV entries."""
+        return -(-max(tokens, 0) // self.page_size)
+
+    def block_bytes(self, blocks: int) -> float:
+        """Cumulative charge for one request's first ``blocks`` blocks.
+
+        Priced by the Table-3 per-sequence model at the padded context,
+        so per-block marginals telescope exactly to
+        :func:`per_sequence_bytes`.
         """
-        per_seq = self.sequence_bytes(seq_len)
-        if per_seq <= 0:
-            raise ConfigError("per-sequence bytes must be positive")
-        return max(0, int((self.budget_bytes - self.static_bytes)
-                          // per_seq))
+        cached = self._cum_memo.get(blocks)
+        if cached is None:
+            cached = self.sequence_bytes(blocks * self.page_size)
+            self._cum_memo[blocks] = cached
+        return cached
+
+    @property
+    def used_blocks(self) -> int:
+        return sum(self._blocks.values())
+
+    @property
+    def reserved_bytes(self) -> float:
+        return self.static_bytes + sum(self.block_bytes(blocks)
+                                       for blocks in self._blocks.values())
+
+    # -- admission policy ----------------------------------------------
+    def can_admit_request(self, prompt_tokens: int,
+                          final_seq_len: int) -> bool:
+        return (self.block_bytes(self.blocks_for(prompt_tokens))
+                <= self.free_bytes)
+
+    def admit(self, request_id: int, prompt_tokens: int,
+              final_seq_len: int) -> None:
+        """Allocate blocks for the immediately-live context only."""
+        if request_id in self._blocks:
+            raise ConfigError(f"request {request_id} already admitted")
+        blocks = self.blocks_for(prompt_tokens)
+        need = self.block_bytes(blocks)
+        if need > self.free_bytes:
+            raise CapacityError(
+                f"{self.engine}: request {request_id} needs {blocks} "
+                f"blocks ({need / GIB:.2f} GiB) > "
+                f"{self.free_bytes / GIB:.2f} GiB free",
+                required_bytes=int(need),
+                available_bytes=int(max(self.free_bytes, 0)))
+        self._blocks[request_id] = blocks
+        self._context[request_id] = prompt_tokens
+
+    def admission_chunk(self, desired_tokens: int,
+                        final_seq_len: int) -> int:
+        if desired_tokens <= 0:
+            return 0
+        free = self.free_bytes
+        blocks = 0
+        while (blocks < self.blocks_for(desired_tokens)
+               and self.block_bytes(blocks + 1) <= free):
+            blocks += 1
+        return min(desired_tokens, blocks * self.page_size)
+
+    def clamp_growth(self, request_id: int, desired_tokens: int) -> int:
+        self._require(request_id)
+        if desired_tokens <= 0:
+            return 0
+        held = self._blocks[request_id]
+        context = self._context[request_id]
+        free = self.free_bytes
+        blocks = max(held, self.blocks_for(context))
+        target = self.blocks_for(context + desired_tokens)
+        while (blocks < target and
+               self.block_bytes(blocks + 1) - self.block_bytes(held)
+               <= free):
+            blocks += 1
+        return max(0, min(desired_tokens,
+                          blocks * self.page_size - context))
+
+    def peak_bytes(self, final_seq_len: int) -> float:
+        return self.block_bytes(self.blocks_for(final_seq_len))
+
+    def grow(self, request_id: int, new_tokens: int = 1) -> None:
+        """Advance the context, allocating blocks across boundaries.
+
+        Raises :class:`CapacityError` — without charging anything — when
+        the pool cannot back the new blocks; the caller preempts.
+        """
+        self._require(request_id)
+        context = self._context[request_id] + new_tokens
+        held = self._blocks[request_id]
+        needed = self.blocks_for(context)
+        if needed > held:
+            delta = self.block_bytes(needed) - self.block_bytes(held)
+            if delta > self.free_bytes:
+                raise CapacityError(
+                    f"{self.engine}: request {request_id} needs "
+                    f"{needed - held} more blocks "
+                    f"({delta / GIB:.3f} GiB) > "
+                    f"{self.free_bytes / GIB:.3f} GiB free",
+                    required_bytes=int(delta),
+                    available_bytes=int(max(self.free_bytes, 0)))
+            self._blocks[request_id] = needed
+        self._context[request_id] = context
+
+    def release(self, request_id: int) -> None:
+        self._blocks.pop(request_id, None)
+        super().release(request_id)

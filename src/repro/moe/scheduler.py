@@ -148,9 +148,9 @@ def schedule_fused(config: MoEModelConfig, plan: RoutingPlan,
     padded_total = int(sum(math.ceil(int(load) / tile_n) * tile_n
                            for load in plan.load() if load))
     padded_total = max(padded_total, tile_n)
-    total = (kernel.cost(inter, h, padded_total, spec).time_s
-             + kernel.cost(inter, h, padded_total, spec).time_s
-             + kernel.cost(h, inter, padded_total, spec).time_s)
+    # Gate and up share one GEMM shape: price it once, count it twice.
+    gate_up = kernel.cost(inter, h, padded_total, spec).time_s
+    total = 2.0 * gate_up + kernel.cost(h, inter, padded_total, spec).time_s
     return ScheduleResult(policy="fused", streams=1, makespan_s=total,
                           segment_seconds=(total,))
 

@@ -16,7 +16,13 @@ from repro.serve.request import (
     poisson_trace,
     replay_trace,
 )
-from repro.serve.batcher import ContinuousBatcher, StaticBatcher, StepPlan
+from repro.serve.batcher import (
+    ChunkedPrefillBatcher,
+    ContinuousBatcher,
+    PrefillChunk,
+    StaticBatcher,
+    StepPlan,
+)
 from repro.serve.engine import ServingEngine, simulate
 from repro.serve.metrics import ServeReport, percentile, summarise
 
@@ -25,7 +31,9 @@ __all__ = [
     "poisson_trace",
     "bursty_trace",
     "replay_trace",
+    "ChunkedPrefillBatcher",
     "ContinuousBatcher",
+    "PrefillChunk",
     "StaticBatcher",
     "StepPlan",
     "ServingEngine",

@@ -1,4 +1,4 @@
-"""Step composition policies: continuous vs static batching.
+"""Step composition policies: continuous, chunked-prefill and static.
 
 A *step* is one full-model forward.  The batcher decides, at each step
 boundary, which waiting requests to admit (prefill) and which running
@@ -8,14 +8,20 @@ requests advance by one token (decode):
   scheduling: every running request decodes each step, and new requests
   are admitted the moment the token budget and device memory allow,
   mixing prefill and decode work in one step;
+* :class:`ChunkedPrefillBatcher` — continuous batching where long
+  prompts are *split across steps* under the token budget instead of
+  running alone: a 2k-token prompt no longer waits for an idle engine,
+  it streams in beside the running decodes one chunk at a time;
 * :class:`StaticBatcher` — the classic baseline: collect a fixed batch,
   run it to completion, admit nothing in between.  Short requests wait
   for the stragglers (the convoy effect continuous batching removes).
 
-Admission charges each request's peak footprint against the
-:class:`~repro.moe.memory_model.KVCacheTracker`, so the concurrency
-ceiling per engine emerges from the Table-3 memory model rather than a
-configured limit.
+Admission charges device memory through a
+:class:`~repro.moe.memory_model.MemoryLedger` — either the conservative
+peak-reserving :class:`~repro.moe.memory_model.KVCacheTracker` or the
+paged :class:`~repro.moe.memory_model.BlockAllocator`, which charges
+only live blocks — so the concurrency ceiling per engine emerges from
+the Table-3 memory model rather than a configured limit.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
-from repro.moe.memory_model import KVCacheTracker
+from repro.moe.memory_model import MemoryLedger
 from repro.serve.request import Request
 
 
@@ -37,15 +43,30 @@ class ActiveRequest:
     admitted_s: float
     generated: int = 0
     prefilled: bool = False
+    prefilled_tokens: int = 0
 
     @property
     def context_tokens(self) -> int:
         """Current KV-cache length of this request."""
-        return self.request.prompt_tokens + self.generated
+        return self.prefilled_tokens + self.generated
 
     @property
     def finished(self) -> bool:
         return self.generated >= self.request.output_tokens
+
+
+@dataclass(frozen=True)
+class PrefillChunk:
+    """One step's slice of a request's prompt (chunked prefill)."""
+
+    ar: ActiveRequest
+    tokens: int
+    offset: int                  # KV tokens resident before this chunk
+
+    @property
+    def completes(self) -> bool:
+        """Does this chunk finish the prompt (emitting token one)?"""
+        return self.offset + self.tokens >= self.ar.request.prompt_tokens
 
 
 @dataclass(frozen=True)
@@ -54,14 +75,16 @@ class StepPlan:
 
     prefill: tuple[ActiveRequest, ...] = ()
     decode: tuple[ActiveRequest, ...] = ()
+    chunks: tuple[PrefillChunk, ...] = ()
 
     @property
     def empty(self) -> bool:
-        return not self.prefill and not self.decode
+        return not self.prefill and not self.decode and not self.chunks
 
     @property
     def prefill_tokens(self) -> int:
-        return sum(ar.request.prompt_tokens for ar in self.prefill)
+        return (sum(ar.request.prompt_tokens for ar in self.prefill)
+                + sum(chunk.tokens for chunk in self.chunks))
 
     @property
     def decode_tokens(self) -> int:
@@ -80,15 +103,16 @@ class Batcher(abc.ABC):
 
     @abc.abstractmethod
     def plan_step(self, clock: float, waiting: "deque[Request]",
-                  running: list[ActiveRequest], tracker: KVCacheTracker,
+                  running: list[ActiveRequest], tracker: MemoryLedger,
                   more_arrivals: bool) -> StepPlan:
         """Select this step's work; admits from ``waiting`` in place."""
 
     def _admit(self, clock: float, waiting: "deque[Request]",
-               tracker: KVCacheTracker) -> ActiveRequest | None:
-        """Admit the head of the queue if its peak footprint fits."""
+               tracker: MemoryLedger) -> ActiveRequest | None:
+        """Admit the head of the queue if the ledger accepts it whole."""
         req = waiting[0]
-        if not tracker.can_admit(req.total_tokens):
+        if not tracker.can_admit_request(req.prompt_tokens,
+                                         req.total_tokens):
             return None
         waiting.popleft()
         tracker.admit(req.rid, req.prompt_tokens, req.total_tokens)
@@ -96,8 +120,8 @@ class Batcher(abc.ABC):
 
 
 @dataclass
-class ContinuousBatcher(Batcher):
-    """Iteration-level scheduling under a per-step token budget.
+class BudgetedBatcher(Batcher):
+    """Shared knobs of the token-budgeted policies.
 
     ``token_budget`` bounds the *new* tokens packed into one step
     (prompt tokens for prefill, one per decode); decode work is never
@@ -109,16 +133,21 @@ class ContinuousBatcher(Batcher):
     token_budget: int = 4096
     max_running: int | None = None
 
-    name: str = field(default="continuous", init=False)
-
     def __post_init__(self) -> None:
         if self.token_budget <= 0:
             raise ConfigError("token_budget must be positive")
         if self.max_running is not None and self.max_running <= 0:
             raise ConfigError("max_running must be positive")
 
+
+@dataclass
+class ContinuousBatcher(BudgetedBatcher):
+    """Iteration-level scheduling under a per-step token budget."""
+
+    name: str = field(default="continuous", init=False)
+
     def plan_step(self, clock: float, waiting: "deque[Request]",
-                  running: list[ActiveRequest], tracker: KVCacheTracker,
+                  running: list[ActiveRequest], tracker: MemoryLedger,
                   more_arrivals: bool) -> StepPlan:
         decode = tuple(running)
         budget = self.token_budget - len(decode)
@@ -143,6 +172,65 @@ class ContinuousBatcher(Batcher):
 
 
 @dataclass
+class ChunkedPrefillBatcher(BudgetedBatcher):
+    """Iteration-level scheduling with prompts split across steps.
+
+    Decode work is never throttled; the leftover token budget each step
+    is filled with prompt *chunks* (Sarathi/vLLM-style chunked prefill).
+    At most one request is mid-prefill at a time (FCFS): its next chunk
+    is sized by the leftover budget and — on a paged ledger — by the
+    blocks actually free, so admission charges only live blocks rather
+    than a request's peak footprint.  A request whose last chunk runs
+    this step emits its first token this step.
+
+    Newly admitted requests are appended to ``running`` immediately
+    (``prefilled`` stays ``False`` until the prompt completes), so
+    partially-prefilled KV survives across steps.
+    """
+
+    name: str = field(default="chunked", init=False)
+
+    def plan_step(self, clock: float, waiting: "deque[Request]",
+                  running: list[ActiveRequest], tracker: MemoryLedger,
+                  more_arrivals: bool) -> StepPlan:
+        decode = tuple(ar for ar in running if ar.prefilled)
+        budget = self.token_budget - len(decode)
+        chunks: list[PrefillChunk] = []
+        partial = next((ar for ar in running if not ar.prefilled), None)
+        in_flight = partial is not None
+        if partial is not None and budget > 0:
+            remaining = (partial.request.prompt_tokens
+                         - partial.prefilled_tokens)
+            grant = tracker.clamp_growth(partial.request.rid,
+                                         min(budget, remaining))
+            if grant > 0:
+                tracker.grow(partial.request.rid, grant)
+                chunks.append(PrefillChunk(
+                    ar=partial, tokens=grant,
+                    offset=partial.prefilled_tokens))
+                budget -= grant
+                in_flight = grant < remaining
+        while budget > 0 and waiting and not in_flight:
+            if (self.max_running is not None
+                    and len(running) >= self.max_running):
+                break
+            req = waiting[0]
+            first = tracker.admission_chunk(
+                min(budget, req.prompt_tokens), req.total_tokens)
+            if first <= 0:
+                break                     # memory-bound: retry next step
+            waiting.popleft()
+            tracker.admit(req.rid, 0, req.total_tokens)
+            tracker.grow(req.rid, first)
+            ar = ActiveRequest(request=req, admitted_s=clock)
+            running.append(ar)
+            chunks.append(PrefillChunk(ar=ar, tokens=first, offset=0))
+            budget -= first
+            in_flight = first < req.prompt_tokens
+        return StepPlan(decode=decode, chunks=tuple(chunks))
+
+
+@dataclass
 class StaticBatcher(Batcher):
     """Fixed-size batches run to completion (the convoy baseline)."""
 
@@ -155,7 +243,7 @@ class StaticBatcher(Batcher):
             raise ConfigError("batch_size must be positive")
 
     def plan_step(self, clock: float, waiting: "deque[Request]",
-                  running: list[ActiveRequest], tracker: KVCacheTracker,
+                  running: list[ActiveRequest], tracker: MemoryLedger,
                   more_arrivals: bool) -> StepPlan:
         if running:
             return StepPlan(decode=tuple(running))

@@ -4,10 +4,20 @@ The engine advances a clock from step to step: at each boundary the
 batcher composes the step (admissions + decodes), the step's duration is
 priced with the prefill/decode cost split from :mod:`repro.models` —
 scaled by ``num_layers`` to a full-model forward — and request lifecycle
-timestamps fall out of the clock.  Memory is charged through
-:class:`~repro.moe.memory_model.KVCacheTracker`, so each engine's
-sustainable concurrency (and therefore its saturation QPS) emerges from
-the same footprint model that reproduces Table 3.
+timestamps fall out of the clock.  Memory is charged through a
+:class:`~repro.moe.memory_model.MemoryLedger` — the conservative
+peak-reserving :class:`~repro.moe.memory_model.KVCacheTracker` by
+default, or the paged :class:`~repro.moe.memory_model.BlockAllocator`
+when ``page_size`` is set — so each engine's sustainable concurrency
+(and therefore its saturation QPS) emerges from the same footprint
+model that reproduces Table 3.
+
+Under paged allocation a decode step can fail to allocate its next KV
+block; the engine then *preempts* the youngest resident request
+(latest arrival): its blocks are released and the request returns to
+the front of the waiting queue to be recomputed on readmission
+(vLLM's recompute preemption).  Generation restarts from the prompt,
+but the request's first recorded TTFT is kept.
 
 Inside a step, the MoE layer can optionally be priced through the
 expert-segment LPT scheduler (``streams > 1`` on a Samoyeds context):
@@ -29,7 +39,11 @@ from repro.errors import CapacityError, ConfigError
 from repro.models.attention import attention_cost, decode_attention_cost
 from repro.models.decoder import norm_seconds
 from repro.moe.layers import SamoyedsEngine
-from repro.moe.memory_model import KVCacheTracker
+from repro.moe.memory_model import (
+    BlockAllocator,
+    KVCacheTracker,
+    MemoryLedger,
+)
 from repro.moe.scheduler import schedule_parallel, segment_seconds_from_loads
 from repro.moe.trace import zipf_expert_popularity
 from repro.serve.batcher import (
@@ -62,6 +76,10 @@ class ServingEngine:
         routing_skew: Zipf skew of the per-step expert loads used by the
             LPT segment scheduler when ``ctx.streams > 1``.
         seed: RNG seed for the per-step routing draws.
+        page_size: KV-cache page size in tokens.  ``None`` (default)
+            keeps the conservative whole-request reservation; a positive
+            value switches to the paged :class:`BlockAllocator` with
+            preemption on block exhaustion.
     """
 
     ctx: ExecutionContext
@@ -69,11 +87,14 @@ class ServingEngine:
     num_layers: int | None = None
     routing_skew: float = 0.0
     seed: int | None = None
+    page_size: int | None = None
 
     def __post_init__(self) -> None:
         self._layers = self.num_layers or self.ctx.config.num_layers
         if self._layers <= 0:
             raise ConfigError("num_layers must be positive")
+        if self.page_size is not None and self.page_size <= 0:
+            raise ConfigError("page_size must be positive")
         self._rng = new_rng(self.seed)
         self._moe_memo: dict[int, float] = {}
         self._popularity = zipf_expert_popularity(
@@ -89,6 +110,9 @@ class ServingEngine:
         for ar in plan.prefill:
             attn += attention_cost(cfg, ar.request.prompt_tokens, spec,
                                    batch=1, flash=self.ctx.flash).total_s
+        for chunk in plan.chunks:
+            attn += self._chunk_attention_seconds(chunk.offset,
+                                                  chunk.tokens)
         if plan.decode:
             context = sum(ar.context_tokens for ar in plan.decode)
             attn += decode_attention_cost(cfg, context, spec,
@@ -98,6 +122,20 @@ class ServingEngine:
         layer = attn + self._moe_seconds(tokens) \
             + norm_seconds(cfg, tokens, spec)
         return layer * self._layers
+
+    def _chunk_attention_seconds(self, offset: int, tokens: int) -> float:
+        """Marginal prefill attention for ``tokens`` new prompt tokens
+        attending over ``offset`` already-cached ones (chunked prefill:
+        the causal quadratic telescopes across chunks)."""
+        cfg, spec = self.ctx.config, self.ctx.spec
+        if offset <= 0:
+            return attention_cost(cfg, tokens, spec, batch=1,
+                                  flash=self.ctx.flash).total_s
+        whole = attention_cost(cfg, offset + tokens, spec, batch=1,
+                               flash=self.ctx.flash).total_s
+        prior = attention_cost(cfg, offset, spec, batch=1,
+                               flash=self.ctx.flash).total_s
+        return max(whole - prior, 0.0)
 
     def _moe_seconds(self, tokens: int) -> float:
         """MoE-layer seconds for ``tokens`` new tokens in one step."""
@@ -127,12 +165,60 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Event loop
     # ------------------------------------------------------------------
+    def _make_ledger(self) -> MemoryLedger:
+        if self.page_size:
+            return BlockAllocator(self.ctx.config, self.ctx.engine.name,
+                                  self.ctx.spec, page_size=self.page_size)
+        return KVCacheTracker(self.ctx.config, self.ctx.engine.name,
+                              self.ctx.spec)
+
+    def _evict(self, victim: ActiveRequest, ledger: MemoryLedger,
+               running: list[ActiveRequest], waiting: "deque[Request]",
+               evicted: set[int], collector: MetricsCollector) -> None:
+        """Preempt ``victim``: free its blocks, requeue for recompute."""
+        ledger.release(victim.request.rid)
+        running.remove(victim)
+        waiting.appendleft(victim.request)
+        evicted.add(victim.request.rid)
+        collector.preempt()
+
+    def _grow(self, ar: ActiveRequest, ledger: MemoryLedger,
+              running: list[ActiveRequest], waiting: "deque[Request]",
+              evicted: set[int], collector: MetricsCollector) -> bool:
+        """Charge one token of KV growth for ``ar``, preempting the
+        youngest resident request (latest arrival) until it fits.
+
+        Returns ``False`` when ``ar`` itself was the youngest and got
+        evicted; raises :class:`CapacityError` when ``ar`` cannot grow
+        even with the device to itself.
+        """
+        while True:
+            try:
+                ledger.grow(ar.request.rid)
+                return True
+            except CapacityError:
+                victim = max(running, key=lambda a: (a.request.arrival_s,
+                                                     a.request.rid))
+                if victim is ar and len(running) == 1:
+                    total = ar.request.total_tokens
+                    raise CapacityError(
+                        f"request {ar.request.rid} ({total} tokens) "
+                        f"exceeds device memory even alone on "
+                        f"{self.ctx.spec.name} with "
+                        f"{self.ctx.engine.name}",
+                        required_bytes=int(ledger.peak_bytes(total)),
+                        available_bytes=int(ledger.budget_bytes
+                                            - ledger.static_bytes))
+                self._evict(victim, ledger, running, waiting, evicted,
+                            collector)
+                if victim is ar:
+                    return False
+
     def run(self, trace: Sequence[Request],
             max_steps: int = 1_000_000) -> ServeReport:
         """Serve ``trace`` to completion and summarise the run."""
         validate_trace(trace)
-        tracker = KVCacheTracker(self.ctx.config, self.ctx.engine.name,
-                                 self.ctx.spec)
+        ledger = self._make_ledger()
         arrivals = deque(sorted(trace, key=lambda r: r.arrival_s))
         records = {req.rid: RequestRecord(req) for req in trace}
         waiting: deque[Request] = deque()
@@ -144,49 +230,92 @@ class ServingEngine:
         while arrivals or waiting or running:
             while arrivals and arrivals[0].arrival_s <= clock + 1e-12:
                 waiting.append(arrivals.popleft())
-            plan = self.batcher.plan_step(clock, waiting, running, tracker,
+            plan = self.batcher.plan_step(clock, waiting, running, ledger,
                                           bool(arrivals))
             if plan.empty:
                 if arrivals:                       # idle until next arrival
                     clock = max(clock, arrivals[0].arrival_s)
                     continue
-                head = waiting[0]
+                # An unfinished partial prefill is the stuck request
+                # (it holds the blocks); otherwise blame the queue head.
+                head = next((ar.request for ar in running
+                             if not ar.prefilled),
+                            waiting[0] if waiting else running[0].request)
                 raise CapacityError(
                     f"request {head.rid} ({head.total_tokens} tokens) can "
                     f"never fit on {self.ctx.spec.name} with "
                     f"{self.ctx.engine.name}",
                     required_bytes=int(
-                        tracker.sequence_bytes(head.total_tokens)),
-                    available_bytes=int(tracker.budget_bytes
-                                        - tracker.static_bytes))
+                        ledger.peak_bytes(head.total_tokens)),
+                    available_bytes=int(ledger.budget_bytes
+                                        - ledger.static_bytes))
             steps += 1
             if steps > max_steps:
                 raise ConfigError(f"exceeded {max_steps} steps; trace too "
                                   f"large or engine starved")
             clock += self.step_seconds(plan)
+            evicted: set[int] = set()
 
+            # Every ledger-charged request must be resident before any
+            # growth, so preemption can see (and evict) all of them.
+            running.extend(plan.prefill)
+            # Decode growth first, oldest arrivals first: under paged
+            # allocation the block that backs a new token may require
+            # preempting the youngest resident request.
+            for ar in sorted(plan.decode,
+                             key=lambda a: (a.request.arrival_s,
+                                            a.request.rid)):
+                if ar.request.rid in evicted:
+                    continue
+                ar.generated += 1
+                self._grow(ar, ledger, running, waiting, evicted,
+                           collector)
             for ar in plan.prefill:                # prompt + first token
                 record = records[ar.request.rid]
-                record.admitted_s = ar.admitted_s
-                record.first_token_s = clock
+                if record.admitted_s is None:
+                    record.admitted_s = ar.admitted_s
+                if ar.request.rid in evicted:
+                    continue
+                if record.first_token_s is None:
+                    record.first_token_s = clock
                 ar.prefilled = True
+                ar.prefilled_tokens = ar.request.prompt_tokens
                 ar.generated = 1
-                tracker.grow(ar.request.rid)
-                running.append(ar)
-            for ar in plan.decode:
-                ar.generated += 1
-                tracker.grow(ar.request.rid)
+                self._grow(ar, ledger, running, waiting, evicted,
+                           collector)
+            for chunk in plan.chunks:              # chunked prefill slices
+                ar = chunk.ar
+                record = records[ar.request.rid]
+                if record.admitted_s is None:
+                    record.admitted_s = ar.admitted_s
+                if ar.request.rid in evicted:
+                    continue
+                ar.prefilled_tokens += chunk.tokens
+                if ar.prefilled_tokens >= ar.request.prompt_tokens:
+                    ar.prefilled = True             # last chunk: token one
+                    ar.generated = 1
+                    if record.first_token_s is None:
+                        record.first_token_s = clock
+                    self._grow(ar, ledger, running, waiting, evicted,
+                               collector)
+
+            # Arrivals that landed during the step join the queue before
+            # the sample, so queue-depth percentiles see them.
+            while arrivals and arrivals[0].arrival_s <= clock + 1e-12:
+                waiting.append(arrivals.popleft())
 
             collector.observe(StepSample(
                 clock_s=clock,
                 queue_depth=len(waiting),
-                running=tracker.active_requests,
+                running=ledger.active_requests,
                 step_tokens=plan.total_tokens,
-                live_bytes=tracker.live_bytes,
+                live_bytes=ledger.live_bytes,
+                reserved_bytes=ledger.reserved_bytes,
+                pool_util=ledger.pool_utilisation,
             ))
             for ar in [ar for ar in running if ar.finished]:
                 running.remove(ar)
-                tracker.release(ar.request.rid)
+                ledger.release(ar.request.rid)
                 record = records[ar.request.rid]
                 record.finished_s = clock
                 collector.finish(record)
@@ -201,12 +330,15 @@ def simulate(model: str | ExecutionContext, engine: str = "samoyeds",
              gpu: str = "rtx4070s", *, trace: Sequence[Request],
              batcher: Batcher | None = None, num_layers: int | None = None,
              streams: int = 1, flash: bool = True,
-             routing_skew: float = 0.0,
-             seed: int | None = None) -> ServeReport:
+             routing_skew: float = 0.0, seed: int | None = None,
+             page_size: int | None = None) -> ServeReport:
     """One-call serving simulation from registry names.
 
     ``model`` may also be a prebuilt :class:`ExecutionContext`, in which
-    case ``engine``/``gpu``/``streams``/``flash`` are ignored.
+    case ``engine``/``gpu``/``streams``/``flash`` are ignored.  A
+    positive ``page_size`` switches admission to the paged
+    :class:`~repro.moe.memory_model.BlockAllocator` (with preemption);
+    ``None`` keeps the conservative whole-request reservation.
     """
     if isinstance(model, ExecutionContext):
         ctx = model
@@ -215,5 +347,6 @@ def simulate(model: str | ExecutionContext, engine: str = "samoyeds",
                                       flash=flash)
     server = ServingEngine(ctx=ctx, batcher=batcher or ContinuousBatcher(),
                            num_layers=num_layers,
-                           routing_skew=routing_skew, seed=seed)
+                           routing_skew=routing_skew, seed=seed,
+                           page_size=page_size)
     return server.run(trace)

@@ -7,7 +7,11 @@ The serving literature's standard quantities:
 * **TPOT** — time per output token: decode-phase pacing, ``(finish -
   first token) / (output_tokens - 1)``;
 * **sustained QPS** — completed requests over the busy interval;
-* **queue depth** — waiting requests sampled at every engine step.
+* **queue depth** — waiting requests sampled at every engine step;
+* **preemptions** — running requests evicted back to the queue when the
+  paged KV allocator ran out of blocks;
+* **block utilisation** — charged fraction of the post-static memory
+  pool, sampled per step (reservations or live blocks).
 
 Percentiles use the deterministic sorted-linear-interpolation rule so a
 fixed RNG seed reproduces a report bit for bit.
@@ -105,6 +109,9 @@ class ServeReport:
     batch_tokens: dict[str, float]
     max_concurrency: int
     peak_memory_bytes: float
+    peak_reserved_bytes: float = 0.0
+    preemptions: int = 0
+    block_utilisation: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, object]:
         """JSON-ready payload (plain types only, stable key order)."""
@@ -126,6 +133,9 @@ class ServeReport:
             "batch_tokens": dict(self.batch_tokens),
             "max_concurrency": self.max_concurrency,
             "peak_memory_bytes": self.peak_memory_bytes,
+            "peak_reserved_bytes": self.peak_reserved_bytes,
+            "preemptions": self.preemptions,
+            "block_utilisation": dict(self.block_utilisation),
         }
 
     def summary_row(self) -> list[object]:
@@ -137,37 +147,51 @@ class ServeReport:
                 f"{self.ttft_s['p99'] * 1e3:.1f}",
                 f"{self.tpot_s['p50'] * 1e3:.2f}",
                 f"{self.queue_depth['max']:.0f}",
-                self.max_concurrency]
+                self.max_concurrency,
+                self.preemptions]
 
 
 REPORT_HEADERS = ["engine", "batcher", "done", "qps", "tok/s",
                   "ttft p50 ms", "ttft p99 ms", "tpot p50 ms",
-                  "queue max", "max conc"]
+                  "queue max", "max conc", "preempt"]
 
 
 @dataclass
 class StepSample:
-    """Per-step observability sample taken by the event loop."""
+    """Per-step observability sample taken by the event loop.
+
+    ``live_bytes`` is the instantaneous static + KV footprint;
+    ``reserved_bytes`` is what the admission policy actually charged
+    (peak reservations or live blocks), whose post-static fraction of
+    the pool is ``pool_util``.
+    """
 
     clock_s: float
     queue_depth: int
     running: int
     step_tokens: int
     live_bytes: float = 0.0
+    reserved_bytes: float = 0.0
+    pool_util: float = 0.0
 
 
 @dataclass
 class MetricsCollector:
-    """Accumulates per-step samples and finished request records."""
+    """Accumulates per-step samples, finished records and evictions."""
 
     samples: list[StepSample] = field(default_factory=list)
     records: list[RequestRecord] = field(default_factory=list)
+    preemptions: int = 0
 
     def observe(self, sample: StepSample) -> None:
         self.samples.append(sample)
 
     def finish(self, record: RequestRecord) -> None:
         self.records.append(record)
+
+    def preempt(self) -> None:
+        """Count one eviction of a running request back to the queue."""
+        self.preemptions += 1
 
 
 def summarise(collector: MetricsCollector, *, engine: str, model: str,
@@ -201,4 +225,7 @@ def summarise(collector: MetricsCollector, *, engine: str, model: str,
         batch_tokens=_summary([float(s.step_tokens) for s in samples]),
         max_concurrency=max(s.running for s in samples),
         peak_memory_bytes=max(s.live_bytes for s in samples),
+        peak_reserved_bytes=max(s.reserved_bytes for s in samples),
+        preemptions=collector.preemptions,
+        block_utilisation=_summary([s.pool_util for s in samples]),
     )

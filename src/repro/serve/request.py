@@ -1,10 +1,13 @@
 """Serving requests and arrival traces.
 
 A :class:`Request` is the unit of admission: a prompt to prefill and a
-fixed number of tokens to decode (real deployments stop on an EOS token;
-the simulator fixes the output length so runs are deterministic and
-comparable across engines).  Three trace shapes cover the evaluation
-space:
+known number of tokens to decode.  By default output lengths are drawn
+from a narrow uniform band so engines see near-identical work; with
+``eos_sampling=True`` they are geometric — each decode step "emits EOS"
+with probability ``1/output_tokens``, the memoryless stop real
+deployments exhibit — while staying deterministic under the trace seed,
+so runs remain reproducible and comparable across engines.  Three trace
+shapes cover the evaluation space:
 
 * :func:`poisson_trace` — memoryless arrivals at a target QPS, the
   standard open-loop serving benchmark;
@@ -61,6 +64,22 @@ def _sample_lengths(rng: np.random.Generator, count: int, mean: int,
     return rng.integers(low, high, size=count)
 
 
+def _sample_output_lengths(rng: np.random.Generator, count: int,
+                           mean: int, jitter: float,
+                           eos_sampling: bool) -> np.ndarray:
+    """Output lengths: uniform band, or EOS-geometric when flagged.
+
+    Geometric with ``p = 1/mean`` models a memoryless per-token EOS
+    probability (support >= 1, mean = ``mean``), seeded by the trace
+    RNG so runs stay deterministic.
+    """
+    if not eos_sampling:
+        return _sample_lengths(rng, count, mean, jitter)
+    if mean <= 0:
+        raise ConfigError("mean output length must be positive")
+    return rng.geometric(1.0 / mean, size=count)
+
+
 def _build(arrivals: np.ndarray, prompts: np.ndarray,
            outputs: np.ndarray) -> list[Request]:
     return [Request(rid=i, arrival_s=float(t), prompt_tokens=int(p),
@@ -71,9 +90,14 @@ def _build(arrivals: np.ndarray, prompts: np.ndarray,
 def poisson_trace(num_requests: int, rate_qps: float,
                   prompt_tokens: int = 512, output_tokens: int = 64,
                   jitter: float = 0.5,
-                  seed: int | np.random.Generator | None = None
-                  ) -> list[Request]:
-    """Open-loop Poisson arrivals at ``rate_qps`` requests/second."""
+                  seed: int | np.random.Generator | None = None,
+                  eos_sampling: bool = False) -> list[Request]:
+    """Open-loop Poisson arrivals at ``rate_qps`` requests/second.
+
+    With ``eos_sampling`` the output lengths are geometric with mean
+    ``output_tokens`` (per-token EOS probability) instead of a uniform
+    jitter band.
+    """
     if num_requests <= 0:
         raise ConfigError("num_requests must be positive")
     if rate_qps <= 0:
@@ -82,7 +106,8 @@ def poisson_trace(num_requests: int, rate_qps: float,
     gaps = rng.exponential(1.0 / rate_qps, size=num_requests)
     arrivals = np.cumsum(gaps) - gaps[0]          # first request at t=0
     prompts = _sample_lengths(rng, num_requests, prompt_tokens, jitter)
-    outputs = _sample_lengths(rng, num_requests, output_tokens, jitter)
+    outputs = _sample_output_lengths(rng, num_requests, output_tokens,
+                                     jitter, eos_sampling)
     return _build(arrivals, prompts, outputs)
 
 
@@ -90,14 +115,15 @@ def bursty_trace(num_requests: int, rate_qps: float,
                  burst_factor: float = 8.0, burst_len: int = 16,
                  prompt_tokens: int = 512, output_tokens: int = 64,
                  jitter: float = 0.5,
-                 seed: int | np.random.Generator | None = None
-                 ) -> list[Request]:
+                 seed: int | np.random.Generator | None = None,
+                 eos_sampling: bool = False) -> list[Request]:
     """On/off bursts with mean rate ``rate_qps``.
 
     Requests arrive in bursts of ``burst_len`` at ``burst_factor`` times
     the mean rate, separated by idle gaps sized so the long-run rate
     stays ``rate_qps`` — the workload that exposes the convoy effect of
-    static batching.
+    static batching.  ``eos_sampling`` switches output lengths to the
+    geometric EOS model (see :func:`poisson_trace`).
     """
     if burst_factor <= 1.0:
         raise ConfigError("burst_factor must exceed 1")
@@ -117,7 +143,8 @@ def bursty_trace(num_requests: int, rate_qps: float,
         arrivals[i] = clock
     arrivals -= arrivals[0]
     prompts = _sample_lengths(rng, num_requests, prompt_tokens, jitter)
-    outputs = _sample_lengths(rng, num_requests, output_tokens, jitter)
+    outputs = _sample_output_lengths(rng, num_requests, output_tokens,
+                                     jitter, eos_sampling)
     return _build(arrivals, prompts, outputs)
 
 

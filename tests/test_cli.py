@@ -42,6 +42,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mixtral-8x22b" in out
 
+    def test_maxbatch_propagates_unexpected_errors(self, monkeypatch,
+                                                   capsys):
+        """Regression: a bare ``except Exception`` rendered real bugs as
+        OOM ``None`` cells; only capacity/config errors may do that."""
+        import repro.bench.cli as cli
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("bug, not OOM")
+
+        monkeypatch.setattr(cli, "max_batch_size", boom)
+        with pytest.raises(RuntimeError):
+            main(["maxbatch", "--seq", "1024"])
+
     def test_experiments_single(self, capsys):
         assert main(["experiments", "fig11"]) == 0
         assert "Figure 11b" in capsys.readouterr().out

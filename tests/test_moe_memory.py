@@ -165,3 +165,110 @@ class TestKVCacheTracker:
         reserved = tracker.reserved_bytes
         tracker.grow(0, 100)
         assert tracker.reserved_bytes == reserved
+
+    def test_grow_unknown_rid_raises_config_error(self, a100):
+        """Regression: grow() used to leak a bare KeyError."""
+        tracker = self._tracker(a100)
+        with pytest.raises(ConfigError, match="99"):
+            tracker.grow(99)
+
+
+class TestBlockAllocator:
+    """Paged KV-cache ledger: charge live blocks, not peak footprint."""
+
+    CFG = MODEL_REGISTRY["mixtral-8x7b"]
+
+    def _alloc(self, spec, engine="samoyeds", page=16):
+        from repro.moe.memory_model import BlockAllocator
+        return BlockAllocator(self.CFG, engine, spec, page_size=page)
+
+    def test_block_charge_telescopes_to_per_sequence(self, a100):
+        from repro.moe.memory_model import per_sequence_bytes
+        alloc = self._alloc(a100)
+        alloc.admit(0, 512, 1024)
+        alloc.grow(0, 512)
+        charged = alloc.reserved_bytes - alloc.static_bytes
+        assert charged == pytest.approx(
+            per_sequence_bytes(self.CFG, "samoyeds", 1024))
+
+    def test_admission_charges_live_not_peak(self, a100):
+        alloc = self._alloc(a100)
+        alloc.admit(0, 128, 4096)            # peak 4096, live 128
+        charged = alloc.reserved_bytes - alloc.static_bytes
+        assert charged == pytest.approx(alloc.sequence_bytes(128))
+        assert charged < alloc.sequence_bytes(4096)
+
+    def test_grow_allocates_on_block_boundaries_only(self, a100):
+        alloc = self._alloc(a100, page=16)
+        alloc.admit(0, 10, 1024)             # 1 block
+        charged = alloc.reserved_bytes
+        alloc.grow(0, 6)                     # context 16: still 1 block
+        assert alloc.reserved_bytes == charged
+        alloc.grow(0, 1)                     # context 17: 2nd block
+        assert alloc.reserved_bytes > charged
+
+    def test_grow_raises_capacity_when_pool_exhausted(self, spec):
+        from repro.errors import CapacityError
+        alloc = self._alloc(spec, engine="vllm-ds", page=4096)
+        rid = 0
+        while alloc.admission_chunk(4096, 8192) > 0:
+            alloc.admit(rid, 4096, 8192)     # one whole block each
+            rid += 1
+        assert rid > 0
+        before = alloc.reserved_bytes
+        with pytest.raises(CapacityError):
+            alloc.grow(0, 1)                 # needs a second 4096-token block
+        assert alloc.reserved_bytes == before   # failed grow charges nothing
+
+    def test_max_concurrent_matches_table3_block_aligned(self, spec):
+        """Paging changes when memory is charged, not how much a full
+        sequence costs: block-aligned uniform concurrency == Table 3."""
+        for engine in ("transformers", "vllm-ds", "samoyeds"):
+            alloc = self._alloc(spec, engine=engine)
+            table3 = footprint(self.CFG, engine, 4096, spec).max_batch()
+            assert alloc.max_concurrent(4096) == table3
+
+    def test_release_frees_blocks(self, a100):
+        alloc = self._alloc(a100)
+        free0 = alloc.free_bytes
+        alloc.admit(0, 512, 1024)
+        alloc.grow(0, 100)
+        alloc.release(0)
+        assert alloc.free_bytes == free0
+        assert alloc.active_requests == 0
+        assert alloc.used_blocks == 0
+
+    def test_admission_chunk_clamps_to_free_blocks(self, spec):
+        alloc = self._alloc(spec, engine="vllm-ds", page=16)
+        grant = alloc.admission_chunk(10 ** 9, 10 ** 9)
+        assert grant > 0
+        assert grant % 16 == 0
+        assert alloc.block_bytes(alloc.blocks_for(grant)) \
+            <= alloc.free_bytes
+
+    def test_clamp_growth_respects_held_blocks(self, a100):
+        alloc = self._alloc(a100, page=16)
+        alloc.admit(0, 10, 1024)
+        assert alloc.clamp_growth(0, 6) == 6    # inside the held block
+        assert alloc.clamp_growth(0, 0) == 0
+
+    def test_grow_unknown_rid_raises_config_error(self, a100):
+        alloc = self._alloc(a100)
+        with pytest.raises(ConfigError, match="7"):
+            alloc.grow(7)
+
+    def test_double_admit_rejected(self, a100):
+        alloc = self._alloc(a100)
+        alloc.admit(0, 128, 256)
+        with pytest.raises(ConfigError):
+            alloc.admit(0, 128, 256)
+
+    def test_invalid_page_size_rejected(self, a100):
+        with pytest.raises(ConfigError):
+            self._alloc(a100, page=0)
+
+    def test_pool_utilisation_bounds(self, a100):
+        alloc = self._alloc(a100)
+        assert alloc.pool_utilisation == 0.0
+        alloc.admit(0, 1024, 2048)
+        assert 0.0 < alloc.pool_utilisation <= 1.0

@@ -126,6 +126,27 @@ class TestEdgeCases:
             segment_seconds_from_loads(CFG, [64], spec, SamoyedsKernel(),
                                        tile_n=0)
 
+    def test_fused_prices_gate_up_once(self, spec, plan):
+        """Regression: schedule_fused evaluated the gate/up GEMM twice
+        instead of pricing it once and counting it twice."""
+        from repro.kernels.ssmm_samoyeds import SamoyedsKernel
+        from repro.moe.scheduler import schedule_fused
+
+        class CountingKernel:
+            def __init__(self):
+                self.inner = SamoyedsKernel()
+                self.calls = 0
+
+            def cost(self, m, k, n, spec):
+                self.calls += 1
+                return self.inner.cost(m, k, n, spec)
+
+        kernel = CountingKernel()
+        out = schedule_fused(CFG, plan, spec, kernel)
+        assert kernel.calls == 2       # one gate/up shape + one down shape
+        ref = schedule_fused(CFG, plan, spec, SamoyedsKernel())
+        assert out.makespan_s == pytest.approx(ref.makespan_s)
+
 
 class TestContextIntegration:
     def test_context_first_argument(self, spec, plan):

@@ -35,6 +35,8 @@ def _running(*contexts):
                                    prompt_tokens=ctx, output_tokens=64),
                            admitted_s=0.0)
         ar.generated = 1
+        ar.prefilled = True
+        ar.prefilled_tokens = ctx
         out.append(ar)
     return out
 
@@ -104,6 +106,114 @@ class TestContinuous:
             ContinuousBatcher(token_budget=0)
         with pytest.raises(ConfigError):
             ContinuousBatcher(max_running=0)
+
+
+class TestChunked:
+    def _batcher(self, budget=256):
+        from repro.serve.batcher import ChunkedPrefillBatcher
+        return ChunkedPrefillBatcher(token_budget=budget)
+
+    def test_splits_long_prompt_across_steps(self):
+        batcher = self._batcher(256)
+        waiting, running = _waiting(1000), []
+        plan = batcher.plan_step(0.0, waiting, running, _tracker(), False)
+        assert not plan.prefill and len(plan.chunks) == 1
+        assert plan.chunks[0].tokens == 256
+        assert plan.chunks[0].offset == 0
+        assert not plan.chunks[0].completes
+        assert len(running) == 1 and not running[0].prefilled
+        assert not waiting
+
+    def test_resumes_partial_at_its_offset(self):
+        from collections import deque
+        batcher = self._batcher(256)
+        waiting, running, tracker = _waiting(1000), [], _tracker()
+        batcher.plan_step(0.0, waiting, running, tracker, False)
+        running[0].prefilled_tokens = 256       # the engine's apply step
+        plan = batcher.plan_step(1.0, deque(), running, tracker, False)
+        assert len(plan.chunks) == 1
+        assert plan.chunks[0].offset == 256
+        assert plan.chunks[0].tokens == 256
+
+    def test_final_chunk_completes(self):
+        from collections import deque
+        batcher = self._batcher(256)
+        waiting, running, tracker = _waiting(300), [], _tracker()
+        batcher.plan_step(0.0, waiting, running, tracker, False)
+        running[0].prefilled_tokens = 256
+        plan = batcher.plan_step(1.0, deque(), running, tracker, False)
+        assert plan.chunks[0].tokens == 44
+        assert plan.chunks[0].completes
+
+    def test_single_partial_blocks_admission(self):
+        batcher = self._batcher(256)
+        waiting, running = _waiting(1000, 64), []
+        plan = batcher.plan_step(0.0, waiting, running, _tracker(), False)
+        assert len(plan.chunks) == 1            # FCFS: one partial at a time
+        assert len(waiting) == 1
+
+    def test_short_prompts_admit_together(self):
+        batcher = self._batcher(512)
+        waiting, running = _waiting(128, 128, 128), []
+        plan = batcher.plan_step(0.0, waiting, running, _tracker(), False)
+        assert len(plan.chunks) == 3
+        assert all(chunk.completes for chunk in plan.chunks)
+        assert not waiting
+
+    def test_decode_never_throttled(self):
+        from collections import deque
+        batcher = self._batcher(4)
+        running = _running(128, 128, 128, 128, 128, 128)
+        plan = batcher.plan_step(0.0, deque(), running, _tracker(), False)
+        assert len(plan.decode) == 6
+        assert plan.total_tokens == 6
+
+    def test_paged_admission_charges_first_chunk_only(self, a100):
+        from repro.moe.memory_model import BlockAllocator
+        alloc = BlockAllocator(CFG, "samoyeds", a100, page_size=16)
+        free0 = alloc.free_bytes
+        batcher = self._batcher(256)
+        waiting, running = _waiting(2048), []
+        batcher.plan_step(0.0, waiting, running, alloc, False)
+        charged = free0 - alloc.free_bytes
+        assert charged == pytest.approx(
+            alloc.block_bytes(alloc.blocks_for(256)))
+        assert charged < alloc.sequence_bytes(2048 + 8)
+
+    def test_conservative_admission_still_reserves_peak(self):
+        tracker = _tracker()
+        free0 = tracker.free_bytes
+        batcher = self._batcher(256)
+        waiting, running = _waiting(2048), []
+        batcher.plan_step(0.0, waiting, running, tracker, False)
+        charged = free0 - tracker.free_bytes
+        assert charged == pytest.approx(tracker.sequence_bytes(2048 + 8))
+
+    def test_memory_bounds_admission(self):
+        from repro.moe.memory_model import BlockAllocator
+        from repro.hw import get_gpu
+        alloc = BlockAllocator(CFG, "vllm-ds", get_gpu("rtx4070s"),
+                               page_size=16)
+        batcher = self._batcher(10 ** 9)
+        waiting, running = _waiting(*[4088] * 40), []
+        batcher.plan_step(0.0, waiting, running, alloc, False)
+        assert waiting                    # pool bound admission
+        assert alloc.free_bytes >= 0
+
+    def test_max_running_cap(self):
+        from repro.serve.batcher import ChunkedPrefillBatcher
+        batcher = ChunkedPrefillBatcher(token_budget=10 ** 6,
+                                        max_running=3)
+        waiting, running = _waiting(*[64] * 8), []
+        plan = batcher.plan_step(0.0, waiting, running, _tracker(), False)
+        assert len(plan.chunks) == 3
+
+    def test_invalid_params_rejected(self):
+        from repro.serve.batcher import ChunkedPrefillBatcher
+        with pytest.raises(ConfigError):
+            ChunkedPrefillBatcher(token_budget=0)
+        with pytest.raises(ConfigError):
+            ChunkedPrefillBatcher(max_running=0)
 
 
 class TestStatic:

@@ -68,6 +68,22 @@ class TestServeCommand:
         assert "error" in by_engine["vllm-ds"]      # Table-3 OOM
         assert by_engine["samoyeds"]["completed"] == 6
 
+    def test_chunked_paged_flags(self, capsys):
+        assert main(["serve", "--engines", "samoyeds",
+                     "--batcher", "chunked", "--page-size", "16",
+                     "--token-budget", "128", "--eos-sampling",
+                     "--requests", "8", "--qps", "4",
+                     "--prompt-tokens", "256", "--output-tokens", "4",
+                     "--layers", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["batcher"] == "chunked"
+        assert payload["page_size"] == 16
+        assert payload["eos_sampling"] is True
+        entry = payload["engines"][0]
+        assert entry["completed"] == 8
+        assert "preemptions" in entry
+        assert "peak_reserved_bytes" in entry
+
     def test_output_file(self, tmp_path, capsys):
         out = tmp_path / "report.json"
         assert main(SERVE_ARGS + ["--output", str(out)]) == 0

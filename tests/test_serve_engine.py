@@ -15,6 +15,7 @@ from repro.hw import get_gpu
 from repro.moe import MODEL_REGISTRY
 from repro.moe.memory_model import KVCacheTracker, footprint
 from repro.serve import (
+    ChunkedPrefillBatcher,
     ContinuousBatcher,
     StaticBatcher,
     bursty_trace,
@@ -93,6 +94,117 @@ class TestEmergentMemoryLimit:
         with pytest.raises(CapacityError):
             simulate("mixtral-8x22b", "vllm-ds", "rtx4070s", trace=trace,
                      num_layers=1, seed=SEED)
+
+
+class TestQueueDepthSampling:
+    def test_arrivals_during_step_are_counted(self, ctx):
+        """Regression: queue depth was sampled before draining the
+        arrivals that landed during the step, undercounting p99/max."""
+        trace = replay_trace([(0.0, 2048, 4)]
+                             + [(1e-6, 32, 4) for _ in range(9)])
+        report = simulate(ctx, trace=trace,
+                          batcher=ContinuousBatcher(token_budget=4096),
+                          num_layers=1, seed=SEED)
+        # All 9 arrive during the long first prefill step: the first
+        # sample must see them queued.
+        assert report.queue_depth["max"] >= 9
+
+
+class TestMemoryReporting:
+    def test_reserved_peak_reported_beside_live_peak(self, ctx):
+        """Regression: only the KV-cache live bytes were reported, far
+        below the admission-charged budget."""
+        trace = poisson_trace(12, 3.0, prompt_tokens=256,
+                              output_tokens=8, seed=SEED)
+        report = simulate(ctx, trace=trace, seed=SEED)
+        assert report.peak_reserved_bytes > report.peak_memory_bytes
+        assert report.block_utilisation["max"] > 0
+
+    def test_block_ledger_never_exceeds_budget(self):
+        from repro.moe.memory_model import BlockAllocator
+        spec = get_gpu("rtx4070s")
+        trace = replay_trace([(0.0, 1024, 3072) for _ in range(8)])
+        report = simulate("mixtral-8x7b", "vllm-ds", "rtx4070s",
+                          trace=trace,
+                          batcher=ContinuousBatcher(token_budget=10 ** 9),
+                          num_layers=1, seed=SEED, page_size=16)
+        budget = BlockAllocator(CFG, "vllm-ds", spec,
+                                page_size=16).budget_bytes
+        assert report.peak_reserved_bytes <= budget
+        assert report.block_utilisation["max"] <= 1.0 + 1e-9
+
+
+class TestPagedServing:
+    def test_paged_chunked_beats_conservative_on_long_prompts(self):
+        """ISSUE acceptance: bursty long-prompt trace, paged + chunked
+        completes everything with strictly higher max concurrency and
+        lower p99 TTFT than conservative-admission continuous batching,
+        for both samoyeds and vllm-ds."""
+        trace = bursty_trace(24, rate_qps=2.0, prompt_tokens=2048,
+                             output_tokens=16, seed=SEED)
+        for engine in ("samoyeds", "vllm-ds"):
+            base = simulate("mixtral-8x7b", engine, "a100", trace=trace,
+                            batcher=ContinuousBatcher(token_budget=1024),
+                            num_layers=4, seed=SEED)
+            paged = simulate(
+                "mixtral-8x7b", engine, "a100", trace=trace,
+                batcher=ChunkedPrefillBatcher(token_budget=1024),
+                num_layers=4, seed=SEED, page_size=16)
+            assert base.completed == paged.completed == len(trace)
+            assert paged.max_concurrency > base.max_concurrency, engine
+            assert paged.ttft_s["p99"] < base.ttft_s["p99"], engine
+
+    def test_uniform_trace_paged_matches_table3(self):
+        """Block-aligned uniform requests saturate at exactly the
+        Table-3 max batch under paging too."""
+        spec = get_gpu("rtx4070s")
+        seq, output = 4096, 8
+        limit = footprint(CFG, "vllm-ds", seq, spec).max_batch()
+        trace = replay_trace([(0.0, seq - output, output)
+                              for _ in range(limit + 4)])
+        report = simulate("mixtral-8x7b", "vllm-ds", "rtx4070s",
+                          trace=trace,
+                          batcher=ContinuousBatcher(token_budget=10 ** 9),
+                          num_layers=1, seed=SEED, page_size=16)
+        assert report.max_concurrency == limit
+        assert report.completed == len(trace)
+
+    def test_preempted_requests_finish(self):
+        """Over-admitting at low live context forces block exhaustion
+        mid-decode; every evicted request is recomputed to completion."""
+        trace = replay_trace([(0.0, 1024, 3072) for _ in range(8)])
+        report = simulate("mixtral-8x7b", "vllm-ds", "rtx4070s",
+                          trace=trace,
+                          batcher=ContinuousBatcher(token_budget=10 ** 9),
+                          num_layers=1, seed=SEED, page_size=16)
+        assert report.preemptions > 0
+        assert report.completed == len(trace)
+        assert report.max_concurrency == 8      # paged over-admission
+
+    def test_conservative_never_preempts(self, ctx, burst):
+        report = simulate(ctx, trace=burst, seed=SEED)
+        assert report.preemptions == 0
+
+    def test_paged_never_fits_raises(self):
+        trace = replay_trace([(0.0, 64, 4)])
+        with pytest.raises(CapacityError):
+            simulate("mixtral-8x22b", "vllm-ds", "rtx4070s", trace=trace,
+                     num_layers=1, seed=SEED, page_size=16)
+
+    def test_paged_deterministic(self):
+        def run():
+            trace = bursty_trace(16, 4.0, prompt_tokens=512,
+                                 output_tokens=12, seed=SEED)
+            return simulate(
+                "mixtral-8x7b", "samoyeds", "a100", trace=trace,
+                batcher=ChunkedPrefillBatcher(token_budget=512),
+                num_layers=2, seed=SEED, page_size=16)
+        assert run().to_dict() == run().to_dict()
+
+    def test_invalid_page_size_rejected(self, ctx):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            ServingEngine(ctx=ctx, page_size=-1)
 
 
 class TestDeterminism:

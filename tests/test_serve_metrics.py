@@ -103,3 +103,34 @@ class TestSummarise:
         with pytest.raises(ConfigError):
             summarise(MetricsCollector(), engine="e", model="m", gpu="g",
                       batcher="b", num_requests=0)
+
+
+class TestPreemptionAndReservedPeak:
+    def _collector(self):
+        col = MetricsCollector()
+        col.finish(_record(0, 0.0, 0.0, 1.0, 4.0))
+        col.observe(StepSample(clock_s=1.0, queue_depth=0, running=1,
+                               step_tokens=8, live_bytes=100.0,
+                               reserved_bytes=250.0, pool_util=0.25))
+        col.observe(StepSample(clock_s=2.0, queue_depth=0, running=1,
+                               step_tokens=1, live_bytes=120.0,
+                               reserved_bytes=400.0, pool_util=0.40))
+        col.preempt()
+        col.preempt()
+        return col
+
+    def test_reserved_peak_and_preemptions_folded(self):
+        report = summarise(self._collector(), engine="e", model="m",
+                           gpu="g", batcher="b", num_requests=1)
+        assert report.peak_memory_bytes == 120.0
+        assert report.peak_reserved_bytes == 400.0
+        assert report.preemptions == 2
+        assert report.block_utilisation["max"] == 0.40
+
+    def test_new_fields_in_payload(self):
+        payload = summarise(self._collector(), engine="e", model="m",
+                            gpu="g", batcher="b",
+                            num_requests=1).to_dict()
+        assert payload["peak_reserved_bytes"] == 400.0
+        assert payload["preemptions"] == 2
+        assert payload["block_utilisation"]["p50"] > 0

@@ -123,3 +123,35 @@ class TestValidate:
     def test_empty_rejected(self):
         with pytest.raises(ConfigError):
             validate_trace([])
+
+
+class TestEosSampling:
+    def test_deterministic_under_seed(self):
+        def run():
+            return [r.output_tokens for r in
+                    poisson_trace(32, 2.0, output_tokens=16, seed=3,
+                                  eos_sampling=True)]
+        assert run() == run()
+
+    def test_geometric_spread_beyond_jitter_band(self):
+        trace = poisson_trace(256, 2.0, output_tokens=32, jitter=0.0,
+                              seed=3, eos_sampling=True)
+        outs = [r.output_tokens for r in trace]
+        assert min(outs) < 16 and max(outs) > 48
+        assert all(o >= 1 for o in outs)
+
+    def test_mean_tracks_target(self):
+        trace = poisson_trace(2000, 2.0, output_tokens=32, seed=3,
+                              eos_sampling=True)
+        mean = sum(r.output_tokens for r in trace) / len(trace)
+        assert 0.85 * 32 < mean < 1.15 * 32
+
+    def test_default_stays_in_jitter_band(self):
+        trace = poisson_trace(64, 2.0, output_tokens=32, jitter=0.25,
+                              seed=3)
+        assert all(24 <= r.output_tokens <= 40 for r in trace)
+
+    def test_bursty_supports_flag(self):
+        trace = bursty_trace(64, 4.0, output_tokens=16, seed=3,
+                             eos_sampling=True)
+        assert len({r.output_tokens for r in trace}) > 4
