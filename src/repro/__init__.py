@@ -36,11 +36,25 @@ from repro.formats import (
     SamoyedsWeight,
     prune_samoyeds,
 )
-from repro.hw import GPUSpec, get_gpu, list_gpus
+from repro.hw import (
+    ClusterSpec,
+    GPUSpec,
+    LinkSpec,
+    ParallelPlan,
+    get_gpu,
+    get_link,
+    list_gpus,
+    parse_parallel,
+)
 from repro.context import ExecutionContext
 
 __all__ = [
     "ExecutionContext",
+    "ClusterSpec",
+    "LinkSpec",
+    "ParallelPlan",
+    "get_link",
+    "parse_parallel",
     "CapacityError",
     "ConfigError",
     "FormatError",

@@ -8,7 +8,10 @@ Subcommands:
 * ``roofline --m --k --n [--gpu]`` — place every kernel on the roofline;
 * ``maxbatch [--gpu] [--seq]`` — Table-3 style memory report;
 * ``serve --engines a,b --trace poisson`` — continuous-batching serving
-  simulation comparing engines under identical traffic (JSON report).
+  simulation comparing engines under identical traffic (JSON report);
+  ``--parallel ep=4,tp=2`` shards the server over a device grid;
+* ``scale --devices 1,2,4,8`` — strong/weak scaling sweep over device
+  counts (QPS, TTFT/TPOT and communication fraction per point).
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ import sys
 from repro.bench.figures import EXPERIMENTS, run_experiment
 from repro.bench.report import render_json, render_table
 from repro.errors import CapacityError, ConfigError
+from repro.hw.interconnect import list_links
 from repro.hw.roofline import place, render
 from repro.hw.spec import get_gpu, list_gpus
 from repro.kernels import KERNELS
@@ -119,6 +123,7 @@ def cmd_maxbatch(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.context import ExecutionContext
     from repro.errors import ReproError
+    from repro.hw.interconnect import get_link, make_cluster, parse_parallel
     from repro.serve import (
         ChunkedPrefillBatcher,
         ContinuousBatcher,
@@ -132,6 +137,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.moe.layers import ENGINES
 
     config = MODEL_REGISTRY[args.model]
+    try:
+        plan = parse_parallel(args.parallel)
+    except ConfigError as exc:
+        print(f"repro bench serve: bad --parallel: {exc}", file=sys.stderr)
+        return 2
+    if plan.dp > 1:
+        # Usage error, not per-engine infeasibility: replicas serve
+        # disjoint streams, so simulate them as separate invocations.
+        print("repro bench serve: --parallel dp>1 is not served by one "
+              "engine; run one serve per replica", file=sys.stderr)
+        return 2
+    cluster = None
+    if not plan.is_trivial:
+        cluster = make_cluster(get_gpu(args.gpu), plan,
+                               get_link(args.link))
     make_trace = poisson_trace if args.trace == "poisson" else bursty_trace
     engines = []
     for raw in args.engines.split(","):
@@ -170,11 +190,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     rows = []
     for name in engines:
         ctx = ExecutionContext.create(config, name, args.gpu,
-                                      streams=args.streams)
+                                      streams=args.streams,
+                                      parallel=plan, cluster=cluster)
         try:
             report = simulate(ctx, trace=trace, batcher=batcher_factory(),
                               num_layers=args.layers, seed=args.seed,
-                              page_size=args.page_size or None)
+                              page_size=args.page_size or None,
+                              horizon_s=args.horizon,
+                              placement_policy=args.placement)
         except ReproError as exc:
             print(f"# {name}: infeasible ({exc})", file=sys.stderr)
             reports.append({"engine": name, "error": str(exc)})
@@ -197,7 +220,118 @@ def cmd_serve(args: argparse.Namespace) -> int:
         "batcher": args.batcher,
         "page_size": args.page_size,
         "eos_sampling": args.eos_sampling,
+        # Single-GPU payloads stay byte-identical to the pre-cluster
+        # format: the parallel section appears only for device grids.
+        **({"parallel": plan.to_dict(), "link": args.link}
+           if not plan.is_trivial else {}),
         "engines": reports,
+    }
+    text = render_json(payload)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_scale(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.hw.interconnect import ParallelPlan
+    from repro.serve import poisson_trace, simulate
+
+    if args.mode not in ("ep", "tp"):
+        print("repro bench scale: --mode must be ep or tp",
+              file=sys.stderr)
+        return 2
+    try:
+        devices = [int(d) for d in args.devices.split(",") if d.strip()]
+    except ValueError:
+        print(f"repro bench scale: bad --devices {args.devices!r}; "
+              f"expected a comma-separated list of ints", file=sys.stderr)
+        return 2
+    if not devices or any(d <= 0 for d in devices):
+        print("repro bench scale: device counts must be positive",
+              file=sys.stderr)
+        return 2
+
+    def run_point(count: int, scale_load: bool) -> dict[str, object]:
+        plan = (ParallelPlan(ep=count) if args.mode == "ep"
+                else ParallelPlan(tp=count))
+        factor = count if scale_load else 1
+        trace = poisson_trace(args.requests * factor, args.qps * factor,
+                              prompt_tokens=args.prompt_tokens,
+                              output_tokens=args.output_tokens,
+                              seed=args.seed)
+        report = simulate(args.model, args.engine, args.gpu, trace=trace,
+                          parallel=plan, link=args.link,
+                          num_layers=args.layers, seed=args.seed,
+                          horizon_s=args.horizon)
+        cluster = report.cluster or {}
+        return {
+            "devices": count,
+            "parallel": plan.describe(),
+            "qps_offered": args.qps * factor,
+            "completed": report.completed,
+            "qps_sustained": report.qps_sustained,
+            "output_tokens_per_s": report.output_tokens_per_s,
+            "ttft_s": dict(report.ttft_s),
+            "tpot_s": dict(report.tpot_s),
+            "comm_fraction": cluster.get("comm_fraction", 0.0),
+            "experts_per_device": cluster.get("experts_per_device"),
+        }
+
+    strong: list[dict[str, object]] = []
+    weak: list[dict[str, object]] = []
+    for count in devices:
+        for series, scale_load in ((strong, False), (weak, True)):
+            if scale_load and count == 1:
+                series.append(dict(strong[-1]))   # same point at 1 device
+                continue
+            try:
+                series.append(run_point(count, scale_load))
+            except ReproError as exc:
+                label = "weak" if scale_load else "strong"
+                print(f"# {count} devices ({label}): infeasible ({exc})",
+                      file=sys.stderr)
+                series.append({"devices": count, "error": str(exc)})
+
+    # Speedups are only meaningful relative to the smallest swept device
+    # count; if that point errored, print "-" rather than rebasing.
+    smallest = min(strong, key=lambda p: p["devices"]) if strong else None
+    base = smallest if smallest and "error" not in smallest else None
+    rows = []
+    for s, w in zip(strong, weak):
+        if "error" in s:
+            rows.append([s["devices"], "-", "-", "-", "-", "-"])
+            continue
+        speedup = ("-" if base is None or not base["qps_sustained"]
+                   else f"{s['qps_sustained'] / base['qps_sustained']:.2f}x")
+        rows.append([s["devices"],
+                     f"{s['qps_sustained']:.2f}",
+                     speedup,
+                     ("-" if "error" in w
+                      else f"{w['qps_sustained']:.2f}"),
+                     f"{s['ttft_s']['p50'] * 1e3:.1f}",
+                     f"{s['comm_fraction'] * 100:.1f}%"])
+    print(render_table(
+        ["devices", "strong qps", "speedup", "weak qps", "ttft p50 ms",
+         "comm"],
+        rows,
+        title=(f"{args.model}/{args.engine} {args.mode} scaling on "
+               f"{args.gpu} over {args.link}")), file=sys.stderr)
+
+    payload = {
+        "model": args.model,
+        "engine": args.engine,
+        "gpu": args.gpu,
+        "mode": args.mode,
+        "link": args.link,
+        "qps_offered": args.qps,
+        "requests": args.requests,
+        "seed": args.seed,
+        "strong": strong,
+        "weak": weak,
     }
     text = render_json(payload)
     if args.output:
@@ -269,11 +403,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="decoder layers per step (default: model's)")
     p.add_argument("--streams", type=int, default=1,
                    help="expert-segment streams (LPT overlap when > 1)")
+    p.add_argument("--parallel", default=None,
+                   help="device-parallel plan, e.g. ep=4,tp=2 "
+                        "(default: single GPU)")
+    p.add_argument("--link", default="nvlink", choices=list_links(),
+                   help="interconnect joining the device grid")
+    p.add_argument("--placement", default="balanced",
+                   choices=["balanced", "round_robin"],
+                   help="expert-to-device placement policy")
+    p.add_argument("--horizon", type=float, default=None,
+                   help="stop serving at this clock (seconds); "
+                        "in-flight requests stay unfinished")
     p.add_argument("--seed", type=int, default=DEFAULT_SEED)
     p.add_argument("--output", default=None,
                    help="write the JSON report here instead of stdout")
     _add_gpu_arg(p)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("scale",
+                       help="strong/weak scaling sweep over device counts")
+    p.add_argument("--model", default="mixtral-8x7b",
+                   choices=sorted(MODEL_REGISTRY))
+    p.add_argument("--engine", default="samoyeds",
+                   help="engine to scale (default: samoyeds)")
+    p.add_argument("--mode", default="ep", choices=["ep", "tp"],
+                   help="which parallel degree the device count drives")
+    p.add_argument("--devices", default="1,2,4,8",
+                   help="comma-separated device counts to sweep")
+    p.add_argument("--link", default="nvlink", choices=list_links(),
+                   help="interconnect joining the device grid")
+    p.add_argument("--qps", type=float, default=16.0,
+                   help="offered load at one device (weak scaling "
+                        "multiplies it by the device count)")
+    p.add_argument("--requests", type=int, default=32)
+    p.add_argument("--prompt-tokens", type=int, default=512)
+    p.add_argument("--output-tokens", type=int, default=16)
+    p.add_argument("--layers", type=int, default=None,
+                   help="decoder layers per step (default: model's)")
+    p.add_argument("--horizon", type=float, default=None,
+                   help="per-point serving horizon in seconds")
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.add_argument("--output", default=None,
+                   help="write the JSON report here instead of stdout")
+    _add_gpu_arg(p)
+    p.set_defaults(fn=cmd_scale)
     return parser
 
 

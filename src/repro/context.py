@@ -16,6 +16,13 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
+from repro.hw.interconnect import (
+    TRIVIAL_PLAN,
+    ClusterSpec,
+    ParallelPlan,
+    make_cluster,
+    parse_parallel,
+)
 from repro.hw.spec import DEFAULT_GPU, GPUSpec, get_gpu
 from repro.moe.config import MoEModelConfig, get_model
 from repro.moe.layers import ENGINES, MoEEngine, SamoyedsEngine
@@ -53,6 +60,10 @@ class ExecutionContext:
             (``moe/scheduler.py`` policies; 1 = the paper's setup).
         tile_n: Expert-segment n-tile override; ``None`` derives it from
             the engine (64/128 per §4.2) or falls back to 64.
+        parallel: Device-parallelism degrees (expert/tensor/data); the
+            default identity plan keeps the single-GPU semantics.
+        cluster: Device topology carrying ``parallel``; ``None`` derives
+            a homogeneous NVLink cluster of ``spec`` copies on demand.
     """
 
     config: MoEModelConfig
@@ -63,12 +74,22 @@ class ExecutionContext:
     flash: bool = True
     streams: int = 1
     tile_n: int | None = None
+    parallel: ParallelPlan = TRIVIAL_PLAN
+    cluster: ClusterSpec | None = None
 
     def __post_init__(self) -> None:
         if self.streams <= 0:
             raise ConfigError("streams must be positive")
         if self.tile_n is not None and self.tile_n <= 0:
             raise ConfigError("tile_n must be positive")
+        if not isinstance(self.parallel, ParallelPlan):
+            raise ConfigError("parallel must be a ParallelPlan (use "
+                              "parse_parallel for 'ep=4,tp=2' strings)")
+        if (self.cluster is not None
+                and self.cluster.num_devices < self.parallel.num_devices):
+            raise ConfigError(
+                f"cluster has {self.cluster.num_devices} devices but the "
+                f"parallel plan needs {self.parallel.num_devices}")
 
     # ------------------------------------------------------------------
     # Construction
@@ -123,6 +144,17 @@ class ExecutionContext:
         return replace(self, spec=spec if isinstance(spec, GPUSpec)
                        else get_gpu(spec))
 
+    def with_parallel(self, parallel: ParallelPlan | str,
+                      cluster: ClusterSpec | None = None
+                      ) -> "ExecutionContext":
+        """Copy carrying a different parallel plan (and optional
+        topology); accepts the ``ep=4,tp=2`` string syntax."""
+        if isinstance(parallel, str):
+            parallel = parse_parallel(parallel)
+        return replace(self, parallel=parallel,
+                       cluster=cluster if cluster is not None
+                       else self.cluster)
+
     # ------------------------------------------------------------------
     # Derived choices
     # ------------------------------------------------------------------
@@ -142,12 +174,25 @@ class ExecutionContext:
         from repro.kernels.ssmm_samoyeds import SamoyedsKernel
         return SamoyedsKernel()
 
+    @property
+    def cluster_spec(self) -> ClusterSpec:
+        """The device topology carrying this context's plan.
+
+        Defaults to a homogeneous NVLink cluster of ``spec`` copies
+        sized to the parallel plan when no explicit cluster was given.
+        """
+        if self.cluster is not None:
+            return self.cluster
+        return make_cluster(self.spec, self.parallel)
+
     # ------------------------------------------------------------------
     # Cost-stack façade
     # ------------------------------------------------------------------
     def footprint(self, seq_len: int) -> "MemoryFootprint":
+        """Per-device footprint (whole-device when the plan is trivial)."""
         from repro.moe.memory_model import footprint
-        return footprint(self.config, self.engine.name, seq_len, self.spec)
+        return footprint(self.config, self.engine.name, seq_len, self.spec,
+                         parallel=self.parallel)
 
     def max_batch(self, seq_len: int) -> int:
         return self.footprint(seq_len).max_batch()
@@ -157,11 +202,14 @@ class ExecutionContext:
         from repro.models.decoder import decoder_cost
         return decoder_cost(self.config, seq_len, self.spec,
                             engine=self.engine, batch=batch,
-                            flash=self.flash)
+                            flash=self.flash, parallel=self.parallel,
+                            cluster=self.cluster)
 
     def decode_cost(self, context_tokens: int, batch: int = 1):
         """Decode-phase (one new token per sequence) breakdown."""
         from repro.models.decoder import decoder_decode_cost
         return decoder_decode_cost(self.config, context_tokens, self.spec,
                                    engine=self.engine, batch=batch,
-                                   flash=self.flash)
+                                   flash=self.flash,
+                                   parallel=self.parallel,
+                                   cluster=self.cluster)

@@ -14,6 +14,16 @@ from repro.hw.spec import (
     list_gpus,
     register_gpu,
 )
+from repro.hw.interconnect import (
+    ClusterSpec,
+    LinkSpec,
+    ParallelPlan,
+    get_link,
+    list_links,
+    make_cluster,
+    parse_parallel,
+    register_link,
+)
 from repro.hw.tensorcore import MmaShape, MMA_SP_SHAPES, MMA_DENSE_SHAPES
 from repro.hw.simulator import CostBreakdown, KernelLaunch, simulate_kernel
 from repro.hw.occupancy import OccupancyResult, compute_occupancy
@@ -25,6 +35,14 @@ __all__ = [
     "get_gpu",
     "list_gpus",
     "register_gpu",
+    "ClusterSpec",
+    "LinkSpec",
+    "ParallelPlan",
+    "get_link",
+    "list_links",
+    "make_cluster",
+    "parse_parallel",
+    "register_link",
     "MmaShape",
     "MMA_SP_SHAPES",
     "MMA_DENSE_SHAPES",

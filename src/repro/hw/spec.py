@@ -111,8 +111,17 @@ class GPUSpec:
 _REGISTRY: dict[str, GPUSpec] = {}
 
 
-def register_gpu(spec: GPUSpec) -> GPUSpec:
-    """Add ``spec`` to the registry (overwrites a same-named entry)."""
+def register_gpu(spec: GPUSpec, replace: bool = False) -> GPUSpec:
+    """Add ``spec`` to the registry.
+
+    A name collision raises :class:`HardwareModelError` so a typo'd
+    re-registration cannot silently shadow a paper device; pass
+    ``replace=True`` to overwrite deliberately.
+    """
+    if spec.name in _REGISTRY and not replace:
+        raise HardwareModelError(
+            f"GPU {spec.name!r} is already registered; pass replace=True "
+            f"to overwrite it")
     _REGISTRY[spec.name] = spec
     return spec
 

@@ -9,6 +9,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.hw.interconnect import (
+    ACT_BYTES,
+    ClusterSpec,
+    ParallelPlan,
+    make_cluster,
+)
 from repro.hw.spec import GPUSpec
 from repro.models.attention import attention_cost, decode_attention_cost
 from repro.moe.config import MoEModelConfig
@@ -17,7 +23,12 @@ from repro.moe.layers import ENGINES, MoEEngine
 
 @dataclass(frozen=True)
 class DecoderBreakdown:
-    """Per-component seconds for one decoder layer forward."""
+    """Per-component seconds for one decoder layer forward.
+
+    ``comm_s`` is the interconnect time of a tensor/expert-parallel
+    shard (all-reduces at the attention and MLP output boundaries plus
+    the MoE dispatch/combine all-to-all); it is 0 on a single device.
+    """
 
     model: str
     engine: str
@@ -26,25 +37,34 @@ class DecoderBreakdown:
     norm_s: float
     flash: bool
     phase: str = "prefill"
+    comm_s: float = 0.0
 
     @property
     def total_s(self) -> float:
-        return self.attention_s + self.moe_s + self.norm_s
+        return self.attention_s + self.moe_s + self.norm_s + self.comm_s
 
     @property
     def moe_fraction(self) -> float:
         """Figure 2's y-axis: MoE share of the decoder layer."""
         return self.moe_s / self.total_s if self.total_s > 0 else 0.0
 
+    @property
+    def comm_fraction(self) -> float:
+        """Interconnect share of the layer (0 on a single device)."""
+        return self.comm_s / self.total_s if self.total_s > 0 else 0.0
+
     def fractions(self) -> dict[str, float]:
         total = self.total_s
         if total <= 0:
             return {"attention": 0.0, "moe": 0.0, "norm": 0.0}
-        return {
+        out = {
             "attention": self.attention_s / total,
             "moe": self.moe_s / total,
             "norm": self.norm_s / total,
         }
+        if self.comm_s > 0:
+            out["comm"] = self.comm_s / total
+        return out
 
 
 def norm_seconds(config: MoEModelConfig, tokens: int,
@@ -58,10 +78,47 @@ def norm_seconds(config: MoEModelConfig, tokens: int,
 _norm_seconds = norm_seconds
 
 
+def boundary_comm_seconds(config: MoEModelConfig, tokens: int,
+                          parallel: ParallelPlan,
+                          cluster: ClusterSpec) -> float:
+    """Interconnect seconds of one decoder layer for ``tokens`` new
+    tokens under ``parallel``.
+
+    Tensor parallelism stitches shards with two ring all-reduces over
+    the hidden states (after the attention output projection and after
+    the MoE/MLP down projection — the Megatron boundaries); expert
+    parallelism moves each routed token's activation to its expert and
+    the expert output back via two all-to-alls over the EP group.
+    """
+    if parallel.is_trivial or tokens <= 0:
+        return 0.0
+    from repro.moe.scheduler import dispatch_combine_seconds
+    hidden_bytes = float(tokens) * config.hidden_size * ACT_BYTES
+    comm = 2.0 * cluster.allreduce_seconds(hidden_bytes, parallel.tp)
+    comm += dispatch_combine_seconds(config, tokens * config.top_k,
+                                     cluster, parallel.ep)
+    return comm
+
+
+def _parallel_terms(config: MoEModelConfig, tokens: int, spec: GPUSpec,
+                    parallel: "ParallelPlan | None",
+                    cluster: "ClusterSpec | None"
+                    ) -> tuple[float, float, float] | None:
+    """(attention divisor, moe divisor, comm seconds) for a shard, or
+    ``None`` on the single-device path."""
+    if parallel is None or parallel.is_trivial:
+        return None
+    cluster = cluster or make_cluster(spec, parallel)
+    comm = boundary_comm_seconds(config, tokens, parallel, cluster)
+    return float(parallel.tp), float(parallel.ep * parallel.tp), comm
+
+
 def decoder_cost(config: MoEModelConfig, tokens: int, spec: GPUSpec,
                  engine: MoEEngine | str = "transformers",
                  batch: int = 1, flash: bool = True,
-                 num_shared: int | None = None) -> DecoderBreakdown:
+                 num_shared: int | None = None,
+                 parallel: ParallelPlan | None = None,
+                 cluster: ClusterSpec | None = None) -> DecoderBreakdown:
     """Simulated latency breakdown of one decoder layer.
 
     Args:
@@ -74,20 +131,39 @@ def decoder_cost(config: MoEModelConfig, tokens: int, spec: GPUSpec,
             batch — handled inside the attention model).
         flash: FlashAttention toggle (Figure 2's two panels).
         num_shared: Override the config's shared-expert count.
+        parallel: Optional device-parallel plan; attention shards over
+            ``tp``, expert work over ``ep * tp``, and the boundary
+            collectives are charged from ``cluster``.
+        cluster: Topology pricing the collectives (defaults to a
+            homogeneous NVLink cluster of ``spec`` copies).
     """
     if isinstance(engine, str):
         engine = ENGINES[engine]
     attn = attention_cost(config, tokens, spec, batch=batch, flash=flash)
     moe = engine.cost(config, tokens * batch, spec, num_shared=num_shared)
     norm = _norm_seconds(config, tokens * batch, spec)
+    terms = _parallel_terms(config, tokens * batch, spec, parallel,
+                            cluster)
+    if terms is None:
+        return DecoderBreakdown(
+            model=config.name,
+            engine=engine.name,
+            attention_s=attn.total_s,
+            moe_s=moe.time_s,
+            norm_s=norm,
+            flash=flash,
+            phase="prefill",
+        )
+    attn_div, moe_div, comm = terms
     return DecoderBreakdown(
         model=config.name,
         engine=engine.name,
-        attention_s=attn.total_s,
-        moe_s=moe.time_s,
+        attention_s=attn.total_s / attn_div,
+        moe_s=moe.time_s / moe_div,
         norm_s=norm,
         flash=flash,
         phase="prefill",
+        comm_s=comm,
     )
 
 
@@ -95,7 +171,10 @@ def decoder_decode_cost(config: MoEModelConfig, context_tokens: int,
                         spec: GPUSpec,
                         engine: MoEEngine | str = "transformers",
                         batch: int = 1, flash: bool = True,
-                        num_shared: int | None = None) -> DecoderBreakdown:
+                        num_shared: int | None = None,
+                        parallel: ParallelPlan | None = None,
+                        cluster: ClusterSpec | None = None
+                        ) -> DecoderBreakdown:
     """Decode-phase decoder layer: one new token per sequence.
 
     Serving splits request lifetime into a *prefill* step (the whole
@@ -112,12 +191,26 @@ def decoder_decode_cost(config: MoEModelConfig, context_tokens: int,
                                  batch=batch, flash=flash)
     moe = engine.cost(config, max(batch, 1), spec, num_shared=num_shared)
     norm = norm_seconds(config, max(batch, 1), spec)
+    terms = _parallel_terms(config, max(batch, 1), spec, parallel,
+                            cluster)
+    if terms is None:
+        return DecoderBreakdown(
+            model=config.name,
+            engine=engine.name,
+            attention_s=attn.total_s,
+            moe_s=moe.time_s,
+            norm_s=norm,
+            flash=flash,
+            phase="decode",
+        )
+    attn_div, moe_div, comm = terms
     return DecoderBreakdown(
         model=config.name,
         engine=engine.name,
-        attention_s=attn.total_s,
-        moe_s=moe.time_s,
+        attention_s=attn.total_s / attn_div,
+        moe_s=moe.time_s / moe_div,
         norm_s=norm,
         flash=flash,
         phase="decode",
+        comm_s=comm,
     )

@@ -42,9 +42,11 @@ def model_latency(context: ExecutionContext | MoEModelConfig,
     ctx = ExecutionContext.resolve(context, engine, spec, flash)
     seq = min(seq_len or ctx.config.max_seq_len, ctx.config.max_seq_len)
     if check_memory:
+        # Per-device footprint under the context's parallel plan.
         ctx.footprint(seq).require_batch(batch)
     return decoder_cost(ctx.config, seq, ctx.spec, engine=ctx.engine,
-                        batch=batch, flash=ctx.flash)
+                        batch=batch, flash=ctx.flash,
+                        parallel=ctx.parallel, cluster=ctx.cluster)
 
 
 def model_point(context: ExecutionContext | MoEModelConfig,

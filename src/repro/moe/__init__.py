@@ -28,6 +28,7 @@ from repro.moe.layers import (
 )
 from repro.moe.memory_model import (
     BlockAllocator,
+    DeviceLedgers,
     KVCacheTracker,
     MemoryFootprint,
     MemoryLedger,
@@ -36,7 +37,13 @@ from repro.moe.memory_model import (
 )
 from repro.moe.dataflow import permutation_seconds, unpermutation_seconds
 from repro.moe.trace import padding_report, skewed_plan
-from repro.moe.scheduler import compare_policies
+from repro.moe.scheduler import (
+    ExpertParallelResult,
+    ExpertPlacement,
+    compare_policies,
+    place_experts,
+    schedule_expert_parallel,
+)
 
 __all__ = [
     "CFG_GROUPS",
@@ -62,6 +69,7 @@ __all__ = [
     "MemoryLedger",
     "KVCacheTracker",
     "BlockAllocator",
+    "DeviceLedgers",
     "max_batch_size",
     "per_sequence_bytes",
     "permutation_seconds",
@@ -69,4 +77,8 @@ __all__ = [
     "padding_report",
     "skewed_plan",
     "compare_policies",
+    "ExpertPlacement",
+    "ExpertParallelResult",
+    "place_experts",
+    "schedule_expert_parallel",
 ]

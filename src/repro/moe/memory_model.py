@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass
 
 from repro.errors import CapacityError, ConfigError
+from repro.hw.interconnect import ParallelPlan
 from repro.hw.spec import GPUSpec
 from repro.moe.config import MoEModelConfig
 from repro.utils.units import GIB, MIB
@@ -88,17 +89,45 @@ class MemoryFootprint:
                 required_bytes=int(need), available_bytes=int(have))
 
 
-def weight_bytes(config: MoEModelConfig, engine: str) -> float:
-    """Resident weight bytes of one decoder layer for ``engine``."""
+def weight_bytes(config: MoEModelConfig, engine: str,
+                 parallel: ParallelPlan | None = None,
+                 device_experts: int | None = None) -> float:
+    """Resident weight bytes of one decoder layer for ``engine``.
+
+    With a non-trivial ``parallel`` plan the result is *per device*:
+    attention weights are tensor-sharded over ``tp``; routed expert
+    weights are partitioned over ``ep`` (``device_experts`` prices a
+    concrete placement — e.g. the most loaded device of a skew-aware
+    placement — defaulting to the uniform ``1/ep`` share) and
+    tensor-sharded over ``tp``; shared experts replicate across the
+    expert-parallel group (every token visits them) but still shard
+    over ``tp``.
+    """
     attn = config.attention_param_count * DTYPE
     moe_dense = config.moe_param_count * DTYPE
     try:
         factor = WEIGHT_FACTOR[engine]
     except KeyError:
         raise ConfigError(f"unknown engine {engine!r}") from None
-    # Attention stays dense for every engine: the paper (and the sparse
-    # baselines) prune or repack expert weights only.
-    return attn + moe_dense * factor
+    trivial = parallel is None or parallel.is_trivial
+    if trivial and device_experts is None:
+        # Attention stays dense for every engine: the paper (and the
+        # sparse baselines) prune or repack expert weights only.
+        return attn + moe_dense * factor
+    plan = parallel if parallel is not None else ParallelPlan()
+    if device_experts is not None:
+        if not 0 <= device_experts <= config.num_experts:
+            raise ConfigError(
+                f"device_experts={device_experts} outside "
+                f"[0, {config.num_experts}]")
+        routed_frac = device_experts / config.num_experts
+    else:
+        routed_frac = 1.0 / plan.ep
+    routed = (config.num_experts * config.expert_param_count * DTYPE
+              * factor * routed_frac)
+    shared = (config.num_shared_experts * config.expert_param_count
+              * DTYPE * factor)
+    return (attn + routed + shared) / plan.tp
 
 
 def kv_cache_bytes(config: MoEModelConfig, seq_len: int) -> float:
@@ -163,16 +192,22 @@ def moe_workspace_bytes(config: MoEModelConfig, seq_len: int,
 
 
 def footprint(config: MoEModelConfig, engine: str, seq_len: int,
-              spec: GPUSpec) -> MemoryFootprint:
-    """Full memory decomposition of one engine on one device."""
-    per_batch = (kv_cache_bytes(config, seq_len)
-                 + _base_activation_bytes(config, seq_len)
-                 + moe_workspace_bytes(config, seq_len, engine))
+              spec: GPUSpec, parallel: ParallelPlan | None = None,
+              device_experts: int | None = None) -> MemoryFootprint:
+    """Full memory decomposition of one engine on one device.
+
+    With a non-trivial ``parallel`` plan this is the footprint of one
+    *shard* device (capacity stays one device's DRAM), so
+    :meth:`MemoryFootprint.max_batch` becomes the per-device batch
+    ceiling the serving engine gates admission on.
+    """
     return MemoryFootprint(
         engine=engine,
-        weights_bytes=weight_bytes(config, engine),
+        weights_bytes=weight_bytes(config, engine, parallel,
+                                   device_experts),
         fixed_bytes=float(FIXED_OVERHEAD[engine]),
-        per_batch_bytes=per_batch,
+        per_batch_bytes=per_sequence_bytes(config, engine, seq_len,
+                                           parallel),
         capacity_bytes=float(spec.dram_capacity),
     )
 
@@ -184,17 +219,30 @@ def max_batch_size(config: MoEModelConfig, engine: str, seq_len: int,
 
 
 def per_sequence_bytes(config: MoEModelConfig, engine: str,
-                       seq_len: int) -> float:
+                       seq_len: int,
+                       parallel: ParallelPlan | None = None) -> float:
     """Peak per-sequence bytes at context length ``seq_len``.
 
     Exactly the ``per_batch_bytes`` term of :func:`footprint`, exposed so
     request-level admission control charges each sequence the same price
     the Table-3 model charges a batch element — which is what makes the
     serving simulator's emergent concurrency limit agree with Table 3.
+
+    With a non-trivial ``parallel`` plan the result is the *per-device*
+    share: the KV cache shards across the ``tp`` group (heads split,
+    Megatron-style); the MoE data-flow workspace splits across both
+    ``ep`` (each device stages only its own experts' routed tokens) and
+    ``tp`` (the expert inner dimension shards); the residual/norm
+    activation buffers hold the full hidden state on every device (the
+    all-reduce rematerialises it) and do not shrink.
     """
-    return (kv_cache_bytes(config, seq_len)
-            + _base_activation_bytes(config, seq_len)
-            + moe_workspace_bytes(config, seq_len, engine))
+    kv = kv_cache_bytes(config, seq_len)
+    act = _base_activation_bytes(config, seq_len)
+    work = moe_workspace_bytes(config, seq_len, engine)
+    if parallel is None or parallel.is_trivial:
+        return kv + act + work
+    return (kv / parallel.tp + act
+            + work / (parallel.ep * parallel.tp))
 
 
 @dataclass
@@ -222,9 +270,13 @@ class MemoryLedger:
     config: MoEModelConfig
     engine: str
     spec: GPUSpec
+    parallel: ParallelPlan | None = None
+    device_experts: int | None = None
 
     def __post_init__(self) -> None:
-        self.static_bytes = (weight_bytes(self.config, self.engine)
+        self.static_bytes = (weight_bytes(self.config, self.engine,
+                                          self.parallel,
+                                          self.device_experts)
                              + float(FIXED_OVERHEAD[self.engine]))
         self.budget_bytes = (float(self.spec.dram_capacity)
                              * (1.0 - FRAGMENTATION))
@@ -232,7 +284,8 @@ class MemoryLedger:
 
     # -- shared arithmetic ---------------------------------------------
     def sequence_bytes(self, seq_len: int) -> float:
-        return per_sequence_bytes(self.config, self.engine, seq_len)
+        return per_sequence_bytes(self.config, self.engine, seq_len,
+                                  self.parallel)
 
     @property
     def reserved_bytes(self) -> float:
@@ -307,9 +360,11 @@ class MemoryLedger:
     @property
     def live_bytes(self) -> float:
         """Instantaneous footprint: static + grown-so-far KV caches."""
-        return self.static_bytes + sum(
-            kv_cache_bytes(self.config, tokens)
-            for tokens in self._context.values())
+        kv = sum(kv_cache_bytes(self.config, tokens)
+                 for tokens in self._context.values())
+        if self.parallel is not None and not self.parallel.is_trivial:
+            kv /= self.parallel.tp
+        return self.static_bytes + kv
 
     @property
     def pool_utilisation(self) -> float:
@@ -510,3 +565,160 @@ class BlockAllocator(MemoryLedger):
     def release(self, request_id: int) -> None:
         self._blocks.pop(request_id, None)
         super().release(request_id)
+
+
+class DeviceLedgers:
+    """One :class:`MemoryLedger` per cluster device, gated on the
+    bottleneck.
+
+    Under expert/tensor parallelism every admitted request occupies all
+    devices of the grid — its KV cache shards over the ``tp`` group and
+    its routed tokens visit experts on every ``ep`` device — but the
+    devices are *not* symmetric: a skew-aware placement leaves some
+    devices holding more expert weights than others.  This composite
+    presents the single-ledger interface the batchers and the serving
+    engine already speak, fanning every charge out to all per-device
+    ledgers and answering every query from the most constrained device,
+    so admission is gated on the bottleneck and :meth:`grow` is
+    all-or-nothing (no device is charged unless every device can back
+    the growth).
+    """
+
+    def __init__(self, ledgers: "list[MemoryLedger]") -> None:
+        if not ledgers:
+            raise ConfigError("DeviceLedgers needs at least one ledger")
+        self.ledgers = list(ledgers)
+
+    @classmethod
+    def create(cls, config: MoEModelConfig, engine: str,
+               gpus: "list[GPUSpec] | tuple[GPUSpec, ...]",
+               parallel: ParallelPlan,
+               expert_counts: "list[int] | tuple[int, ...] | None" = None,
+               page_size: int | None = None) -> "DeviceLedgers":
+        """Build the ``ep * tp`` grid of per-device ledgers.
+
+        ``gpus`` lists one spec per grid device; ``expert_counts`` is
+        the per-EP-rank expert census of the placement (device ``d``
+        belongs to EP rank ``d // tp``), defaulting to the uniform
+        ``1/ep`` share.
+        """
+        devices = parallel.ep * parallel.tp
+        if len(gpus) < devices:
+            raise ConfigError(
+                f"{len(gpus)} devices for an ep={parallel.ep} x "
+                f"tp={parallel.tp} grid")
+        if expert_counts is not None and len(expert_counts) != parallel.ep:
+            raise ConfigError(
+                f"{len(expert_counts)} expert counts for ep={parallel.ep}")
+        ledgers: list[MemoryLedger] = []
+        for d in range(devices):
+            experts = (expert_counts[d // parallel.tp]
+                       if expert_counts is not None else None)
+            if page_size:
+                ledgers.append(BlockAllocator(
+                    config, engine, gpus[d], parallel=parallel,
+                    device_experts=experts, page_size=page_size))
+            else:
+                ledgers.append(KVCacheTracker(
+                    config, engine, gpus[d], parallel=parallel,
+                    device_experts=experts))
+        return cls(ledgers)
+
+    # -- bottleneck queries --------------------------------------------
+    @property
+    def num_devices(self) -> int:
+        return len(self.ledgers)
+
+    @property
+    def static_bytes(self) -> float:
+        """Bottleneck device's static charge."""
+        return max(led.static_bytes for led in self.ledgers)
+
+    @property
+    def budget_bytes(self) -> float:
+        """Tightest per-device budget."""
+        return min(led.budget_bytes for led in self.ledgers)
+
+    @property
+    def reserved_bytes(self) -> float:
+        """Cluster-wide charged bytes (summed over devices)."""
+        return sum(led.reserved_bytes for led in self.ledgers)
+
+    @property
+    def live_bytes(self) -> float:
+        """Cluster-wide instantaneous footprint."""
+        return sum(led.live_bytes for led in self.ledgers)
+
+    @property
+    def free_bytes(self) -> float:
+        """Free bytes on the most constrained device."""
+        return min(led.free_bytes for led in self.ledgers)
+
+    @property
+    def pool_utilisation(self) -> float:
+        """Bottleneck device's charged pool fraction."""
+        return max(led.pool_utilisation for led in self.ledgers)
+
+    @property
+    def active_requests(self) -> int:
+        return self.ledgers[0].active_requests
+
+    def sequence_bytes(self, seq_len: int) -> float:
+        return max(led.sequence_bytes(seq_len) for led in self.ledgers)
+
+    def peak_bytes(self, final_seq_len: int) -> float:
+        return max(led.peak_bytes(final_seq_len) for led in self.ledgers)
+
+    def max_concurrent(self, seq_len: int) -> int:
+        return min(led.max_concurrent(seq_len) for led in self.ledgers)
+
+    # -- admission policy (fan-out, bottleneck-gated) ------------------
+    def can_admit_request(self, prompt_tokens: int,
+                          final_seq_len: int) -> bool:
+        return all(led.can_admit_request(prompt_tokens, final_seq_len)
+                   for led in self.ledgers)
+
+    def admit(self, request_id: int, prompt_tokens: int,
+              final_seq_len: int) -> None:
+        for led in self.ledgers:
+            if not led.can_admit_request(prompt_tokens, final_seq_len):
+                raise CapacityError(
+                    f"{led.engine}: request {request_id} does not fit on "
+                    f"the bottleneck device "
+                    f"({led.free_bytes / GIB:.2f} GiB free)",
+                    required_bytes=int(led.peak_bytes(final_seq_len)),
+                    available_bytes=int(max(led.free_bytes, 0)))
+        for led in self.ledgers:
+            led.admit(request_id, prompt_tokens, final_seq_len)
+
+    def admission_chunk(self, desired_tokens: int,
+                        final_seq_len: int) -> int:
+        return min(led.admission_chunk(desired_tokens, final_seq_len)
+                   for led in self.ledgers)
+
+    def clamp_growth(self, request_id: int, desired_tokens: int) -> int:
+        return min(led.clamp_growth(request_id, desired_tokens)
+                   for led in self.ledgers)
+
+    def grow(self, request_id: int, new_tokens: int = 1) -> None:
+        """All-or-nothing growth: charge every device or none.
+
+        Raises :class:`CapacityError` from the bottleneck device when
+        any device cannot back the new tokens (the serving engine
+        answers by preempting, exactly as with one device).
+        """
+        grant = self.clamp_growth(request_id, new_tokens)
+        if grant < new_tokens:
+            bottleneck = min(self.ledgers, key=lambda led: led.free_bytes)
+            raise CapacityError(
+                f"{bottleneck.engine}: request {request_id} cannot grow "
+                f"by {new_tokens} tokens on the bottleneck device "
+                f"({bottleneck.free_bytes / GIB:.3f} GiB free)",
+                required_bytes=int(bottleneck.sequence_bytes(new_tokens)),
+                available_bytes=int(max(bottleneck.free_bytes, 0)))
+        for led in self.ledgers:
+            led.grow(request_id, new_tokens)
+
+    def release(self, request_id: int) -> None:
+        for led in self.ledgers:
+            led.release(request_id)

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import ConfigError
+from repro.hw.interconnect import ACT_BYTES, ClusterSpec, make_cluster
 from repro.hw.spec import GPUSpec
 from repro.kernels.ssmm_samoyeds import SamoyedsKernel
 from repro.moe.config import MoEModelConfig
@@ -59,7 +60,7 @@ class ScheduleResult:
 def segment_seconds_from_loads(config: MoEModelConfig,
                                loads: Iterable[int], spec: GPUSpec,
                                kernel: SamoyedsKernel,
-                               tile_n: int = 64) -> list[float]:
+                               tile_n: int = 64, tp: int = 1) -> list[float]:
     """Per-expert SSMM-triple time for the given per-expert token loads.
 
     The gate and up projections share one GEMM shape ``(inter, h, n_e)``
@@ -67,10 +68,19 @@ def segment_seconds_from_loads(config: MoEModelConfig,
     loads (common under near-uniform routing) hit a per-call memo so a
     serving step prices a 64-expert layer with a handful of kernel-model
     evaluations.
+
+    ``tp > 1`` prices a tensor-sharded segment: the expert inner
+    dimension splits across the tensor-parallel group (the all-reduce
+    that stitches shards back together is charged by the caller's
+    interconnect model, not here).
     """
     if tile_n <= 0:
         raise ConfigError("tile_n must be positive")
+    if tp <= 0:
+        raise ConfigError("tp must be positive")
     h, inter = config.hidden_size, config.intermediate_size
+    if tp > 1:
+        inter = max(1, math.ceil(inter / tp))
     memo: dict[int, float] = {}
     out = []
     for load in loads:
@@ -185,3 +195,222 @@ def compare_policies(config: "MoEModelConfig | ExecutionContext",
         "parallel": schedule_parallel(segments, streams),
         "fused": schedule_fused(config, plan, spec, kernel, tile_n),
     }
+
+
+# ----------------------------------------------------------------------
+# Expert-parallel placement and scheduling (cluster-scale extension)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExpertPlacement:
+    """Static expert-to-device assignment for one expert-parallel group.
+
+    Attributes:
+        ep: Expert-parallel degree (devices in the group).
+        device_of: Per expert, the owning device index.
+        policy: Placement policy name (``round_robin`` / ``balanced``).
+    """
+
+    ep: int
+    device_of: tuple[int, ...]
+    policy: str = "round_robin"
+
+    def __post_init__(self) -> None:
+        if self.ep <= 0:
+            raise ConfigError("ep must be positive")
+        for device in self.device_of:
+            if not 0 <= device < self.ep:
+                raise ConfigError(
+                    f"device {device} outside expert-parallel group of "
+                    f"{self.ep}")
+
+    @property
+    def num_experts(self) -> int:
+        return len(self.device_of)
+
+    def experts_on(self, device: int) -> tuple[int, ...]:
+        """Expert indices owned by ``device``."""
+        return tuple(e for e, d in enumerate(self.device_of)
+                     if d == device)
+
+    def counts(self) -> tuple[int, ...]:
+        """Experts per device (the weight-footprint profile)."""
+        out = [0] * self.ep
+        for device in self.device_of:
+            out[device] += 1
+        return tuple(out)
+
+    @property
+    def max_device_experts(self) -> int:
+        """Expert count on the most loaded device (weight bottleneck)."""
+        return max(self.counts())
+
+
+def place_experts(num_experts: int, ep: int,
+                  policy: str = "round_robin",
+                  profile: "Iterable[float] | None" = None
+                  ) -> ExpertPlacement:
+    """Assign ``num_experts`` experts to ``ep`` devices.
+
+    * ``round_robin`` — expert ``e`` lands on device ``e % ep``
+      (placement used when no routing profile is known);
+    * ``balanced``   — skew-aware LPT over ``profile`` (expected token
+      share per expert, e.g. the measured routing histogram): heaviest
+      expert first onto the least-loaded device, ties broken toward the
+      device holding fewer experts so weight footprints stay level.
+    """
+    if num_experts <= 0:
+        raise ConfigError("num_experts must be positive")
+    if ep <= 0:
+        raise ConfigError("ep must be positive")
+    if ep > num_experts:
+        raise ConfigError(
+            f"expert-parallel degree {ep} exceeds {num_experts} experts")
+    if policy == "round_robin":
+        return ExpertPlacement(
+            ep=ep, device_of=tuple(e % ep for e in range(num_experts)),
+            policy=policy)
+    if policy != "balanced":
+        raise ConfigError(
+            f"unknown placement policy {policy!r}; known: round_robin, "
+            f"balanced")
+    loads = ([1.0] * num_experts if profile is None
+             else [float(x) for x in profile])
+    if len(loads) != num_experts:
+        raise ConfigError(
+            f"profile has {len(loads)} entries for {num_experts} experts")
+    if any(x < 0 for x in loads):
+        raise ConfigError("profile entries must be non-negative")
+    device_of = [0] * num_experts
+    heap = [(0.0, 0, d) for d in range(ep)]   # (load, count, device)
+    heapq.heapify(heap)
+    order = sorted(range(num_experts), key=lambda e: -loads[e])
+    for expert in order:
+        load, count, device = heapq.heappop(heap)
+        device_of[expert] = device
+        heapq.heappush(heap, (load + loads[expert], count + 1, device))
+    return ExpertPlacement(ep=ep, device_of=tuple(device_of),
+                           policy=policy)
+
+
+@dataclass(frozen=True)
+class ExpertParallelResult:
+    """One layer's MoE step priced over an expert-parallel group.
+
+    The step is the slowest device's segment makespan plus the
+    dispatch and combine all-to-alls that move routed activations to
+    their experts and back.
+    """
+
+    placement: ExpertPlacement
+    streams: int
+    per_device_s: tuple[float, ...]
+    alltoall_s: float
+
+    @property
+    def compute_s(self) -> float:
+        """Slowest device's expert-segment makespan."""
+        return max(self.per_device_s) if self.per_device_s else 0.0
+
+    @property
+    def makespan_s(self) -> float:
+        return self.compute_s + self.alltoall_s
+
+    @property
+    def comm_fraction(self) -> float:
+        total = self.makespan_s
+        return self.alltoall_s / total if total > 0 else 0.0
+
+    @property
+    def device_imbalance(self) -> float:
+        """max/mean device busy time (1.0 = perfectly balanced)."""
+        if not self.per_device_s:
+            return 1.0
+        mean = sum(self.per_device_s) / len(self.per_device_s)
+        return self.compute_s / mean if mean > 0 else 1.0
+
+
+def device_makespans(segments: "Iterable[float]",
+                     placement: ExpertPlacement,
+                     streams: int = 1) -> list[float]:
+    """Per-device LPT makespan of each device's own expert segments."""
+    segs = list(segments)
+    if len(segs) != placement.num_experts:
+        raise ConfigError(
+            f"{len(segs)} segments for {placement.num_experts} experts")
+    out = []
+    for device in range(placement.ep):
+        mine = [segs[e] for e in placement.experts_on(device)]
+        out.append(schedule_parallel(mine, streams).makespan_s
+                   if mine else 0.0)
+    return out
+
+
+def dispatch_combine_seconds(config: MoEModelConfig, routed_tokens: int,
+                             cluster: ClusterSpec, ep: int) -> float:
+    """Dispatch + combine all-to-all for ``routed_tokens`` activations.
+
+    Each expert-parallel device holds ``routed/ep`` token activations
+    and exchanges the ``(ep-1)/ep`` remote share both ways (token to
+    expert, expert output back to token).
+    """
+    if ep <= 1 or routed_tokens <= 0:
+        return 0.0
+    per_device = (routed_tokens / ep) * config.hidden_size * ACT_BYTES
+    return 2.0 * cluster.alltoall_seconds(per_device, ep)
+
+
+def schedule_expert_parallel(config: "MoEModelConfig | ExecutionContext",
+                             plan: RoutingPlan,
+                             ep: int | None = None,
+                             spec: GPUSpec | None = None,
+                             kernel: SamoyedsKernel | None = None,
+                             streams: int | None = None,
+                             tile_n: int | None = None,
+                             tp: int | None = None,
+                             cluster: ClusterSpec | None = None,
+                             policy: str = "balanced",
+                             placement: ExpertPlacement | None = None
+                             ) -> ExpertParallelResult:
+    """Price one MoE layer step over an expert-parallel device group.
+
+    The first argument may be an :class:`~repro.context.ExecutionContext`
+    supplying device, kernel, stream count, tile size and the parallel
+    plan/topology; explicit arguments override.  The routing ``plan``
+    doubles as the placement profile when ``policy='balanced'``.
+    """
+    from repro.context import ExecutionContext
+    if isinstance(config, ExecutionContext):
+        ctx = config
+        spec = spec or ctx.spec
+        kernel = kernel or ctx.segment_kernel()
+        streams = streams if streams is not None else ctx.streams
+        tile_n = ctx.effective_tile_n if tile_n is None else tile_n
+        ep = ctx.parallel.ep if ep is None else ep
+        tp = ctx.parallel.tp if tp is None else tp
+        cluster = cluster or ctx.cluster_spec
+        config = ctx.config
+    if spec is None:
+        raise ConfigError("spec is required without an ExecutionContext")
+    kernel = kernel or SamoyedsKernel()
+    streams = 1 if streams is None else streams
+    tile_n = 64 if tile_n is None else tile_n
+    ep = 1 if ep is None else ep
+    tp = 1 if tp is None else tp
+    loads = plan.load()
+    if placement is None:
+        placement = place_experts(config.num_experts, ep, policy=policy,
+                                  profile=[float(x) for x in loads])
+    elif placement.ep != ep or placement.num_experts != config.num_experts:
+        raise ConfigError("placement does not match ep/num_experts")
+    if cluster is None:
+        from repro.hw.interconnect import ParallelPlan
+        cluster = make_cluster(spec, ParallelPlan(ep=ep, tp=tp))
+    segments = segment_seconds_from_loads(config, loads, spec, kernel,
+                                          tile_n, tp=tp)
+    per_device = device_makespans(segments, placement, streams)
+    comm = dispatch_combine_seconds(config, int(sum(loads)), cluster, ep)
+    return ExpertParallelResult(placement=placement, streams=streams,
+                                per_device_s=tuple(per_device),
+                                alltoall_s=comm)

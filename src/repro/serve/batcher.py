@@ -31,8 +31,12 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
-from repro.moe.memory_model import MemoryLedger
+from repro.moe.memory_model import DeviceLedgers, MemoryLedger
 from repro.serve.request import Request
+
+#: Batchers speak the shared admission interface: a single-device
+#: ledger or the per-device composite of a multi-GPU grid.
+LedgerLike = MemoryLedger | DeviceLedgers
 
 
 @dataclass
@@ -103,12 +107,12 @@ class Batcher(abc.ABC):
 
     @abc.abstractmethod
     def plan_step(self, clock: float, waiting: "deque[Request]",
-                  running: list[ActiveRequest], tracker: MemoryLedger,
+                  running: list[ActiveRequest], tracker: LedgerLike,
                   more_arrivals: bool) -> StepPlan:
         """Select this step's work; admits from ``waiting`` in place."""
 
     def _admit(self, clock: float, waiting: "deque[Request]",
-               tracker: MemoryLedger) -> ActiveRequest | None:
+               tracker: LedgerLike) -> ActiveRequest | None:
         """Admit the head of the queue if the ledger accepts it whole."""
         req = waiting[0]
         if not tracker.can_admit_request(req.prompt_tokens,
@@ -147,7 +151,7 @@ class ContinuousBatcher(BudgetedBatcher):
     name: str = field(default="continuous", init=False)
 
     def plan_step(self, clock: float, waiting: "deque[Request]",
-                  running: list[ActiveRequest], tracker: MemoryLedger,
+                  running: list[ActiveRequest], tracker: LedgerLike,
                   more_arrivals: bool) -> StepPlan:
         decode = tuple(running)
         budget = self.token_budget - len(decode)
@@ -191,7 +195,7 @@ class ChunkedPrefillBatcher(BudgetedBatcher):
     name: str = field(default="chunked", init=False)
 
     def plan_step(self, clock: float, waiting: "deque[Request]",
-                  running: list[ActiveRequest], tracker: MemoryLedger,
+                  running: list[ActiveRequest], tracker: LedgerLike,
                   more_arrivals: bool) -> StepPlan:
         decode = tuple(ar for ar in running if ar.prefilled)
         budget = self.token_budget - len(decode)
@@ -243,7 +247,7 @@ class StaticBatcher(Batcher):
             raise ConfigError("batch_size must be positive")
 
     def plan_step(self, clock: float, waiting: "deque[Request]",
-                  running: list[ActiveRequest], tracker: MemoryLedger,
+                  running: list[ActiveRequest], tracker: LedgerLike,
                   more_arrivals: bool) -> StepPlan:
         if running:
             return StepPlan(decode=tuple(running))

@@ -24,6 +24,15 @@ expert-segment LPT scheduler (``streams > 1`` on a Samoyeds context):
 per-expert loads are drawn from the routing-skew profile and the
 segments are packed onto streams, replacing the sequential segment sum
 of the engine cost model while keeping its data-flow overheads.
+
+On a context with a non-trivial
+:class:`~repro.hw.interconnect.ParallelPlan` the server shards over an
+``ep x tp`` device grid: experts are placed on devices (skew-aware by
+default), each step is the slowest device's makespan plus the boundary
+collectives (TP all-reduces, EP dispatch/combine all-to-alls), and
+memory runs through one ledger per device
+(:class:`~repro.moe.memory_model.DeviceLedgers`) with admission gated
+on the bottleneck device.
 """
 
 from __future__ import annotations
@@ -36,15 +45,28 @@ import numpy as np
 
 from repro.context import ExecutionContext
 from repro.errors import CapacityError, ConfigError
+from repro.hw.interconnect import (
+    ClusterSpec,
+    LinkSpec,
+    ParallelPlan,
+    parse_parallel,
+)
 from repro.models.attention import attention_cost, decode_attention_cost
-from repro.models.decoder import norm_seconds
+from repro.models.decoder import boundary_comm_seconds, norm_seconds
 from repro.moe.layers import SamoyedsEngine
 from repro.moe.memory_model import (
     BlockAllocator,
+    DeviceLedgers,
     KVCacheTracker,
     MemoryLedger,
 )
-from repro.moe.scheduler import schedule_parallel, segment_seconds_from_loads
+from repro.moe.scheduler import (
+    ExpertPlacement,
+    device_makespans,
+    place_experts,
+    schedule_parallel,
+    segment_seconds_from_loads,
+)
 from repro.moe.trace import zipf_expert_popularity
 from repro.serve.batcher import (
     ActiveRequest,
@@ -80,6 +102,13 @@ class ServingEngine:
             keeps the conservative whole-request reservation; a positive
             value switches to the paged :class:`BlockAllocator` with
             preemption on block exhaustion.
+        horizon_s: Optional serving horizon: the event loop stops at the
+            first step boundary at or past this clock value, leaving
+            in-flight requests unfinished (the report stays well-formed
+            even when *nothing* completed).
+        placement_policy: Expert-to-device placement under expert
+            parallelism (``balanced`` uses the routing-skew profile,
+            ``round_robin`` ignores it).
     """
 
     ctx: ExecutionContext
@@ -88,6 +117,8 @@ class ServingEngine:
     routing_skew: float = 0.0
     seed: int | None = None
     page_size: int | None = None
+    horizon_s: float | None = None
+    placement_policy: str = "balanced"
 
     def __post_init__(self) -> None:
         self._layers = self.num_layers or self.ctx.config.num_layers
@@ -95,16 +126,44 @@ class ServingEngine:
             raise ConfigError("num_layers must be positive")
         if self.page_size is not None and self.page_size <= 0:
             raise ConfigError("page_size must be positive")
+        if self.horizon_s is not None and self.horizon_s <= 0:
+            raise ConfigError("horizon_s must be positive")
         self._rng = new_rng(self.seed)
         self._moe_memo: dict[int, float] = {}
         self._popularity = zipf_expert_popularity(
             self.ctx.config.num_experts, self.routing_skew)
+        parallel = self.ctx.parallel
+        if parallel.dp > 1:
+            raise ConfigError(
+                "data-parallel serving is not modeled; run one engine "
+                "per replica (ep/tp shard a single replica)")
+        self._distributed = not parallel.is_trivial
+        self._cluster: ClusterSpec | None = None
+        self._placement: ExpertPlacement | None = None
+        if self._distributed:
+            self._cluster = self.ctx.cluster_spec
+            if parallel.ep > 1:
+                self._placement = place_experts(
+                    self.ctx.config.num_experts, parallel.ep,
+                    policy=self.placement_policy,
+                    profile=self._popularity)
+        self._step_comm_s = 0.0
+        self._comm_s_total = 0.0
+        self._busy_s_total = 0.0
 
     # ------------------------------------------------------------------
     # Step pricing
     # ------------------------------------------------------------------
     def step_seconds(self, plan: StepPlan) -> float:
-        """Duration of one engine step (full forward over all layers)."""
+        """Duration of one engine step (full forward over all layers).
+
+        On a multi-device context the step is a per-device makespan:
+        attention shards over the tensor-parallel group, expert
+        segments run on their owning expert-parallel devices, and the
+        boundary collectives (TP all-reduces, EP dispatch/combine
+        all-to-alls) are added per layer.  ``self._step_comm_s`` holds
+        the communication share of the step just priced.
+        """
         cfg, spec = self.ctx.config, self.ctx.spec
         attn = 0.0
         for ar in plan.prefill:
@@ -119,8 +178,18 @@ class ServingEngine:
                                           batch=len(plan.decode),
                                           flash=self.ctx.flash).total_s
         tokens = plan.total_tokens
-        layer = attn + self._moe_seconds(tokens) \
-            + norm_seconds(cfg, tokens, spec)
+        if not self._distributed:
+            self._step_comm_s = 0.0
+            layer = attn + self._moe_seconds(tokens) \
+                + norm_seconds(cfg, tokens, spec)
+            return layer * self._layers
+        parallel, cluster = self.ctx.parallel, self._cluster
+        assert cluster is not None
+        moe_compute = self._distributed_moe_seconds(tokens)
+        comm = boundary_comm_seconds(cfg, tokens, parallel, cluster)
+        layer = (attn / parallel.tp + moe_compute
+                 + norm_seconds(cfg, tokens, spec) + comm)
+        self._step_comm_s = comm * self._layers
         return layer * self._layers
 
     def _chunk_attention_seconds(self, offset: int, tokens: int) -> float:
@@ -137,6 +206,26 @@ class ServingEngine:
                                flash=self.ctx.flash).total_s
         return max(whole - prior, 0.0)
 
+    def _engine_moe_memo(self, tokens: int) -> float:
+        """Memoised monolithic engine cost of the MoE layer."""
+        cached = self._moe_memo.get(tokens)
+        if cached is None:
+            cached = self.ctx.engine.cost(self.ctx.config, tokens,
+                                          self.ctx.spec).time_s
+            self._moe_memo[tokens] = cached
+        return cached
+
+    def _draw_segments(self, tokens: int, tp: int = 1) -> list[float]:
+        """Per-expert SSMM segment times for one step's routed load,
+        drawn from the routing-skew profile (``tp`` shards the expert
+        inner dimension)."""
+        ctx = self.ctx
+        routed = tokens * ctx.config.top_k
+        loads = self._rng.multinomial(routed, self._popularity)
+        return segment_seconds_from_loads(
+            ctx.config, loads, ctx.spec, ctx.segment_kernel(),
+            ctx.effective_tile_n, tp=tp)
+
     def _moe_seconds(self, tokens: int) -> float:
         """MoE-layer seconds for ``tokens`` new tokens in one step."""
         if tokens <= 0:
@@ -144,35 +233,66 @@ class ServingEngine:
         ctx = self.ctx
         use_lpt = ctx.streams > 1 and isinstance(ctx.engine, SamoyedsEngine)
         if not use_lpt:
-            cached = self._moe_memo.get(tokens)
-            if cached is None:
-                cached = ctx.engine.cost(ctx.config, tokens,
-                                         ctx.spec).time_s
-                self._moe_memo[tokens] = cached
-            return cached
+            return self._engine_moe_memo(tokens)
         # LPT path: overlap per-expert SSMM segments on ctx.streams
         # streams; keep the engine model's data-flow overheads.
         cost = ctx.engine.cost(ctx.config, tokens, ctx.spec)
-        routed = tokens * ctx.config.top_k
-        loads = self._rng.multinomial(routed, self._popularity)
-        segments = segment_seconds_from_loads(
-            ctx.config, loads, ctx.spec, ctx.segment_kernel(),
-            ctx.effective_tile_n)
+        segments = self._draw_segments(tokens)
         makespan = schedule_parallel(segments, ctx.streams).makespan_s
         dataflow = float(cost.detail.get("dataflow_s", 0.0))
         return makespan + dataflow
 
+    def _distributed_moe_seconds(self, tokens: int) -> float:
+        """Per-device MoE compute seconds for ``tokens`` new tokens
+        under the context's parallel plan (the dispatch/combine
+        collectives are priced by :func:`boundary_comm_seconds`).
+
+        A Samoyeds context draws per-expert loads from the routing-skew
+        profile, prices tensor-sharded SSMM segments and takes the
+        slowest expert-parallel device's LPT makespan over its own
+        experts; other engines scale their monolithic cost by the ideal
+        ``1 / (ep * tp)`` shard.
+        """
+        if tokens <= 0:
+            return 0.0
+        ctx = self.ctx
+        parallel = ctx.parallel
+        if not isinstance(ctx.engine, SamoyedsEngine):
+            return self._engine_moe_memo(tokens) / (parallel.ep
+                                                    * parallel.tp)
+        cost = ctx.engine.cost(ctx.config, tokens, ctx.spec)
+        segments = self._draw_segments(tokens, tp=parallel.tp)
+        if self._placement is not None:
+            compute = max(device_makespans(segments, self._placement,
+                                           ctx.streams))
+        else:
+            compute = schedule_parallel(segments, ctx.streams).makespan_s
+        dataflow = float(cost.detail.get("dataflow_s", 0.0))
+        return compute + dataflow / (parallel.ep * parallel.tp)
+
     # ------------------------------------------------------------------
     # Event loop
     # ------------------------------------------------------------------
-    def _make_ledger(self) -> MemoryLedger:
+    def _make_ledger(self) -> "MemoryLedger | DeviceLedgers":
+        if self._distributed:
+            parallel = self.ctx.parallel
+            cluster = self._cluster
+            assert cluster is not None
+            grid = parallel.ep * parallel.tp
+            gpus = [cluster.device(d % cluster.num_devices)
+                    for d in range(grid)]
+            counts = (self._placement.counts()
+                      if self._placement is not None else None)
+            return DeviceLedgers.create(
+                self.ctx.config, self.ctx.engine.name, gpus, parallel,
+                expert_counts=counts, page_size=self.page_size)
         if self.page_size:
             return BlockAllocator(self.ctx.config, self.ctx.engine.name,
                                   self.ctx.spec, page_size=self.page_size)
         return KVCacheTracker(self.ctx.config, self.ctx.engine.name,
                               self.ctx.spec)
 
-    def _evict(self, victim: ActiveRequest, ledger: MemoryLedger,
+    def _evict(self, victim: ActiveRequest, ledger: "MemoryLedger | DeviceLedgers",
                running: list[ActiveRequest], waiting: "deque[Request]",
                evicted: set[int], collector: MetricsCollector) -> None:
         """Preempt ``victim``: free its blocks, requeue for recompute."""
@@ -182,7 +302,7 @@ class ServingEngine:
         evicted.add(victim.request.rid)
         collector.preempt()
 
-    def _grow(self, ar: ActiveRequest, ledger: MemoryLedger,
+    def _grow(self, ar: ActiveRequest, ledger: "MemoryLedger | DeviceLedgers",
               running: list[ActiveRequest], waiting: "deque[Request]",
               evicted: set[int], collector: MetricsCollector) -> bool:
         """Charge one token of KV growth for ``ar``, preempting the
@@ -218,6 +338,10 @@ class ServingEngine:
             max_steps: int = 1_000_000) -> ServeReport:
         """Serve ``trace`` to completion and summarise the run."""
         validate_trace(trace)
+        # Per-run accumulators (a ServingEngine may serve many traces).
+        self._step_comm_s = 0.0
+        self._comm_s_total = 0.0
+        self._busy_s_total = 0.0
         ledger = self._make_ledger()
         arrivals = deque(sorted(trace, key=lambda r: r.arrival_s))
         records = {req.rid: RequestRecord(req) for req in trace}
@@ -228,6 +352,8 @@ class ServingEngine:
         steps = 0
 
         while arrivals or waiting or running:
+            if self.horizon_s is not None and clock >= self.horizon_s:
+                break                      # horizon reached: stop serving
             while arrivals and arrivals[0].arrival_s <= clock + 1e-12:
                 waiting.append(arrivals.popleft())
             plan = self.batcher.plan_step(clock, waiting, running, ledger,
@@ -253,7 +379,10 @@ class ServingEngine:
             if steps > max_steps:
                 raise ConfigError(f"exceeded {max_steps} steps; trace too "
                                   f"large or engine starved")
-            clock += self.step_seconds(plan)
+            step_s = self.step_seconds(plan)
+            clock += step_s
+            self._busy_s_total += step_s
+            self._comm_s_total += self._step_comm_s
             evicted: set[int] = set()
 
             # Every ledger-charged request must be resident before any
@@ -312,6 +441,8 @@ class ServingEngine:
                 live_bytes=ledger.live_bytes,
                 reserved_bytes=ledger.reserved_bytes,
                 pool_util=ledger.pool_utilisation,
+                comm_s=self._step_comm_s,
+                step_s=step_s,
             ))
             for ar in [ar for ar in running if ar.finished]:
                 running.remove(ar)
@@ -323,7 +454,32 @@ class ServingEngine:
         return summarise(collector, engine=self.ctx.engine.name,
                          model=self.ctx.config.name,
                          gpu=self.ctx.spec.name, batcher=self.batcher.name,
-                         num_requests=len(trace))
+                         num_requests=len(trace),
+                         cluster=self._cluster_report(ledger))
+
+    def _cluster_report(self, ledger: "MemoryLedger | DeviceLedgers"
+                        ) -> dict[str, object] | None:
+        """Multi-device report section (``None`` on a single GPU)."""
+        if not self._distributed:
+            return None
+        cluster = self._cluster
+        assert cluster is not None
+        busy = self._busy_s_total
+        info: dict[str, object] = {
+            "parallel": self.ctx.parallel.to_dict(),
+            "cluster": cluster.describe(),
+            "link": cluster.link.name,
+            "comm_s_total": self._comm_s_total,
+            "comm_fraction": (self._comm_s_total / busy
+                              if busy > 0 else 0.0),
+        }
+        if self._placement is not None:
+            info["placement_policy"] = self._placement.policy
+            info["experts_per_device"] = list(self._placement.counts())
+        if isinstance(ledger, DeviceLedgers):
+            info["per_device_static_bytes"] = [
+                led.static_bytes for led in ledger.ledgers]
+        return info
 
 
 def simulate(model: str | ExecutionContext, engine: str = "samoyeds",
@@ -331,22 +487,41 @@ def simulate(model: str | ExecutionContext, engine: str = "samoyeds",
              batcher: Batcher | None = None, num_layers: int | None = None,
              streams: int = 1, flash: bool = True,
              routing_skew: float = 0.0, seed: int | None = None,
-             page_size: int | None = None) -> ServeReport:
+             page_size: int | None = None,
+             parallel: "str | ParallelPlan | None" = None,
+             link: "str | LinkSpec | None" = None,
+             horizon_s: float | None = None,
+             placement_policy: str = "balanced") -> ServeReport:
     """One-call serving simulation from registry names.
 
     ``model`` may also be a prebuilt :class:`ExecutionContext`, in which
-    case ``engine``/``gpu``/``streams``/``flash`` are ignored.  A
-    positive ``page_size`` switches admission to the paged
-    :class:`~repro.moe.memory_model.BlockAllocator` (with preemption);
-    ``None`` keeps the conservative whole-request reservation.
+    case ``engine``/``gpu``/``streams``/``flash`` are ignored — and so
+    are ``parallel``/``link``, because the context already carries its
+    plan and topology.  A positive ``page_size`` switches admission to
+    the paged :class:`~repro.moe.memory_model.BlockAllocator` (with
+    preemption); ``None`` keeps the conservative whole-request
+    reservation.  ``parallel`` takes the ``ep=4,tp=2`` syntax and
+    shards the server over a homogeneous cluster of ``gpu`` copies
+    joined by ``link``; ``horizon_s`` cuts serving off at that clock
+    (the report stays well-formed even when nothing completed).
     """
     if isinstance(model, ExecutionContext):
         ctx = model
     else:
+        plan = (parallel if isinstance(parallel, ParallelPlan)
+                else parse_parallel(parallel))
+        cluster = None
+        if not plan.is_trivial and link is not None:
+            from repro.hw.interconnect import get_link, make_cluster
+            from repro.hw.spec import get_gpu
+            link_spec = get_link(link) if isinstance(link, str) else link
+            cluster = make_cluster(get_gpu(gpu), plan, link_spec)
         ctx = ExecutionContext.create(model, engine, gpu, streams=streams,
-                                      flash=flash)
+                                      flash=flash, parallel=plan,
+                                      cluster=cluster)
     server = ServingEngine(ctx=ctx, batcher=batcher or ContinuousBatcher(),
                            num_layers=num_layers,
                            routing_skew=routing_skew, seed=seed,
-                           page_size=page_size)
+                           page_size=page_size, horizon_s=horizon_s,
+                           placement_policy=placement_policy)
     return server.run(trace)

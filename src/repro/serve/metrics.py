@@ -112,9 +112,16 @@ class ServeReport:
     peak_reserved_bytes: float = 0.0
     preemptions: int = 0
     block_utilisation: dict[str, float] = field(default_factory=dict)
+    cluster: dict[str, object] | None = None
 
     def to_dict(self) -> dict[str, object]:
-        """JSON-ready payload (plain types only, stable key order)."""
+        """JSON-ready payload (plain types only, stable key order).
+
+        The ``cluster`` section (parallel plan, link, placement and
+        communication shares) appears only for multi-device runs, so
+        single-GPU reports stay byte-identical to the pre-cluster
+        format.
+        """
         return {
             "engine": self.engine,
             "model": self.model,
@@ -136,6 +143,8 @@ class ServeReport:
             "peak_reserved_bytes": self.peak_reserved_bytes,
             "preemptions": self.preemptions,
             "block_utilisation": dict(self.block_utilisation),
+            **({"cluster": dict(self.cluster)}
+               if self.cluster is not None else {}),
         }
 
     def summary_row(self) -> list[object]:
@@ -173,6 +182,8 @@ class StepSample:
     live_bytes: float = 0.0
     reserved_bytes: float = 0.0
     pool_util: float = 0.0
+    comm_s: float = 0.0
+    step_s: float = 0.0
 
 
 @dataclass
@@ -194,12 +205,85 @@ class MetricsCollector:
         self.preemptions += 1
 
 
+def _zero_summary() -> dict[str, float]:
+    """The all-zero percentile block of an empty report."""
+    out = {f"p{int(q)}": 0.0 for q in PERCENTILES}
+    out["mean"] = 0.0
+    out["max"] = 0.0
+    return out
+
+
+def _sample_stats(samples: "Sequence[StepSample]") -> dict[str, object]:
+    """Per-step aggregates shared by the full and zero-completion
+    reports (zeroed when no step was ever observed)."""
+    if not samples:
+        return {
+            "queue_depth": _zero_summary(),
+            "batch_tokens": _zero_summary(),
+            "max_concurrency": 0,
+            "peak_memory_bytes": 0.0,
+            "peak_reserved_bytes": 0.0,
+            "block_utilisation": _zero_summary(),
+        }
+    return {
+        "queue_depth": _summary([float(s.queue_depth) for s in samples]),
+        "batch_tokens": _summary([float(s.step_tokens) for s in samples]),
+        "max_concurrency": max(s.running for s in samples),
+        "peak_memory_bytes": max(s.live_bytes for s in samples),
+        "peak_reserved_bytes": max(s.reserved_bytes for s in samples),
+        "block_utilisation": _summary([s.pool_util for s in samples]),
+    }
+
+
+def _empty_report(collector: MetricsCollector, *, engine: str, model: str,
+                  gpu: str, batcher: str, num_requests: int,
+                  cluster: dict[str, object] | None) -> ServeReport:
+    """Well-formed report for a run where nothing completed.
+
+    A short horizon (or a trace cut off mid-flight) can finish zero
+    requests; callers sweeping load points need a structured zero, not
+    an exception from :func:`percentile` over no samples.
+    """
+    samples = collector.samples
+    return ServeReport(
+        engine=engine,
+        model=model,
+        gpu=gpu,
+        batcher=batcher,
+        num_requests=num_requests,
+        completed=0,
+        duration_s=samples[-1].clock_s if samples else 0.0,
+        steps=len(samples),
+        qps_sustained=0.0,
+        output_tokens_per_s=0.0,
+        ttft_s=_zero_summary(),
+        tpot_s=_zero_summary(),
+        queueing_s=_zero_summary(),
+        preemptions=collector.preemptions,
+        cluster=cluster,
+        **_sample_stats(samples),  # type: ignore[arg-type]
+    )
+
+
 def summarise(collector: MetricsCollector, *, engine: str, model: str,
-              gpu: str, batcher: str, num_requests: int) -> ServeReport:
-    """Fold a run's samples and records into a :class:`ServeReport`."""
+              gpu: str, batcher: str, num_requests: int,
+              cluster: dict[str, object] | None = None) -> ServeReport:
+    """Fold a run's samples and records into a :class:`ServeReport`.
+
+    Zero completed requests yield a well-formed empty report (all
+    percentile blocks zeroed) rather than an error; ``cluster`` is the
+    optional multi-device section attached verbatim.
+    """
     done = [r for r in collector.records if r.completed]
+    if cluster is not None and collector.samples:
+        cluster = dict(cluster)
+        cluster["comm_fraction_per_step"] = _summary(
+            [s.comm_s / s.step_s if s.step_s > 0 else 0.0
+             for s in collector.samples])
     if not done:
-        raise ConfigError("no request completed; cannot summarise")
+        return _empty_report(collector, engine=engine, model=model,
+                             gpu=gpu, batcher=batcher,
+                             num_requests=num_requests, cluster=cluster)
     samples = collector.samples
     if not samples:
         raise ConfigError("completed requests but no observed steps")
@@ -221,11 +305,7 @@ def summarise(collector: MetricsCollector, *, engine: str, model: str,
         ttft_s=_summary([r.ttft_s for r in done]),
         tpot_s=_summary([r.tpot_s for r in done]),
         queueing_s=_summary([r.queueing_s for r in done]),
-        queue_depth=_summary([float(s.queue_depth) for s in samples]),
-        batch_tokens=_summary([float(s.step_tokens) for s in samples]),
-        max_concurrency=max(s.running for s in samples),
-        peak_memory_bytes=max(s.live_bytes for s in samples),
-        peak_reserved_bytes=max(s.reserved_bytes for s in samples),
         preemptions=collector.preemptions,
-        block_utilisation=_summary([s.pool_util for s in samples]),
+        cluster=cluster,
+        **_sample_stats(samples),  # type: ignore[arg-type]
     )

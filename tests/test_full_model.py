@@ -76,3 +76,68 @@ class TestDevicePlanning:
         devices = min_devices_for_model(cfg, "samoyeds", a100,
                                         seq_len=1024)
         assert devices >= 1
+
+
+class TestClusterEstimates:
+    def test_trivial_plan_matches_single_device(self, spec):
+        from repro.hw.interconnect import ParallelPlan
+        from repro.models.full_model import cluster_model_estimate
+        single = full_model_estimate(CFG, "samoyeds", spec, batch=1)
+        clustered = cluster_model_estimate(CFG, "samoyeds",
+                                           ParallelPlan(), spec=spec)
+        assert clustered.latency_s == pytest.approx(single.latency_s)
+        assert clustered.comm_s == 0.0
+        assert clustered.weights_bytes_per_device == pytest.approx(
+            single.weights_bytes)
+
+    def test_ep_cuts_weights_and_latency(self, spec):
+        from repro.hw.interconnect import ParallelPlan
+        from repro.models.full_model import cluster_model_estimate
+        one = cluster_model_estimate(CFG, "samoyeds", ParallelPlan(),
+                                     spec=spec)
+        four = cluster_model_estimate(CFG, "samoyeds",
+                                      ParallelPlan(ep=4), spec=spec)
+        assert four.weights_bytes_per_device < one.weights_bytes_per_device
+        assert four.latency_s < one.latency_s
+        assert four.comm_s > 0.0
+        assert four.num_devices == 4
+
+    def test_tp_makes_big_model_fit(self, spec):
+        from repro.hw.interconnect import ParallelPlan
+        from repro.models.full_model import cluster_model_estimate
+        big = MODEL_REGISTRY["mixtral-8x22b"]
+        alone = cluster_model_estimate(big, "samoyeds", ParallelPlan(),
+                                       spec=spec)
+        sharded = cluster_model_estimate(big, "samoyeds",
+                                         ParallelPlan(ep=8, tp=8),
+                                         spec=spec)
+        assert not alone.fits
+        assert sharded.fits
+
+    def test_slower_link_raises_comm_fraction(self, spec):
+        from repro.hw.interconnect import ParallelPlan, make_cluster
+        from repro.models.full_model import cluster_model_estimate
+        plan = ParallelPlan(ep=4, tp=2)
+        nv = cluster_model_estimate(
+            CFG, "samoyeds", plan,
+            cluster=make_cluster(spec, plan, "nvlink"))
+        pcie = cluster_model_estimate(
+            CFG, "samoyeds", plan,
+            cluster=make_cluster(spec, plan, "pcie4"))
+        assert pcie.comm_fraction > nv.comm_fraction
+        assert pcie.latency_s > nv.latency_s
+
+    def test_dp_multiplies_throughput(self, spec):
+        from repro.hw.interconnect import ParallelPlan
+        from repro.models.full_model import cluster_model_estimate
+        one = cluster_model_estimate(CFG, "samoyeds", ParallelPlan(),
+                                     spec=spec)
+        two = cluster_model_estimate(CFG, "samoyeds", ParallelPlan(dp=2),
+                                     spec=spec)
+        assert two.tokens_per_s == pytest.approx(one.tokens_per_s * 2)
+
+    def test_spec_or_cluster_required(self):
+        from repro.hw.interconnect import ParallelPlan
+        from repro.models.full_model import cluster_model_estimate
+        with pytest.raises(CapacityError):
+            cluster_model_estimate(CFG, "samoyeds", ParallelPlan())

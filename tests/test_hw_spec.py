@@ -23,6 +23,22 @@ class TestRegistry:
         register_gpu(spec)
         assert get_gpu("test-gpu") == spec
 
+    def test_register_collision_rejected(self):
+        # A same-named registration must not silently shadow an entry.
+        clone = RTX_4070_SUPER.with_overrides(sm_count=1)
+        with pytest.raises(HardwareModelError, match="already registered"):
+            register_gpu(clone)
+        assert get_gpu("rtx4070s").sm_count == RTX_4070_SUPER.sm_count
+
+    def test_register_replace_opt_in(self):
+        original = get_gpu("rtx4070s")
+        clone = original.with_overrides(sm_count=1)
+        try:
+            assert register_gpu(clone, replace=True) is clone
+            assert get_gpu("rtx4070s").sm_count == 1
+        finally:
+            register_gpu(original, replace=True)
+
 
 class TestDerived:
     def test_dense_flops_matches_datasheet_order(self):

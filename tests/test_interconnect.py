@@ -1,0 +1,165 @@
+"""Interconnect links, clusters and parallel plans."""
+
+import pytest
+
+from repro.errors import ConfigError, HardwareModelError
+from repro.hw import get_gpu
+from repro.hw.interconnect import (
+    DEFAULT_LINK,
+    TRIVIAL_PLAN,
+    ClusterSpec,
+    LinkSpec,
+    ParallelPlan,
+    get_link,
+    list_links,
+    make_cluster,
+    parse_parallel,
+    register_link,
+)
+
+
+class TestLinks:
+    def test_registry_covers_generations(self):
+        assert {"nvlink", "pcie4", "ib"} <= set(list_links())
+
+    def test_nvlink_faster_than_pcie(self):
+        assert get_link("nvlink").bandwidth > get_link("pcie4").bandwidth
+
+    def test_transfer_is_alpha_beta(self):
+        link = LinkSpec(name="t", latency_s=1e-6, bandwidth=1e9)
+        assert link.transfer_seconds(1e9) == pytest.approx(1.0 + 1e-6)
+        assert link.transfer_seconds(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_LINK.transfer_seconds(-1)
+
+    def test_invalid_link_rejected(self):
+        with pytest.raises(ConfigError):
+            LinkSpec(name="bad", latency_s=-1.0, bandwidth=1e9)
+        with pytest.raises(ConfigError):
+            LinkSpec(name="bad", latency_s=1e-6, bandwidth=0.0)
+
+    def test_unknown_link_lists_known(self):
+        with pytest.raises(HardwareModelError, match="nvlink"):
+            get_link("carrier-pigeon")
+
+    def test_register_collision_guarded(self):
+        with pytest.raises(HardwareModelError):
+            register_link(LinkSpec(name="nvlink", latency_s=1e-6,
+                                   bandwidth=1e9))
+
+
+class TestParallelPlan:
+    def test_default_is_trivial(self):
+        assert TRIVIAL_PLAN.is_trivial
+        assert TRIVIAL_PLAN.num_devices == 1
+
+    def test_device_grid(self):
+        plan = ParallelPlan(ep=4, tp=2, dp=3)
+        assert plan.num_devices == 24
+        assert not plan.is_trivial
+        assert plan.to_dict()["num_devices"] == 24
+
+    @pytest.mark.parametrize("kwargs", [
+        {"ep": 0}, {"tp": 0}, {"dp": -1}, {"ep": 2.5}])
+    def test_bad_degrees_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ParallelPlan(**kwargs)
+
+
+class TestParseParallel:
+    def test_full_spec(self):
+        plan = parse_parallel("ep=4,tp=2")
+        assert (plan.ep, plan.tp, plan.dp) == (4, 2, 1)
+
+    def test_none_and_empty_are_trivial(self):
+        assert parse_parallel(None).is_trivial
+        assert parse_parallel("  ").is_trivial
+
+    def test_roundtrip_describe(self):
+        plan = ParallelPlan(ep=8, tp=2)
+        assert parse_parallel(plan.describe()) == plan
+
+    def test_zero_degree_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_parallel("ep=0")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown parallel key"):
+            parse_parallel("pp=2")
+
+    def test_malformed_fragment_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_parallel("ep")
+        with pytest.raises(ConfigError):
+            parse_parallel("ep=four")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            parse_parallel("ep=2,ep=4")
+
+
+class TestClusterSpec:
+    def test_homogeneous_factory(self, spec):
+        cluster = ClusterSpec.homogeneous(spec, 4, "nvlink")
+        assert cluster.num_devices == 4
+        assert cluster.device(3) is spec
+        assert "4xrtx4070s" in cluster.describe()
+
+    def test_device_index_checked(self, spec):
+        cluster = ClusterSpec.homogeneous(spec, 2)
+        with pytest.raises(ConfigError):
+            cluster.device(2)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigError):
+            ClusterSpec(gpus=())
+
+    def test_make_cluster_sizes_to_plan(self, spec):
+        cluster = make_cluster(spec, ParallelPlan(ep=4, tp=2))
+        assert cluster.num_devices == 8
+
+
+class TestCollectives:
+    @pytest.fixture
+    def cluster(self, spec):
+        return ClusterSpec.homogeneous(
+            spec, 8, LinkSpec(name="x", latency_s=1e-6, bandwidth=100e9))
+
+    def test_single_device_group_is_free(self, cluster):
+        assert cluster.allreduce_seconds(1e9, 1) == 0.0
+        assert cluster.alltoall_seconds(1e9, 1) == 0.0
+
+    def test_allreduce_ring_terms(self, cluster):
+        # 2 (p-1) alpha hops + 2 (p-1)/p of the buffer through the link.
+        got = cluster.allreduce_seconds(100e9, 4)
+        assert got == pytest.approx(6e-6 + 2 * 0.75 * 1.0)
+
+    def test_alltoall_terms(self, cluster):
+        got = cluster.alltoall_seconds(100e9, 4)
+        assert got == pytest.approx(3e-6 + 0.75 * 1.0)
+
+    def test_costs_grow_with_group(self, cluster):
+        a2 = cluster.allreduce_seconds(1e9, 2)
+        a8 = cluster.allreduce_seconds(1e9, 8)
+        assert a8 > a2 > 0.0
+
+    def test_slower_link_costs_more(self, spec):
+        fast = ClusterSpec.homogeneous(spec, 4, "nvlink")
+        slow = ClusterSpec.homogeneous(spec, 4, "pcie4")
+        assert (slow.allreduce_seconds(1e9, 4)
+                > fast.allreduce_seconds(1e9, 4))
+
+    def test_inter_node_link_prices_wide_groups(self, spec):
+        cluster = ClusterSpec.homogeneous(
+            spec, 8, "nvlink", devices_per_node=4, inter_node_link="ib")
+        narrow = cluster.allreduce_seconds(1e9, 4)    # intra-node
+        wide = cluster.allreduce_seconds(1e9, 8)      # spans nodes
+        assert cluster.group_link(4).name == "nvlink"
+        assert cluster.group_link(8).name == "ib"
+        assert wide > narrow * 4          # IB is far slower than NVLink
+
+    def test_bad_group_rejected(self, cluster):
+        with pytest.raises(ConfigError):
+            cluster.allreduce_seconds(1e9, 0)

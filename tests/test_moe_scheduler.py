@@ -159,3 +159,114 @@ class TestContextIntegration:
         assert via_ctx == pytest.approx(legacy)
         out = compare_policies(ctx, plan)
         assert out["parallel"].streams == 4
+
+
+class TestExpertPlacement:
+    def test_round_robin_strides_devices(self):
+        from repro.moe.scheduler import place_experts
+        placement = place_experts(8, 4, "round_robin")
+        assert placement.device_of == (0, 1, 2, 3, 0, 1, 2, 3)
+        assert placement.counts() == (2, 2, 2, 2)
+        assert placement.experts_on(1) == (1, 5)
+
+    def test_balanced_levels_skewed_profile(self):
+        from repro.moe.scheduler import place_experts
+        profile = [100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        placement = place_experts(8, 2, "balanced", profile)
+        # The hot expert must sit alone-ish: its device gets the
+        # remaining load balance, not more hot experts.
+        hot_device = placement.device_of[0]
+        hot_load = sum(profile[e]
+                       for e in placement.experts_on(hot_device))
+        cold_load = sum(profile[e] for e in range(8)
+                        if placement.device_of[e] != hot_device)
+        assert hot_load >= cold_load
+        assert max(placement.counts()) <= 7
+
+    def test_balanced_uniform_profile_levels_counts(self):
+        from repro.moe.scheduler import place_experts
+        placement = place_experts(60, 8, "balanced")
+        counts = placement.counts()
+        assert max(counts) - min(counts) <= 1
+        assert sum(counts) == 60
+
+    def test_invalid_arguments_rejected(self):
+        from repro.moe.scheduler import place_experts
+        with pytest.raises(ConfigError):
+            place_experts(8, 0)
+        with pytest.raises(ConfigError):
+            place_experts(4, 8)               # more devices than experts
+        with pytest.raises(ConfigError):
+            place_experts(8, 2, "random")
+        with pytest.raises(ConfigError):
+            place_experts(8, 2, "balanced", [1.0] * 7)
+        with pytest.raises(ConfigError):
+            place_experts(8, 2, "balanced", [-1.0] * 8)
+
+
+class TestExpertParallelSchedule:
+    def test_device_makespans_partition_segments(self):
+        from repro.moe.scheduler import device_makespans, place_experts
+        segments = [4.0, 3.0, 2.0, 1.0]
+        placement = place_experts(4, 2, "round_robin")
+        spans = device_makespans(segments, placement)
+        assert spans == [4.0 + 2.0, 3.0 + 1.0]
+
+    def test_segment_count_checked(self):
+        from repro.moe.scheduler import device_makespans, place_experts
+        with pytest.raises(ConfigError):
+            device_makespans([1.0], place_experts(4, 2), streams=1)
+
+    def test_ep_shrinks_compute_and_adds_comm(self, spec, plan):
+        from repro.context import ExecutionContext
+        from repro.moe.scheduler import schedule_expert_parallel
+        from repro.hw.interconnect import ParallelPlan
+
+        single = ExecutionContext.create(CFG, "samoyeds", spec)
+        sharded = single.with_parallel(ParallelPlan(ep=4))
+        res1 = schedule_expert_parallel(single, plan)
+        res4 = schedule_expert_parallel(sharded, plan)
+        assert res1.alltoall_s == 0.0
+        assert res4.alltoall_s > 0.0
+        assert res4.compute_s < res1.compute_s
+        assert len(res4.per_device_s) == 4
+        assert 0.0 < res4.comm_fraction < 1.0
+
+    def test_balanced_beats_round_robin_under_skew(self, spec, plan):
+        from repro.context import ExecutionContext
+        from repro.hw.interconnect import ParallelPlan
+        from repro.moe.scheduler import (
+            place_experts,
+            schedule_expert_parallel,
+        )
+        ctx = ExecutionContext.create(
+            CFG, "samoyeds", spec).with_parallel(ParallelPlan(ep=4))
+        balanced = schedule_expert_parallel(ctx, plan, policy="balanced")
+        round_robin = schedule_expert_parallel(
+            ctx, plan,
+            placement=place_experts(CFG.num_experts, 4, "round_robin"))
+        assert balanced.compute_s <= round_robin.compute_s
+
+    def test_mismatched_placement_rejected(self, spec, plan):
+        from repro.moe.scheduler import (
+            place_experts,
+            schedule_expert_parallel,
+        )
+        with pytest.raises(ConfigError):
+            schedule_expert_parallel(
+                CFG, plan, ep=4, spec=spec,
+                placement=place_experts(CFG.num_experts, 2))
+
+    def test_tp_shards_segments(self, spec, plan):
+        tp1 = segment_seconds_from_loads(
+            CFG, plan.load(), spec, _kernel(), tp=1)
+        tp4 = segment_seconds_from_loads(
+            CFG, plan.load(), spec, _kernel(), tp=4)
+        assert sum(tp4) < sum(tp1)
+        with pytest.raises(ConfigError):
+            segment_seconds_from_loads(CFG, [64], spec, _kernel(), tp=0)
+
+
+def _kernel():
+    from repro.kernels.ssmm_samoyeds import SamoyedsKernel
+    return SamoyedsKernel()

@@ -103,3 +103,80 @@ class TestDispatcher:
     def test_no_args_usage(self, capsys):
         assert repro_main([]) == 2
         assert "usage" in capsys.readouterr().out
+
+
+class TestParallelFlag:
+    def test_parallel_serve_reports_cluster(self, capsys):
+        assert main(SERVE_ARGS + ["--engines", "samoyeds",
+                                  "--parallel", "ep=4"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["parallel"]["ep"] == 4
+        assert payload["link"] == "nvlink"
+        entry = payload["engines"][0]
+        assert entry["cluster"]["experts_per_device"] == [2, 2, 2, 2]
+
+    def test_single_gpu_payload_has_no_parallel_section(self, capsys):
+        assert main(SERVE_ARGS) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "parallel" not in payload
+        for entry in payload["engines"]:
+            assert "cluster" not in entry
+
+    def test_malformed_parallel_is_usage_error(self, capsys):
+        assert main(SERVE_ARGS + ["--parallel", "ep=0"]) == 2
+        assert "bad --parallel" in capsys.readouterr().err
+        assert main(SERVE_ARGS + ["--parallel", "pp=4"]) == 2
+
+    def test_dp_is_usage_error(self, capsys):
+        assert main(SERVE_ARGS + ["--parallel", "dp=2"]) == 2
+        assert "dp>1" in capsys.readouterr().err
+
+    def test_horizon_flag_yields_empty_report(self, capsys):
+        assert main(SERVE_ARGS + ["--engines", "samoyeds",
+                                  "--horizon", "1e-9"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engines"][0]["completed"] == 0
+
+
+class TestScaleCommand:
+    SCALE_ARGS = ["scale", "--devices", "1,2", "--requests", "8",
+                  "--qps", "40", "--prompt-tokens", "128",
+                  "--output-tokens", "4", "--layers", "2"]
+
+    def test_emits_strong_and_weak_series(self, capsys):
+        assert main(self.SCALE_ARGS) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert [p["devices"] for p in payload["strong"]] == [1, 2]
+        assert [p["devices"] for p in payload["weak"]] == [1, 2]
+        point = payload["strong"][1]
+        assert point["qps_sustained"] > 0
+        assert point["comm_fraction"] > 0
+        assert "ttft_s" in point and "tpot_s" in point
+        assert "strong qps" in captured.err    # table on stderr
+
+    def test_scaling_monotone_under_overload(self, capsys):
+        assert main(self.SCALE_ARGS) == 0
+        payload = json.loads(capsys.readouterr().out)
+        qps = [p["qps_sustained"] for p in payload["strong"]]
+        assert qps[1] > qps[0]
+
+    def test_bad_devices_rejected(self, capsys):
+        assert main(["scale", "--devices", "1,two"]) == 2
+        assert main(["scale", "--devices", "0"]) == 2
+
+    def test_infeasible_point_recorded_not_fatal(self, capsys):
+        # mixtral-8x7b has 8 experts: ep=16 cannot place them.
+        assert main(self.SCALE_ARGS[:1]
+                    + ["--devices", "1,16", "--requests", "4",
+                       "--qps", "40", "--layers", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "error" in payload["strong"][1]
+        assert payload["strong"][0]["qps_sustained"] > 0
+
+    def test_output_file(self, tmp_path, capsys):
+        out = tmp_path / "scale.json"
+        assert main(self.SCALE_ARGS + ["--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["mode"] == "ep"
+        assert capsys.readouterr().out == ""

@@ -99,10 +99,30 @@ class TestSummarise:
         assert payload["engine"] == "e"
         assert payload["ttft_s"]["p99"] >= payload["ttft_s"]["p50"]
 
-    def test_no_completion_rejected(self):
-        with pytest.raises(ConfigError):
-            summarise(MetricsCollector(), engine="e", model="m", gpu="g",
-                      batcher="b", num_requests=0)
+    def test_no_completion_yields_empty_report(self):
+        # Regression: a run where nothing completed within the horizon
+        # used to die in percentile() over zero samples.
+        report = summarise(MetricsCollector(), engine="e", model="m",
+                           gpu="g", batcher="b", num_requests=3)
+        assert report.completed == 0
+        assert report.qps_sustained == 0.0
+        assert report.duration_s == 0.0
+        assert report.ttft_s == {"p50": 0.0, "p90": 0.0, "p99": 0.0,
+                                 "mean": 0.0, "max": 0.0}
+        assert report.summary_row()          # renders without raising
+        assert report.to_dict()["completed"] == 0
+
+    def test_no_completion_keeps_observed_steps(self):
+        col = MetricsCollector()
+        col.observe(StepSample(clock_s=2.0, queue_depth=3, running=1,
+                               step_tokens=64, live_bytes=10.0))
+        report = summarise(col, engine="e", model="m", gpu="g",
+                           batcher="b", num_requests=3)
+        assert report.steps == 1
+        assert report.duration_s == pytest.approx(2.0)
+        assert report.queue_depth["max"] == 3.0
+        assert report.max_concurrency == 1
+        assert report.peak_memory_bytes == 10.0
 
 
 class TestPreemptionAndReservedPeak:
