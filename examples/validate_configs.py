@@ -1,0 +1,60 @@
+"""Validate every deployment config under ``examples/configs/``.
+
+For each config file: load it, validate the spec (construction *is*
+validation), check the exact ``to_dict()``/``from_dict()`` round-trip,
+and expand any sweep grid.  Then smoke-run the cheapest config
+end-to-end so CI proves the files don't just parse — they serve.
+
+Run me:
+    PYTHONPATH=src python examples/validate_configs.py
+"""
+
+import glob
+import os
+import sys
+
+from repro.api import Deployment, DeploymentSpec, load_sweep
+
+CONFIG_DIR = os.path.join(os.path.dirname(__file__), "configs")
+
+
+def point_cost(spec: DeploymentSpec) -> float:
+    """Rough work proxy: tokens served x layers priced per step."""
+    w, m = spec.workload, spec.model
+    layers = m.num_layers or 32
+    return w.requests * (w.prompt_tokens + w.output_tokens) * layers
+
+
+def main() -> int:
+    paths = sorted(glob.glob(os.path.join(CONFIG_DIR, "*.yaml"))
+                   + glob.glob(os.path.join(CONFIG_DIR, "*.yml"))
+                   + glob.glob(os.path.join(CONFIG_DIR, "*.json")))
+    if not paths:
+        print(f"no configs found under {CONFIG_DIR}", file=sys.stderr)
+        return 1
+    cheapest: tuple[float, str, DeploymentSpec] | None = None
+    for path in paths:
+        name = os.path.basename(path)
+        base, points = load_sweep(path)             # load + validate
+        assert DeploymentSpec.from_dict(base.to_dict()) == base, \
+            f"{name}: base spec does not round-trip"
+        for point in points:
+            roundtrip = DeploymentSpec.from_dict(point.spec.to_dict())
+            assert roundtrip == point.spec, \
+                f"{name}: point {point.describe()} does not round-trip"
+        cost = sum(point_cost(p.spec) for p in points)
+        print(f"ok {name}: {len(points)} point(s), "
+              f"~{cost / 1e3:.0f}k token-layers")
+        if cheapest is None or cost < cheapest[0]:
+            cheapest = (cost, name, points[0].spec)
+    assert cheapest is not None
+    _, name, spec = cheapest
+    report = Deployment(spec).run()
+    print(f"smoke-ran cheapest ({name}): {report.completed} completed, "
+          f"{report.qps_sustained:.2f} qps sustained")
+    assert report.steps > 0, f"{name}: smoke run took no steps"
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

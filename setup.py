@@ -7,6 +7,6 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
-    install_requires=["numpy>=1.24"],
+    install_requires=["numpy>=1.24", "pyyaml>=6.0"],
     entry_points={"console_scripts": ["repro=repro.__main__:main"]},
 )

@@ -16,6 +16,8 @@ Public surface (see README for a tour):
 * :mod:`repro.models` - attention + decoder-layer end-to-end runner;
 * :mod:`repro.pruning` - pattern-constrained pruning and accuracy proxy;
 * :mod:`repro.serve` - request-level continuous-batching serving simulator;
+* :mod:`repro.api` - declarative deployment specs (the canonical public
+  surface: config-file driven runs, sweeps, typed reports);
 * :mod:`repro.bench` - the harness that regenerates every paper figure.
 """
 
@@ -47,9 +49,30 @@ from repro.hw import (
     parse_parallel,
 )
 from repro.context import ExecutionContext
+from repro.api import (
+    Deployment,
+    DeploymentSpec,
+    HardwareSpec,
+    ModelSpec,
+    ServingSpec,
+    WorkloadSpec,
+    load_deployment,
+    load_sweep,
+)
+from repro.serve.metrics import PercentileSummary, ServeReport
 
 __all__ = [
     "ExecutionContext",
+    "Deployment",
+    "DeploymentSpec",
+    "ModelSpec",
+    "HardwareSpec",
+    "ServingSpec",
+    "WorkloadSpec",
+    "load_deployment",
+    "load_sweep",
+    "ServeReport",
+    "PercentileSummary",
     "ClusterSpec",
     "LinkSpec",
     "ParallelPlan",

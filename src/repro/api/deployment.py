@@ -1,0 +1,111 @@
+"""The :class:`Deployment` facade: spec in, report out.
+
+``Deployment(spec).run()`` is the canonical way to execute a serving
+experiment.  ``build()`` exposes the intermediate stack — the
+:class:`~repro.context.ExecutionContext`, the batching policy and the
+arrival trace — for callers that want to drive
+:class:`~repro.serve.engine.ServingEngine` themselves; ``run()`` is
+``build()`` plus the event loop, returning the typed
+:class:`~repro.serve.metrics.ServeReport`.
+
+The construction here is *definitionally* what the legacy
+:func:`repro.serve.simulate` call does with the equivalent kwargs: the
+same ``ExecutionContext.create`` path, the same batcher factory and the
+same seeded trace generators, so a default-spec run is byte-identical
+to its pre-spec counterpart (the golden tests pin this).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.api.spec import DeploymentSpec
+from repro.context import ExecutionContext
+from repro.serve.batcher import Batcher, make_batcher
+from repro.serve.engine import ServingEngine
+from repro.serve.metrics import ServeReport
+from repro.serve.request import Request, bursty_trace, poisson_trace
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A validated spec bound to the machinery that executes it."""
+
+    spec: DeploymentSpec
+
+    @classmethod
+    def from_file(cls, path: str | os.PathLike) -> "Deployment":
+        """Load a single-run config file (YAML or JSON)."""
+        from repro.api.loader import load_deployment
+        return cls(spec=load_deployment(path))
+
+    # ------------------------------------------------------------------
+    # Stack construction
+    # ------------------------------------------------------------------
+    def build_context(self) -> ExecutionContext:
+        """The execution context the spec describes."""
+        model, hw = self.spec.model, self.spec.hardware
+        return ExecutionContext.create(
+            model.name, model.engine, hw.gpu, streams=hw.streams,
+            flash=model.flash, parallel=hw.parallel, link=hw.link)
+
+    def build_batcher(self) -> Batcher:
+        """A fresh batching policy (engines must not share one)."""
+        serving = self.spec.serving
+        return make_batcher(serving.batcher,
+                            token_budget=serving.token_budget,
+                            batch_size=serving.batch_size,
+                            max_running=serving.max_running)
+
+    def build_trace(self) -> list[Request]:
+        """The seeded arrival trace (deterministic per spec)."""
+        w = self.spec.workload
+        if w.kind == "poisson":
+            return poisson_trace(w.requests, w.qps,
+                                 prompt_tokens=w.prompt_tokens,
+                                 output_tokens=w.output_tokens,
+                                 jitter=w.jitter, seed=w.seed,
+                                 eos_sampling=w.eos_sampling)
+        return bursty_trace(w.requests, w.qps,
+                            burst_factor=w.burst_factor,
+                            burst_len=w.burst_len,
+                            prompt_tokens=w.prompt_tokens,
+                            output_tokens=w.output_tokens,
+                            jitter=w.jitter, seed=w.seed,
+                            eos_sampling=w.eos_sampling)
+
+    def build(self) -> tuple[ExecutionContext, Batcher, list[Request]]:
+        """Materialise the whole stack the spec describes."""
+        return self.build_context(), self.build_batcher(), \
+            self.build_trace()
+
+    def build_engine(self) -> ServingEngine:
+        """The serving engine, ready to ``run()`` a trace."""
+        model, serving, w = (self.spec.model, self.spec.serving,
+                             self.spec.workload)
+        return ServingEngine(ctx=self.build_context(),
+                             batcher=self.build_batcher(),
+                             num_layers=model.num_layers,
+                             routing_skew=w.routing_skew,
+                             seed=w.seed,
+                             page_size=serving.page_size,
+                             horizon_s=serving.horizon_s,
+                             placement_policy=serving.placement)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, trace: Sequence[Request] | None = None,
+            max_steps: int = 1_000_000) -> ServeReport:
+        """Serve the spec's trace (or ``trace``) and report.
+
+        Passing an explicit ``trace`` reuses one arrival sequence
+        across several deployments (e.g. the CLI comparing engines
+        under identical traffic); the engine configuration still comes
+        entirely from the spec.
+        """
+        engine = self.build_engine()
+        return engine.run(self.build_trace() if trace is None else trace,
+                          max_steps=max_steps)

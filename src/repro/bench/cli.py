@@ -11,7 +11,14 @@ Subcommands:
   simulation comparing engines under identical traffic (JSON report);
   ``--parallel ep=4,tp=2`` shards the server over a device grid;
 * ``scale --devices 1,2,4,8`` — strong/weak scaling sweep over device
-  counts (QPS, TTFT/TPOT and communication fraction per point).
+  counts (QPS, TTFT/TPOT and communication fraction per point);
+* ``run config.yaml`` — execute a declarative deployment config file
+  (single run or ``sweep:`` grid; see :mod:`repro.api`).
+
+``serve`` and ``scale`` are thin shims over
+:class:`repro.api.DeploymentSpec`: every flag maps to a spec field (the
+DESIGN.md migration table lists the pairs), and ``run`` executes the
+same specs straight from YAML/JSON files.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.api.spec import ENGINE_ALIASES  # canonical alias map
 from repro.bench.figures import EXPERIMENTS, run_experiment
 from repro.bench.report import render_json, render_table
 from repro.errors import CapacityError, ConfigError
@@ -31,9 +39,6 @@ from repro.moe.config import MODEL_REGISTRY
 from repro.moe.memory_model import max_batch_size
 from repro.utils.rng import DEFAULT_SEED
 from repro.utils.units import format_seconds
-
-#: Friendly aliases accepted by ``serve --engines``.
-ENGINE_ALIASES = {"vllm": "vllm-ds", "hf": "transformers"}
 
 
 def _add_gpu_arg(parser: argparse.ArgumentParser) -> None:
@@ -121,22 +126,12 @@ def cmd_maxbatch(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.context import ExecutionContext
+    from repro.api import Deployment, DeploymentSpec
     from repro.errors import ReproError
-    from repro.hw.interconnect import get_link, make_cluster, parse_parallel
-    from repro.serve import (
-        ChunkedPrefillBatcher,
-        ContinuousBatcher,
-        StaticBatcher,
-        bursty_trace,
-        poisson_trace,
-        simulate,
-    )
+    from repro.hw.interconnect import parse_parallel
+    from repro.moe.layers import ENGINES
     from repro.serve.metrics import REPORT_HEADERS
 
-    from repro.moe.layers import ENGINES
-
-    config = MODEL_REGISTRY[args.model]
     try:
         plan = parse_parallel(args.parallel)
     except ConfigError as exc:
@@ -148,11 +143,6 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("repro bench serve: --parallel dp>1 is not served by one "
               "engine; run one serve per replica", file=sys.stderr)
         return 2
-    cluster = None
-    if not plan.is_trivial:
-        cluster = make_cluster(get_gpu(args.gpu), plan,
-                               get_link(args.link))
-    make_trace = poisson_trace if args.trace == "poisson" else bursty_trace
     engines = []
     for raw in args.engines.split(","):
         name = ENGINE_ALIASES.get(raw.strip(), raw.strip())
@@ -161,43 +151,45 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print(f"repro bench serve: unknown engine {raw.strip()!r}; "
                   f"known: {known}", file=sys.stderr)
             return 2
-        engines.append(name)
+        if name not in engines:       # aliases can collide (vllm,vllm-ds)
+            engines.append(name)
     if args.page_size < 0:
         # A bad flag is a usage error, not per-engine infeasibility.
         print("repro bench serve: --page-size must be >= 0",
               file=sys.stderr)
         return 2
     try:
-        trace = make_trace(args.requests, args.qps,
-                           prompt_tokens=args.prompt_tokens,
-                           output_tokens=args.output_tokens,
-                           seed=args.seed, eos_sampling=args.eos_sampling)
-    except ReproError as exc:
-        print(f"repro bench serve: invalid trace parameters: {exc}",
+        base = DeploymentSpec.from_dict({
+            "model": {"name": args.model, "num_layers": args.layers},
+            "hardware": {"gpu": args.gpu, "link": args.link,
+                         "parallel": plan, "streams": args.streams},
+            "serving": {"batcher": args.batcher,
+                        "token_budget": args.token_budget,
+                        "batch_size": args.batch_size,
+                        "page_size": args.page_size or None,
+                        "placement": args.placement,
+                        "horizon_s": args.horizon},
+            "workload": {"kind": args.trace, "requests": args.requests,
+                         "qps": args.qps,
+                         "prompt_tokens": args.prompt_tokens,
+                         "output_tokens": args.output_tokens,
+                         "eos_sampling": args.eos_sampling,
+                         "seed": args.seed},
+        })
+        # One trace serves every engine: identical traffic per engine.
+        trace = Deployment(base).build_trace()
+    except ConfigError as exc:
+        print(f"repro bench serve: invalid configuration: {exc}",
               file=sys.stderr)
         return 2
-    if args.batcher == "continuous":
-        batcher_factory = lambda: ContinuousBatcher(  # noqa: E731
-            token_budget=args.token_budget)
-    elif args.batcher == "chunked":
-        batcher_factory = lambda: ChunkedPrefillBatcher(  # noqa: E731
-            token_budget=args.token_budget)
-    else:
-        batcher_factory = lambda: StaticBatcher(  # noqa: E731
-            batch_size=args.batch_size)
 
     reports = []
     rows = []
     for name in engines:
-        ctx = ExecutionContext.create(config, name, args.gpu,
-                                      streams=args.streams,
-                                      parallel=plan, cluster=cluster)
+        deployment = Deployment(
+            base.with_overrides({"model.engine": name}))
         try:
-            report = simulate(ctx, trace=trace, batcher=batcher_factory(),
-                              num_layers=args.layers, seed=args.seed,
-                              page_size=args.page_size or None,
-                              horizon_s=args.horizon,
-                              placement_policy=args.placement)
+            report = deployment.run(trace)
         except ReproError as exc:
             print(f"# {name}: infeasible ({exc})", file=sys.stderr)
             reports.append({"engine": name, "error": str(exc)})
@@ -236,9 +228,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_scale(args: argparse.Namespace) -> int:
+    from repro.api import Deployment, DeploymentSpec
     from repro.errors import ReproError
-    from repro.hw.interconnect import ParallelPlan
-    from repro.serve import poisson_trace, simulate
 
     if args.mode not in ("ep", "tp"):
         print("repro bench scale: --mode must be ep or tp",
@@ -254,29 +245,40 @@ def cmd_scale(args: argparse.Namespace) -> int:
         print("repro bench scale: device counts must be positive",
               file=sys.stderr)
         return 2
+    try:
+        base = DeploymentSpec.from_dict({
+            "model": {"name": args.model, "engine": args.engine,
+                      "num_layers": args.layers},
+            "hardware": {"gpu": args.gpu, "link": args.link},
+            "serving": {"horizon_s": args.horizon},
+            "workload": {"requests": args.requests, "qps": args.qps,
+                         "prompt_tokens": args.prompt_tokens,
+                         "output_tokens": args.output_tokens,
+                         "seed": args.seed},
+        })
+    except ConfigError as exc:
+        print(f"repro bench scale: invalid configuration: {exc}",
+              file=sys.stderr)
+        return 2
 
     def run_point(count: int, scale_load: bool) -> dict[str, object]:
-        plan = (ParallelPlan(ep=count) if args.mode == "ep"
-                else ParallelPlan(tp=count))
         factor = count if scale_load else 1
-        trace = poisson_trace(args.requests * factor, args.qps * factor,
-                              prompt_tokens=args.prompt_tokens,
-                              output_tokens=args.output_tokens,
-                              seed=args.seed)
-        report = simulate(args.model, args.engine, args.gpu, trace=trace,
-                          parallel=plan, link=args.link,
-                          num_layers=args.layers, seed=args.seed,
-                          horizon_s=args.horizon)
+        spec = base.with_overrides({
+            "hardware.parallel": f"{args.mode}={count}",
+            "workload.requests": args.requests * factor,
+            "workload.qps": args.qps * factor,
+        })
+        report = Deployment(spec).run()
         cluster = report.cluster or {}
         return {
             "devices": count,
-            "parallel": plan.describe(),
+            "parallel": spec.hardware.parallel.describe(),
             "qps_offered": args.qps * factor,
             "completed": report.completed,
             "qps_sustained": report.qps_sustained,
             "output_tokens_per_s": report.output_tokens_per_s,
-            "ttft_s": dict(report.ttft_s),
-            "tpot_s": dict(report.tpot_s),
+            "ttft_s": report.ttft_s.to_dict(),
+            "tpot_s": report.tpot_s.to_dict(),
             "comm_fraction": cluster.get("comm_fraction", 0.0),
             "experts_per_device": cluster.get("experts_per_device"),
         }
@@ -333,6 +335,67 @@ def cmd_scale(args: argparse.Namespace) -> int:
         "strong": strong,
         "weak": weak,
     }
+    text = render_json(payload)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import Deployment, load_sweep
+    from repro.errors import ReproError
+    from repro.serve.metrics import REPORT_HEADERS
+
+    try:
+        base, points = load_sweep(args.config)
+    except ConfigError as exc:
+        print(f"repro bench run: {exc}", file=sys.stderr)
+        return 2
+
+    title = (f"{base.model.name} on {base.hardware.gpu} "
+             f"({args.config})")
+    # A no-sweep config loads as exactly one override-free point.
+    if len(points) == 1 and not points[0].overrides:
+        # Single run: the payload IS the report, so the JSON stays
+        # interchangeable with a legacy `simulate()` result.
+        try:
+            report = Deployment(base).run()
+        except ReproError as exc:
+            print(f"repro bench run: infeasible ({exc})",
+                  file=sys.stderr)
+            return 1
+        print(render_table(REPORT_HEADERS, [report.summary_row()],
+                           title=title), file=sys.stderr)
+        payload: dict[str, object] = report.to_dict()
+    else:
+        entries: list[dict[str, object]] = []
+        rows = []
+        for point in points:
+            entry: dict[str, object] = {
+                "overrides": dict(point.overrides)}
+            try:
+                report = Deployment(point.spec).run()
+            except ReproError as exc:
+                print(f"# {point.describe()}: infeasible ({exc})",
+                      file=sys.stderr)
+                entry["error"] = str(exc)
+            else:
+                entry["report"] = report.to_dict()
+                rows.append([point.describe(), report.completed,
+                             f"{report.qps_sustained:.2f}",
+                             f"{report.output_tokens_per_s:.0f}",
+                             f"{report.ttft_s.p50 * 1e3:.1f}",
+                             f"{report.tpot_s.p50 * 1e3:.2f}"])
+            entries.append(entry)
+        if rows:
+            print(render_table(
+                ["point", "done", "qps", "tok/s", "ttft p50 ms",
+                 "tpot p50 ms"], rows, title=title), file=sys.stderr)
+        payload = {"config": args.config, "base": base.to_dict(),
+                   "sweep": entries}
     text = render_json(payload)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
@@ -447,6 +510,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the JSON report here instead of stdout")
     _add_gpu_arg(p)
     p.set_defaults(fn=cmd_scale)
+
+    p = sub.add_parser(
+        "run", help="execute a deployment config file (YAML/JSON; "
+                    "single run or sweep grid)")
+    p.add_argument("config",
+                   help="path to the config file (see examples/configs)")
+    p.add_argument("--output", default=None,
+                   help="write the JSON report here instead of stdout")
+    p.set_defaults(fn=cmd_run)
     return parser
 
 

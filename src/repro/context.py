@@ -99,10 +99,31 @@ class ExecutionContext:
                engine: MoEEngine | str = "samoyeds",
                gpu: GPUSpec | str | None = None,
                **kwargs: object) -> "ExecutionContext":
-        """Build a context from registry names or concrete objects."""
+        """Build a context from registry names or concrete objects.
+
+        ``parallel`` additionally accepts the ``ep=4,tp=2`` string (or
+        mapping) syntax, and a ``link`` keyword — a
+        :class:`~repro.hw.interconnect.LinkSpec` or registry name —
+        derives a homogeneous cluster of ``gpu`` copies joined by that
+        link when the plan is non-trivial and no explicit ``cluster``
+        was given.  This is the one construction path shared by
+        :func:`repro.serve.simulate`, the CLI and the deployment API.
+        """
         config = get_model(model) if isinstance(model, str) else model
         spec = gpu if isinstance(gpu, GPUSpec) else (
             get_gpu(gpu) if gpu else DEFAULT_GPU)
+        if "parallel" in kwargs:
+            kwargs["parallel"] = ParallelPlan.from_any(
+                kwargs["parallel"])  # type: ignore[arg-type]
+        link = kwargs.pop("link", None)
+        if link is not None and kwargs.get("cluster") is None:
+            plan = kwargs.get("parallel", TRIVIAL_PLAN)
+            assert isinstance(plan, ParallelPlan)
+            if not plan.is_trivial:
+                from repro.hw.interconnect import get_link
+                link_spec = (get_link(link) if isinstance(link, str)
+                             else link)
+                kwargs["cluster"] = make_cluster(spec, plan, link_spec)
         return cls(config=config, engine=resolve_engine(engine),
                    spec=spec, **kwargs)  # type: ignore[arg-type]
 

@@ -170,6 +170,35 @@ class ParallelPlan:
         return {"ep": self.ep, "tp": self.tp, "dp": self.dp,
                 "num_devices": self.num_devices}
 
+    @classmethod
+    def from_any(cls, value: "ParallelPlan | str | dict | None"
+                 ) -> "ParallelPlan":
+        """Coerce any accepted plan syntax to a :class:`ParallelPlan`.
+
+        Accepts an existing plan, ``None`` (the identity plan), the
+        ``ep=4,tp=2`` string syntax, or a mapping with ``ep``/``tp``/
+        ``dp`` keys (the derived ``num_devices`` key of :meth:`to_dict`
+        payloads is tolerated and ignored).
+        """
+        if value is None:
+            return TRIVIAL_PLAN
+        if isinstance(value, ParallelPlan):
+            return value
+        if isinstance(value, str):
+            return parse_parallel(value)
+        if isinstance(value, dict):
+            degrees = {k: v for k, v in value.items()
+                       if k != "num_devices"}
+            unknown = set(degrees) - {"ep", "tp", "dp"}
+            if unknown:
+                raise ConfigError(
+                    f"unknown parallel keys {sorted(unknown)}; known "
+                    f"keys: ep, tp, dp")
+            return cls(**degrees)
+        raise ConfigError(
+            f"cannot build a ParallelPlan from {type(value).__name__}; "
+            f"expected a plan, 'ep=4,tp=2' string or mapping")
+
 
 #: The single-GPU identity plan (shared default instance).
 TRIVIAL_PLAN = ParallelPlan()

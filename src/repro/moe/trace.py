@@ -29,14 +29,26 @@ from repro.moe.router import RoutingPlan
 from repro.utils.rng import new_rng
 
 
+def validate_skew(skew: float) -> float:
+    """Check a Zipf routing-skew value; returns it for chaining.
+
+    Shared by the trace generators here and the workload specs in
+    :mod:`repro.api`, so every layer rejects the same invalid inputs.
+    """
+    if not isinstance(skew, (int, float)) or isinstance(skew, bool):
+        raise RoutingError(f"skew must be a number, got {skew!r}")
+    if skew < 0:
+        raise RoutingError("skew must be non-negative")
+    return float(skew)
+
+
 def zipf_expert_popularity(num_experts: int, skew: float) -> np.ndarray:
     """Normalised expert-popularity vector ~ rank^-skew.
 
     ``skew = 0`` is uniform; ``skew ~ 1`` mirrors measured MoE routing
     distributions.
     """
-    if skew < 0:
-        raise RoutingError("skew must be non-negative")
+    validate_skew(skew)
     ranks = np.arange(1, num_experts + 1, dtype=np.float64)
     weights = ranks ** (-skew)
     return weights / weights.sum()

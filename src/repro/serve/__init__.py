@@ -17,20 +17,29 @@ from repro.serve.request import (
     replay_trace,
 )
 from repro.serve.batcher import (
+    BATCHER_NAMES,
     ChunkedPrefillBatcher,
     ContinuousBatcher,
     PrefillChunk,
     StaticBatcher,
     StepPlan,
+    make_batcher,
 )
 from repro.serve.engine import ServingEngine, simulate
-from repro.serve.metrics import ServeReport, percentile, summarise
+from repro.serve.metrics import (
+    PercentileSummary,
+    ServeReport,
+    percentile,
+    summarise,
+)
 
 __all__ = [
     "Request",
     "poisson_trace",
     "bursty_trace",
     "replay_trace",
+    "BATCHER_NAMES",
+    "make_batcher",
     "ChunkedPrefillBatcher",
     "ContinuousBatcher",
     "PrefillChunk",
@@ -38,6 +47,7 @@ __all__ = [
     "StepPlan",
     "ServingEngine",
     "simulate",
+    "PercentileSummary",
     "ServeReport",
     "percentile",
     "summarise",

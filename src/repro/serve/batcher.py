@@ -260,3 +260,30 @@ class StaticBatcher(Batcher):
                 break
             prefill.append(admitted)
         return StepPlan(prefill=tuple(prefill))
+
+
+#: Policy names accepted by :func:`make_batcher` (and the ``batcher``
+#: field of :class:`repro.api.ServingSpec` / the ``--batcher`` flag).
+BATCHER_NAMES = ("continuous", "chunked", "static")
+
+
+def make_batcher(name: str, *, token_budget: int = 4096,
+                 batch_size: int = 8,
+                 max_running: int | None = None) -> Batcher:
+    """Build a batching policy from its registry name.
+
+    The single construction path shared by the CLI and the declarative
+    deployment API: ``token_budget``/``max_running`` configure the
+    budgeted policies, ``batch_size`` the static one; knobs that do not
+    apply to the chosen policy are ignored.
+    """
+    if name == "continuous":
+        return ContinuousBatcher(token_budget=token_budget,
+                                 max_running=max_running)
+    if name == "chunked":
+        return ChunkedPrefillBatcher(token_budget=token_budget,
+                                     max_running=max_running)
+    if name == "static":
+        return StaticBatcher(batch_size=batch_size)
+    known = ", ".join(BATCHER_NAMES)
+    raise ConfigError(f"unknown batcher {name!r}; known: {known}")

@@ -19,13 +19,11 @@ fixed RNG seed reproduces a report bit for bit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Sequence
 
 from repro.errors import ConfigError
 from repro.serve.request import Request
-
-PERCENTILES = (50.0, 90.0, 99.0)
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -44,11 +42,80 @@ def percentile(values: Sequence[float], q: float) -> float:
     return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
 
 
-def _summary(values: Sequence[float]) -> dict[str, float]:
-    out = {f"p{int(q)}": percentile(values, q) for q in PERCENTILES}
-    out["mean"] = sum(values) / len(values)
-    out["max"] = max(values)
-    return out
+@dataclass(frozen=True)
+class PercentileSummary:
+    """Typed p50/p90/p99/mean/max block of one metric.
+
+    Replaces the raw ``dict[str, float]`` blocks the report used to
+    carry.  ``to_dict()`` emits the exact legacy key order, and the
+    mapping protocol (``summary["p50"]``, ``dict(summary)``) keeps the
+    dict-shaped call sites working unchanged.
+    """
+
+    p50: float
+    p90: float
+    p99: float
+    mean: float
+    max: float
+
+    _KEYS = ("p50", "p90", "p99", "mean", "max")
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "PercentileSummary":
+        return cls(p50=percentile(values, 50.0),
+                   p90=percentile(values, 90.0),
+                   p99=percentile(values, 99.0),
+                   mean=sum(values) / len(values),
+                   max=float(max(values)))
+
+    @classmethod
+    def zero(cls) -> "PercentileSummary":
+        """The all-zero block of an empty report."""
+        return cls(p50=0.0, p90=0.0, p99=0.0, mean=0.0, max=0.0)
+
+    @classmethod
+    def from_dict(cls, payload: "dict[str, float]") -> "PercentileSummary":
+        unknown = set(payload) - set(cls._KEYS)
+        if unknown:
+            raise ConfigError(f"unknown percentile keys: {sorted(unknown)}")
+        missing = set(cls._KEYS) - set(payload)
+        if missing:
+            # Silent zero-fill would read a truncated payload as real
+            # zero latencies; a saved block always carries all five.
+            raise ConfigError(
+                f"missing percentile keys: {sorted(missing)}")
+        return cls(**{key: float(payload[key]) for key in cls._KEYS})
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON payload, byte-identical to the legacy dict blocks."""
+        return {key: getattr(self, key) for key in self._KEYS}
+
+    # -- mapping protocol (legacy call sites treat blocks as dicts) ----
+    def keys(self) -> tuple[str, ...]:
+        return self._KEYS
+
+    def values(self) -> tuple[float, ...]:
+        return tuple(getattr(self, key) for key in self._KEYS)
+
+    def items(self) -> tuple[tuple[str, float], ...]:
+        return tuple((key, getattr(self, key)) for key in self._KEYS)
+
+    def get(self, key: str, default: object = None) -> object:
+        return getattr(self, key) if key in self._KEYS else default
+
+    def __getitem__(self, key: str) -> float:
+        if key not in self._KEYS:
+            raise KeyError(key)
+        return float(getattr(self, key))
+
+    def __iter__(self):
+        return iter(self._KEYS)
+
+    def __len__(self) -> int:
+        return len(self._KEYS)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._KEYS
 
 
 @dataclass
@@ -102,16 +169,17 @@ class ServeReport:
     steps: int
     qps_sustained: float
     output_tokens_per_s: float
-    ttft_s: dict[str, float]
-    tpot_s: dict[str, float]
-    queueing_s: dict[str, float]
-    queue_depth: dict[str, float]
-    batch_tokens: dict[str, float]
+    ttft_s: PercentileSummary
+    tpot_s: PercentileSummary
+    queueing_s: PercentileSummary
+    queue_depth: PercentileSummary
+    batch_tokens: PercentileSummary
     max_concurrency: int
     peak_memory_bytes: float
     peak_reserved_bytes: float = 0.0
     preemptions: int = 0
-    block_utilisation: dict[str, float] = field(default_factory=dict)
+    block_utilisation: PercentileSummary = field(
+        default_factory=PercentileSummary.zero)
     cluster: dict[str, object] | None = None
 
     def to_dict(self) -> dict[str, object]:
@@ -133,29 +201,45 @@ class ServeReport:
             "steps": self.steps,
             "qps_sustained": self.qps_sustained,
             "output_tokens_per_s": self.output_tokens_per_s,
-            "ttft_s": dict(self.ttft_s),
-            "tpot_s": dict(self.tpot_s),
-            "queueing_s": dict(self.queueing_s),
-            "queue_depth": dict(self.queue_depth),
-            "batch_tokens": dict(self.batch_tokens),
+            "ttft_s": self.ttft_s.to_dict(),
+            "tpot_s": self.tpot_s.to_dict(),
+            "queueing_s": self.queueing_s.to_dict(),
+            "queue_depth": self.queue_depth.to_dict(),
+            "batch_tokens": self.batch_tokens.to_dict(),
             "max_concurrency": self.max_concurrency,
             "peak_memory_bytes": self.peak_memory_bytes,
             "peak_reserved_bytes": self.peak_reserved_bytes,
             "preemptions": self.preemptions,
-            "block_utilisation": dict(self.block_utilisation),
+            "block_utilisation": self.block_utilisation.to_dict(),
             **({"cluster": dict(self.cluster)}
                if self.cluster is not None else {}),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ServeReport":
+        """Rebuild a typed report from a saved ``to_dict()`` payload."""
+        data = dict(payload)
+        for key in ("ttft_s", "tpot_s", "queueing_s", "queue_depth",
+                    "batch_tokens", "block_utilisation"):
+            block = data.get(key)
+            if isinstance(block, dict):
+                data[key] = PercentileSummary.from_dict(block)
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown report keys: {sorted(unknown)}")
+        return cls(**data)  # type: ignore[arg-type]
 
     def summary_row(self) -> list[object]:
         """One table row for ``bench/report.render_table``."""
         return [self.engine, self.batcher, self.completed,
                 f"{self.qps_sustained:.2f}",
                 f"{self.output_tokens_per_s:.0f}",
-                f"{self.ttft_s['p50'] * 1e3:.1f}",
-                f"{self.ttft_s['p99'] * 1e3:.1f}",
-                f"{self.tpot_s['p50'] * 1e3:.2f}",
-                f"{self.queue_depth['max']:.0f}",
+                f"{self.ttft_s.p50 * 1e3:.1f}",
+                f"{self.ttft_s.p99 * 1e3:.1f}",
+                f"{self.tpot_s.p50 * 1e3:.2f}",
+                f"{self.queue_depth.max:.0f}",
                 self.max_concurrency,
                 self.preemptions]
 
@@ -205,33 +289,28 @@ class MetricsCollector:
         self.preemptions += 1
 
 
-def _zero_summary() -> dict[str, float]:
-    """The all-zero percentile block of an empty report."""
-    out = {f"p{int(q)}": 0.0 for q in PERCENTILES}
-    out["mean"] = 0.0
-    out["max"] = 0.0
-    return out
-
-
 def _sample_stats(samples: "Sequence[StepSample]") -> dict[str, object]:
     """Per-step aggregates shared by the full and zero-completion
     reports (zeroed when no step was ever observed)."""
     if not samples:
         return {
-            "queue_depth": _zero_summary(),
-            "batch_tokens": _zero_summary(),
+            "queue_depth": PercentileSummary.zero(),
+            "batch_tokens": PercentileSummary.zero(),
             "max_concurrency": 0,
             "peak_memory_bytes": 0.0,
             "peak_reserved_bytes": 0.0,
-            "block_utilisation": _zero_summary(),
+            "block_utilisation": PercentileSummary.zero(),
         }
     return {
-        "queue_depth": _summary([float(s.queue_depth) for s in samples]),
-        "batch_tokens": _summary([float(s.step_tokens) for s in samples]),
+        "queue_depth": PercentileSummary.from_values(
+            [float(s.queue_depth) for s in samples]),
+        "batch_tokens": PercentileSummary.from_values(
+            [float(s.step_tokens) for s in samples]),
         "max_concurrency": max(s.running for s in samples),
         "peak_memory_bytes": max(s.live_bytes for s in samples),
         "peak_reserved_bytes": max(s.reserved_bytes for s in samples),
-        "block_utilisation": _summary([s.pool_util for s in samples]),
+        "block_utilisation": PercentileSummary.from_values(
+            [s.pool_util for s in samples]),
     }
 
 
@@ -256,9 +335,9 @@ def _empty_report(collector: MetricsCollector, *, engine: str, model: str,
         steps=len(samples),
         qps_sustained=0.0,
         output_tokens_per_s=0.0,
-        ttft_s=_zero_summary(),
-        tpot_s=_zero_summary(),
-        queueing_s=_zero_summary(),
+        ttft_s=PercentileSummary.zero(),
+        tpot_s=PercentileSummary.zero(),
+        queueing_s=PercentileSummary.zero(),
         preemptions=collector.preemptions,
         cluster=cluster,
         **_sample_stats(samples),  # type: ignore[arg-type]
@@ -277,9 +356,9 @@ def summarise(collector: MetricsCollector, *, engine: str, model: str,
     done = [r for r in collector.records if r.completed]
     if cluster is not None and collector.samples:
         cluster = dict(cluster)
-        cluster["comm_fraction_per_step"] = _summary(
+        cluster["comm_fraction_per_step"] = PercentileSummary.from_values(
             [s.comm_s / s.step_s if s.step_s > 0 else 0.0
-             for s in collector.samples])
+             for s in collector.samples]).to_dict()
     if not done:
         return _empty_report(collector, engine=engine, model=model,
                              gpu=gpu, batcher=batcher,
@@ -302,9 +381,10 @@ def summarise(collector: MetricsCollector, *, engine: str, model: str,
         steps=len(collector.samples),
         qps_sustained=len(done) / duration,
         output_tokens_per_s=out_tokens / duration,
-        ttft_s=_summary([r.ttft_s for r in done]),
-        tpot_s=_summary([r.tpot_s for r in done]),
-        queueing_s=_summary([r.queueing_s for r in done]),
+        ttft_s=PercentileSummary.from_values([r.ttft_s for r in done]),
+        tpot_s=PercentileSummary.from_values([r.tpot_s for r in done]),
+        queueing_s=PercentileSummary.from_values(
+            [r.queueing_s for r in done]),
         preemptions=collector.preemptions,
         cluster=cluster,
         **_sample_stats(samples),  # type: ignore[arg-type]

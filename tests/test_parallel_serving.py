@@ -234,29 +234,89 @@ class TestHorizon:
 
 
 class TestSimulatePrebuiltContext:
-    """`simulate(ctx, ...)`: the documented behaviour that registry
-    arguments are ignored when a context is passed."""
+    """`simulate(ctx, ...)`: construction arguments that contradict a
+    prebuilt context raise (they used to be silently ignored);
+    redundant arguments agreeing with the context stay accepted."""
 
-    def test_engine_gpu_streams_flash_ignored(self):
+    def test_contradicting_arguments_raise(self):
         trace = _trace(8)
         ctx = ExecutionContext.create("mixtral-8x7b", "samoyeds",
                                       "rtx4070s", streams=1, flash=True)
-        base = simulate(ctx, trace=trace, seed=3, num_layers=4)
-        override = simulate(ctx, engine="transformers", gpu="a100",
-                            streams=7, flash=False, trace=trace, seed=3,
-                            num_layers=4)
-        assert override.to_dict() == base.to_dict()
-        assert override.engine == "samoyeds"
-        assert override.gpu == "rtx4070s"
+        with pytest.raises(ConfigError, match="prebuilt"):
+            simulate(ctx, engine="transformers", gpu="a100",
+                     streams=7, flash=False, trace=trace, seed=3,
+                     num_layers=4)
+        for override in ({"engine": "transformers"}, {"gpu": "a100"},
+                         {"streams": 7}, {"flash": False}):
+            with pytest.raises(ConfigError,
+                               match=next(iter(override))):
+                simulate(ctx, trace=trace, seed=3, num_layers=4,
+                         **override)
 
-    def test_parallel_and_link_ignored_with_context(self):
+    def test_parallel_raises_with_context(self):
+        trace = _trace(8)
+        ctx = ExecutionContext.create("mixtral-8x7b", "samoyeds")
+        with pytest.raises(ConfigError, match="parallel"):
+            simulate(ctx, trace=trace, seed=3, num_layers=4,
+                     parallel="ep=4", link="pcie4")
+
+    def test_link_inert_on_single_device_context(self):
+        # A trivial-plan context never prices a link, so passing one is
+        # harmless (the legacy ignored-argument behaviour).
         trace = _trace(8)
         ctx = ExecutionContext.create("mixtral-8x7b", "samoyeds")
         base = simulate(ctx, trace=trace, seed=3, num_layers=4)
-        override = simulate(ctx, trace=trace, seed=3, num_layers=4,
-                            parallel="ep=4", link="pcie4")
-        assert override.to_dict() == base.to_dict()
-        assert override.cluster is None
+        report = simulate(ctx, trace=trace, seed=3, num_layers=4,
+                          link="pcie4")
+        assert report.to_dict() == base.to_dict()
+
+    def test_link_conflict_on_device_grid_raises(self):
+        trace = _trace(8)
+        grid = ExecutionContext.create("mixtral-8x7b", "samoyeds",
+                                       parallel="ep=2", link="nvlink")
+        with pytest.raises(ConfigError, match="link"):
+            simulate(grid, trace=trace, seed=3, num_layers=4,
+                     link="pcie4")
+
+    def test_redundant_arguments_matching_context_accepted(self):
+        trace = _trace(8)
+        ctx = ExecutionContext.create("mixtral-8x7b", "megablocks",
+                                      "a100", streams=2, flash=False)
+        base = simulate(ctx, trace=trace, seed=3, num_layers=4)
+        redundant = simulate(ctx, engine="megablocks", gpu="a100",
+                             streams=2, flash=False, trace=trace,
+                             seed=3, num_layers=4)
+        assert redundant.to_dict() == base.to_dict()
+        assert redundant.engine == "megablocks"
+        assert redundant.gpu == "a100"
+
+    def test_equivalent_parallel_plan_accepted(self):
+        # ParallelPlan() is semantically the None default.
+        trace = _trace(8)
+        ctx = ExecutionContext.create("mixtral-8x7b", "samoyeds")
+        report = simulate(ctx, trace=trace, seed=3, num_layers=4,
+                          parallel=ParallelPlan())
+        assert report.cluster is None
+        grid = ExecutionContext.create("mixtral-8x7b", "samoyeds",
+                                       parallel="ep=2")
+        matching = simulate(grid, trace=trace, seed=3, num_layers=4,
+                            parallel="ep=2", link="nvlink")
+        assert matching.cluster["parallel"]["ep"] == 2
+
+    def test_default_valued_arguments_still_accepted(self):
+        # Explicitly passing the signature defaults is
+        # indistinguishable from not passing them; the context wins.
+        trace = _trace(8)
+        ctx = ExecutionContext.create("mixtral-8x7b", "megablocks",
+                                      "a100")
+        base = simulate(ctx, trace=trace, seed=3, num_layers=4)
+        explicit = simulate(ctx, engine="samoyeds", gpu="rtx4070s",
+                            streams=1, flash=True, parallel=None,
+                            link=None, trace=trace, seed=3,
+                            num_layers=4)
+        assert explicit.to_dict() == base.to_dict()
+        assert explicit.engine == "megablocks"
+        assert explicit.gpu == "a100"
 
     def test_context_carries_its_own_plan(self):
         trace = _trace(8)
@@ -274,10 +334,25 @@ class TestSimulatePrebuiltContext:
 
 
 class TestContextParallelValidation:
-    def test_non_plan_rejected(self):
+    def test_create_parses_parallel_strings(self):
+        ctx = ExecutionContext.create("mixtral-8x7b", "samoyeds",
+                                      parallel="ep=2")
+        assert ctx.parallel == ParallelPlan(ep=2)
+
+    def test_raw_constructor_rejects_strings(self):
+        ctx = ExecutionContext.create("mixtral-8x7b", "samoyeds")
         with pytest.raises(ConfigError):
-            ExecutionContext.create("mixtral-8x7b", "samoyeds",
-                                    parallel="ep=2")  # string not parsed
+            ExecutionContext(config=ctx.config, engine=ctx.engine,
+                             spec=ctx.spec, parallel="ep=2")
+
+    def test_create_link_derives_cluster(self):
+        ctx = ExecutionContext.create("mixtral-8x7b", "samoyeds",
+                                      parallel="ep=2", link="pcie4")
+        assert ctx.cluster is not None
+        assert ctx.cluster.link.name == "pcie4"
+        trivial = ExecutionContext.create("mixtral-8x7b", "samoyeds",
+                                          link="pcie4")
+        assert trivial.cluster is None    # link ignored on one device
 
     def test_undersized_cluster_rejected(self, spec):
         cluster = make_cluster(spec, ParallelPlan(ep=2))

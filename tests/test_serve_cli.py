@@ -180,3 +180,103 @@ class TestScaleCommand:
         payload = json.loads(out.read_text())
         assert payload["mode"] == "ep"
         assert capsys.readouterr().out == ""
+
+
+class TestEngineDedupe:
+    def test_alias_collision_runs_engine_once(self, capsys):
+        # vllm resolves to vllm-ds: listing both (or repeating one)
+        # must not run and report the same engine twice.
+        assert main(["serve", "--engines", "vllm,vllm-ds,samoyeds,vllm",
+                     "--requests", "6", "--qps", "4",
+                     "--prompt-tokens", "128", "--output-tokens", "4",
+                     "--layers", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [e["engine"] for e in payload["engines"]]
+        assert names == ["vllm-ds", "samoyeds"]   # order preserved
+
+
+class TestRunCommand:
+    CONFIG = """
+model: {name: mixtral-8x7b, engine: samoyeds, num_layers: 2}
+workload: {requests: 6, qps: 8.0, prompt_tokens: 128, output_tokens: 4}
+"""
+
+    def _write(self, tmp_path, text, name="cfg.yaml"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    def test_single_run_payload_is_the_report(self, tmp_path, capsys):
+        path = self._write(tmp_path, self.CONFIG)
+        assert main(["run", path]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["engine"] == "samoyeds"
+        assert payload["completed"] == 6
+        assert "ttft p50 ms" in captured.err      # table on stderr
+
+    def test_single_run_matches_legacy_simulate(self, tmp_path, capsys):
+        from repro.serve import poisson_trace, simulate
+        path = self._write(tmp_path, self.CONFIG)
+        assert main(["run", path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        from repro.utils.rng import DEFAULT_SEED
+        legacy = simulate(
+            "mixtral-8x7b", "samoyeds", "rtx4070s",
+            trace=poisson_trace(6, 8.0, prompt_tokens=128,
+                                output_tokens=4, seed=DEFAULT_SEED),
+            num_layers=2, seed=DEFAULT_SEED)
+        assert payload == json.loads(json.dumps(legacy.to_dict()))
+
+    def test_sweep_run_expands_grid(self, tmp_path, capsys):
+        path = self._write(tmp_path, self.CONFIG + """
+sweep:
+  hardware.parallel: [ep=1, ep=2]
+""")
+        assert main(["run", path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [e["overrides"] for e in payload["sweep"]] == [
+            {"hardware.parallel": "ep=1"},
+            {"hardware.parallel": "ep=2"}]
+        for entry in payload["sweep"]:
+            assert entry["report"]["completed"] == 6
+        assert payload["base"]["model"]["name"] == "mixtral-8x7b"
+
+    def test_infeasible_sweep_point_recorded_not_fatal(
+            self, tmp_path, capsys):
+        # mixtral-8x7b has 8 experts; ep=16 cannot place them.
+        path = self._write(tmp_path, self.CONFIG + """
+sweep:
+  hardware.parallel: [ep=1, ep=16]
+""")
+        assert main(["run", path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "report" in payload["sweep"][0]
+        assert "error" in payload["sweep"][1]
+
+    def test_bad_config_is_usage_error(self, tmp_path, capsys):
+        path = self._write(tmp_path, "serving: {page_size: 0}\n")
+        assert main(["run", path]) == 2
+        assert "serving.page_size" in capsys.readouterr().err
+
+    def test_missing_config_is_usage_error(self, capsys):
+        assert main(["run", "/nonexistent/cfg.yaml"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_output_file(self, tmp_path, capsys):
+        path = self._write(tmp_path, self.CONFIG)
+        out = tmp_path / "report.json"
+        assert main(["run", path, "--output", str(out)]) == 0
+        assert json.loads(out.read_text())["completed"] == 6
+        assert capsys.readouterr().out == ""
+
+    def test_json_config(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            json.dumps({"model": {"num_layers": 2},
+                        "workload": {"requests": 4, "qps": 8.0,
+                                     "prompt_tokens": 64,
+                                     "output_tokens": 4}}),
+            name="cfg.json")
+        assert main(["run", path]) == 0
+        assert json.loads(capsys.readouterr().out)["completed"] == 4

@@ -5,6 +5,7 @@ import pytest
 from repro.errors import ConfigError
 from repro.serve.metrics import (
     MetricsCollector,
+    PercentileSummary,
     RequestRecord,
     StepSample,
     percentile,
@@ -107,8 +108,10 @@ class TestSummarise:
         assert report.completed == 0
         assert report.qps_sustained == 0.0
         assert report.duration_s == 0.0
-        assert report.ttft_s == {"p50": 0.0, "p90": 0.0, "p99": 0.0,
-                                 "mean": 0.0, "max": 0.0}
+        assert report.ttft_s == PercentileSummary.zero()
+        assert report.ttft_s.to_dict() == {"p50": 0.0, "p90": 0.0,
+                                           "p99": 0.0, "mean": 0.0,
+                                           "max": 0.0}
         assert report.summary_row()          # renders without raising
         assert report.to_dict()["completed"] == 0
 
