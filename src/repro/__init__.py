@@ -18,6 +18,9 @@ Public surface (see README for a tour):
 * :mod:`repro.serve` - request-level continuous-batching serving simulator;
 * :mod:`repro.api` - declarative deployment specs (the canonical public
   surface: config-file driven runs, sweeps, typed reports);
+* :mod:`repro.registry` - the plugin registry behind engines, kernels,
+  GPUs, links and models (capability metadata, ``engine="auto"``
+  cost-driven dispatch, ``repro list`` discovery);
 * :mod:`repro.bench` - the harness that regenerates every paper figure.
 """
 
@@ -48,6 +51,7 @@ from repro.hw import (
     list_gpus,
     parse_parallel,
 )
+from repro.registry import Capabilities, Registry
 from repro.context import ExecutionContext
 from repro.api import (
     Deployment,
@@ -63,6 +67,8 @@ from repro.serve.metrics import PercentileSummary, ServeReport
 
 __all__ = [
     "ExecutionContext",
+    "Registry",
+    "Capabilities",
     "Deployment",
     "DeploymentSpec",
     "ModelSpec",

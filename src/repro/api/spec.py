@@ -30,14 +30,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Any, Mapping
 
-from repro.errors import ConfigError, RoutingError
-from repro.hw.interconnect import ParallelPlan, list_links
-from repro.hw.spec import list_gpus
+from repro.errors import ConfigError, ReproError, RoutingError
+from repro.hw.interconnect import LINK_REGISTRY, ParallelPlan
+from repro.hw.spec import GPU_REGISTRY
 from repro.moe.config import MODEL_REGISTRY
 from repro.moe.layers import ENGINES
 from repro.moe.trace import validate_skew
 from repro.serve.batcher import BATCHER_NAMES
 from repro.utils.rng import DEFAULT_SEED
+
+import repro.registry.selector  # noqa: F401  (registers engine "auto")
 
 #: Friendly engine aliases accepted anywhere an engine is named (specs
 #: and the ``serve --engines`` flag; the CLI re-exports this map).
@@ -52,6 +54,21 @@ PLACEMENT_POLICIES = ("balanced", "round_robin")
 
 def _fail(path: str, message: str) -> None:
     raise ConfigError(f"{path}: {message}")
+
+
+def _check_registered(path: str, registry, name: object) -> None:
+    """Validate ``name`` against a live registry at ``validate()`` time.
+
+    Misses re-raise the registry's own message (sorted known names plus
+    a did-you-mean suggestion) path-qualified, e.g. ``model.engine:
+    unknown engine 'vlm'; known engines: ... (did you mean
+    'vllm-ds'?)``.  Runs on construction, which covers every
+    ``sweep:``-expanded point before anything is built.
+    """
+    try:
+        registry.get(name)
+    except ReproError as exc:
+        _fail(path, str(exc))
 
 
 def _check_positive_int(path: str, value: object,
@@ -150,17 +167,11 @@ class ModelSpec(_SpecBase):
     flash: bool = True
 
     def __post_init__(self) -> None:
-        if self.name not in MODEL_REGISTRY:
-            _fail("model.name",
-                  f"unknown model {self.name!r}; known: "
-                  f"{', '.join(sorted(MODEL_REGISTRY))}")
+        _check_registered("model.name", MODEL_REGISTRY, self.name)
         if self.engine in ENGINE_ALIASES:     # normalise to canonical
             object.__setattr__(self, "engine",
                                ENGINE_ALIASES[self.engine])
-        if self.engine not in ENGINES:
-            known = ", ".join([*ENGINES, *ENGINE_ALIASES])
-            _fail("model.engine",
-                  f"unknown engine {self.engine!r}; known: {known}")
+        _check_registered("model.engine", ENGINES, self.engine)
         _check_positive_int("model.num_layers", self.num_layers,
                             optional=True)
         _check_bool("model.flash", self.flash)
@@ -187,14 +198,8 @@ class HardwareSpec(_SpecBase):
     streams: int = 1
 
     def __post_init__(self) -> None:
-        if self.gpu not in list_gpus():
-            _fail("hardware.gpu",
-                  f"unknown GPU {self.gpu!r}; known: "
-                  f"{', '.join(list_gpus())}")
-        if self.link not in list_links():
-            _fail("hardware.link",
-                  f"unknown link {self.link!r}; known: "
-                  f"{', '.join(list_links())}")
+        _check_registered("hardware.gpu", GPU_REGISTRY, self.gpu)
+        _check_registered("hardware.link", LINK_REGISTRY, self.link)
         if not isinstance(self.parallel, ParallelPlan):
             _fail("hardware.parallel",
                   "must be a ParallelPlan (or the 'ep=4,tp=2' syntax "

@@ -25,7 +25,7 @@ from repro.hw.interconnect import (
 )
 from repro.hw.spec import DEFAULT_GPU, GPUSpec, get_gpu
 from repro.moe.config import MoEModelConfig, get_model
-from repro.moe.layers import ENGINES, MoEEngine, SamoyedsEngine
+from repro.moe.layers import ENGINES, MoEEngine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.kernels.base import MatmulKernel
@@ -34,12 +34,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 
 
 def resolve_engine(engine: "MoEEngine | str") -> MoEEngine:
-    """Registry lookup accepting an instance or a registry name."""
+    """Registry lookup accepting an instance or a registry name.
+
+    A miss raises :class:`ConfigError` listing every registered engine
+    (including ``"auto"``, the cost-driven dispatcher) plus a
+    did-you-mean suggestion — the uniform registry message.
+    """
     if isinstance(engine, str):
-        try:
-            return ENGINES[engine]
-        except KeyError:
-            raise ConfigError(f"unknown engine {engine!r}") from None
+        return ENGINES.get(engine)
     return engine
 
 
@@ -181,17 +183,32 @@ class ExecutionContext:
     # ------------------------------------------------------------------
     @property
     def effective_tile_n(self) -> int:
-        """Expert-segment padding tile (engine-derived unless pinned)."""
+        """Expert-segment padding tile (engine-derived unless pinned).
+
+        Engines that choose their own tile (Samoyeds' §4.2 64/128 rule,
+        the ``auto`` dispatcher delegating to its samoyeds candidate)
+        expose ``tile_rows``; everything else pads to 64.
+        """
         if self.tile_n is not None:
             return self.tile_n
-        if isinstance(self.engine, SamoyedsEngine):
-            return self.engine.tile_rows(self.config)
+        tile_rows = getattr(self.engine, "tile_rows", None)
+        if tile_rows is not None:
+            return tile_rows(self.config)
         return 64
 
     def segment_kernel(self) -> "MatmulKernel":
-        """Kernel pricing the per-expert SSMM segments."""
+        """Kernel pricing the per-expert SSMM segments.
+
+        An explicit ``kernel`` wins; otherwise the engine's own segment
+        kernel (for ``engine="auto"`` that is the cost-model winner's
+        kernel for this config/device); the Samoyeds SSMM remains the
+        final default, matching the paper's measurement setup.
+        """
         if self.kernel is not None:
             return self.kernel
+        kernel = self.engine.segment_kernel(self.config, self.spec)
+        if kernel is not None:
+            return kernel
         from repro.kernels.ssmm_samoyeds import SamoyedsKernel
         return SamoyedsKernel()
 

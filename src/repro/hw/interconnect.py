@@ -32,6 +32,7 @@ from dataclasses import dataclass, replace
 
 from repro.errors import ConfigError, HardwareModelError
 from repro.hw.spec import GPUSpec
+from repro.registry.core import Registry
 
 #: Bytes per activation element moved by the boundary collectives
 #: (fp16 hidden states) — the single source for every comm-byte count.
@@ -77,33 +78,28 @@ class LinkSpec:
         return replace(self, **kwargs)  # type: ignore[arg-type]
 
 
-_LINKS: dict[str, LinkSpec] = {}
+#: The interconnect registry (NVLink/PCIe/IB plus caller additions).
+LINK_REGISTRY: Registry[LinkSpec] = Registry("link",
+                                             error_cls=HardwareModelError)
+
+# Legacy private alias kept for external callers of the old module API.
+_LINKS = LINK_REGISTRY
 
 
 def register_link(link: LinkSpec, replace: bool = False) -> LinkSpec:
     """Add ``link`` to the registry; collisions raise unless replacing
     (mirrors :func:`repro.hw.spec.register_gpu`)."""
-    if link.name in _LINKS and not replace:
-        raise HardwareModelError(
-            f"link {link.name!r} already registered; pass replace=True "
-            f"to overwrite")
-    _LINKS[link.name] = link
-    return link
+    return LINK_REGISTRY.register(link.name, link, replace=replace)
 
 
 def get_link(name: str) -> LinkSpec:
-    """Look up a registered link by name."""
-    try:
-        return _LINKS[name]
-    except KeyError:
-        known = ", ".join(sorted(_LINKS))
-        raise HardwareModelError(
-            f"unknown link {name!r}; known links: {known}") from None
+    """Look up a registered link by name (did-you-mean on a miss)."""
+    return LINK_REGISTRY.get(name)
 
 
 def list_links() -> list[str]:
     """Names of all registered links, sorted."""
-    return sorted(_LINKS)
+    return LINK_REGISTRY.names()
 
 
 #: Public datasheet-order numbers; as with the GPU registry, ratios

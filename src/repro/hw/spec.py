@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.errors import HardwareModelError
+from repro.registry.core import Registry
 from repro.utils.units import GIB, KIB, MIB
 
 
@@ -108,7 +109,12 @@ class GPUSpec:
         return replace(self, **kwargs)  # type: ignore[arg-type]
 
 
-_REGISTRY: dict[str, GPUSpec] = {}
+#: The GPU registry (Table 1 devices plus whatever callers register).
+GPU_REGISTRY: Registry[GPUSpec] = Registry("GPU",
+                                           error_cls=HardwareModelError)
+
+# Legacy private alias kept for external callers of the old module API.
+_REGISTRY = GPU_REGISTRY
 
 
 def register_gpu(spec: GPUSpec, replace: bool = False) -> GPUSpec:
@@ -118,32 +124,21 @@ def register_gpu(spec: GPUSpec, replace: bool = False) -> GPUSpec:
     re-registration cannot silently shadow a paper device; pass
     ``replace=True`` to overwrite deliberately.
     """
-    if spec.name in _REGISTRY and not replace:
-        raise HardwareModelError(
-            f"GPU {spec.name!r} is already registered; pass replace=True "
-            f"to overwrite it")
-    _REGISTRY[spec.name] = spec
-    return spec
+    return GPU_REGISTRY.register(spec.name, spec, replace=replace)
 
 
 def get_gpu(name: str) -> GPUSpec:
     """Look up a registered GPU by name.
 
-    Raises :class:`HardwareModelError` with the list of known devices when
-    the name is unknown.
+    Raises :class:`HardwareModelError` listing the known devices (and a
+    did-you-mean suggestion) when the name is unknown.
     """
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise HardwareModelError(
-            f"unknown GPU {name!r}; known devices: {known}"
-        ) from None
+    return GPU_REGISTRY.get(name)
 
 
 def list_gpus() -> list[str]:
     """Names of all registered devices, sorted."""
-    return sorted(_REGISTRY)
+    return GPU_REGISTRY.names()
 
 
 # ----------------------------------------------------------------------

@@ -43,15 +43,27 @@ from repro.kernels.packing import PackingPlan
 from repro.kernels.layout import LayoutPlan, layout_speedup
 from repro.kernels.fusion import FusionPlan, fused_weighted_accumulate
 from repro.kernels.autotuner import TuningTable, adapted_config, tune
+from repro.registry.core import Registry
 
 #: Registry in the paper's legend order (Figures 12 and 13).
-KERNELS: dict[str, MatmulKernel] = {
-    "cublas": DENSE_GEMM,
-    "sputnik": SPUTNIK,
-    "cusparselt": CUSPARSELT,
-    "venom": VENOM,
-    "samoyeds": SAMOYEDS_KERNEL,
-}
+KERNELS: Registry[MatmulKernel] = Registry("kernel")
+
+
+def register_kernel(kernel: MatmulKernel,
+                    replace: bool = False) -> MatmulKernel:
+    """Add ``kernel`` to the registry under its ``name``.
+
+    Collisions raise :class:`~repro.errors.ConfigError` unless
+    ``replace=True`` (mirrors :func:`repro.hw.spec.register_gpu`).
+    Third-party kernels subclass :class:`~repro.kernels.base.MatmulKernel`,
+    declare ``capabilities()`` and register here.
+    """
+    return KERNELS.register(kernel.name, kernel, replace=replace)
+
+
+for _kernel in (DENSE_GEMM, SPUTNIK, CUSPARSELT, VENOM, SAMOYEDS_KERNEL):
+    register_kernel(_kernel)
+del _kernel
 
 __all__ = [
     "GemmProblem",
@@ -93,4 +105,5 @@ __all__ = [
     "adapted_config",
     "tune",
     "KERNELS",
+    "register_kernel",
 ]

@@ -15,15 +15,15 @@ code:
 
 from __future__ import annotations
 
-import json
 import math
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-from repro.errors import TilingError
+from repro.errors import ConfigError, TilingError
 from repro.hw.spec import GPUSpec
 from repro.kernels.base import GemmProblem, MatmulKernel
 from repro.kernels.tiling import TilingConfig, autotune, candidate_configs
+from repro.utils.persist import load_versioned_json, save_versioned_json
 
 
 def problem_bucket(m: int, k: int, n: int) -> tuple[int, int, int]:
@@ -108,8 +108,15 @@ class TuningTable:
     """Persistent (device, bucket) -> config map.
 
     Serialises to JSON so a deployment can ship pre-tuned tables, the
-    way vendor libraries ship per-architecture kernel selections.
+    way vendor libraries ship per-architecture kernel selections.  The
+    payload carries a schema ``version`` field; :meth:`load` raises
+    :class:`~repro.errors.ConfigError` naming the path on unreadable,
+    corrupt or schema-drifted files instead of surfacing raw
+    ``json``/``KeyError`` tracebacks (version-less legacy payloads —
+    a bare entries mapping — are still accepted).
     """
+
+    VERSION = 1
 
     entries: dict[str, dict] = field(default_factory=dict)
 
@@ -125,15 +132,28 @@ class TuningTable:
     def lookup(self, device: str, m: int, k: int, n: int
                ) -> TilingConfig | None:
         raw = self.entries.get(self._key(device, problem_bucket(m, k, n)))
-        return TilingConfig(**raw) if raw else None
+        if raw is None:
+            return None
+        try:
+            return TilingConfig(**raw)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"tuning-table entry for {self._key(device, problem_bucket(m, k, n))} "
+                f"does not describe a TilingConfig: {exc}") from None
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.entries, indent=2,
-                                         sort_keys=True))
+        save_versioned_json(path, "tuning table", self.VERSION,
+                            self.entries)
 
     @classmethod
     def load(cls, path: str | Path) -> "TuningTable":
-        return cls(entries=json.loads(Path(path).read_text()))
+        """Load a saved table; failures raise :class:`ConfigError`.
+
+        Version-less legacy payloads (a bare entries mapping, the
+        pre-schema format) are still accepted.
+        """
+        return cls(entries=load_versioned_json(
+            path, "tuning table", cls.VERSION, allow_legacy=True))
 
     def __len__(self) -> int:
         return len(self.entries)

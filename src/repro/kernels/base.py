@@ -30,6 +30,7 @@ from repro.hw.simulator import CostBreakdown, KernelLaunch, simulate_kernel
 from repro.hw.spec import GPUSpec
 from repro.hw.tensorcore import MmaShape
 from repro.kernels.tiling import TilingConfig, heuristic_config
+from repro.registry.capabilities import Capabilities
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,28 @@ class MatmulKernel(abc.ABC):
     LAUNCH_OVERHEAD_S: float = 4.0e-6
     #: Fraction of A elements stored/computed (1.0 = dense).
     A_DENSITY: float = 1.0
+    #: A-operand storage format (capability metadata).
+    SPARSITY_FORMAT: str = "dense"
+    #: Whether the implementation uses tensor cores at all (Sputnik's
+    #: SIMT path sets this False; its ``mma_shape`` is only a tiling
+    #: granularity, not an issued instruction).
+    USES_TENSOR_CORES: bool = True
+
+    # ------------------------------------------------------------------
+    # Capability metadata
+    # ------------------------------------------------------------------
+    def capabilities(self) -> Capabilities:
+        """Declared capability metadata, derived from the kernel's own
+        class attributes and MMA shape; kernels with richer constraints
+        override.  Queried by ``repro list kernels`` and the auto
+        dispatcher's device gate."""
+        shape = self.mma_shape()
+        return Capabilities(
+            sparsity_format=self.SPARSITY_FORMAT,
+            a_density=self.A_DENSITY,
+            mma_shapes=(shape.name,) if self.USES_TENSOR_CORES else (),
+            needs_sparse_tensor_cores=(self.USES_TENSOR_CORES
+                                       and shape.sparse))
 
     # ------------------------------------------------------------------
     # Per-kernel hooks

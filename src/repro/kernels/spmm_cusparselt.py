@@ -40,6 +40,7 @@ class CuSparseLtKernel(MatmulKernel):
     #: Library dispatch + algorithm selection overhead per call.
     LAUNCH_OVERHEAD_S = 9.0e-6
     A_DENSITY = 0.5
+    SPARSITY_FORMAT = "2:4"
     #: Internal shape quantum: dimensions are padded to multiples of this.
     PAD_QUANTUM = 256
 

@@ -40,6 +40,8 @@ class NmSparseKernel(MatmulKernel):
     EFFICIENCY = 0.75
     PIPELINE_STAGES = 2
     A_DENSITY = 0.5
+    SPARSITY_FORMAT = "n:m"
+    USES_TENSOR_CORES = False
 
     def mma_shape(self) -> MmaShape:
         # SIMT kernel; the dense shape only drives tile legality.

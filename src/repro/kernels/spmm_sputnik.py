@@ -43,6 +43,8 @@ class SputnikKernel(MatmulKernel):
     #: Sputnik predates cp.async; fetch and compute serialise.
     PIPELINE_STAGES = 1
     A_DENSITY = 0.25          # evaluated at the paper's 75% sparsity
+    SPARSITY_FORMAT = "csr"
+    USES_TENSOR_CORES = False
     #: Extra SIMT cycles per non-zero for index decode and address math.
     DECODE_CYCLES_PER_NNZ = 2.0
     #: Random gathers defeat stripe reuse; rows arrive uncoalesced.

@@ -39,6 +39,7 @@ class VenomKernel(MatmulKernel):
     #: Sustains ~72% of the sparse roofline on its native platform.
     EFFICIENCY = 0.72
     PIPELINE_STAGES = 2
+    SPARSITY_FORMAT = "v:n:m"
     #: Serial overhead on the mma stream at the native platform: every B
     #: fragment is assembled through an index indirection (scalar address
     #: math + non-ldmatrix loads) that cannot be hoisted off the critical

@@ -147,6 +147,7 @@ class SamoyedsKernel(MatmulKernel):
     #: native platform (RTX 4070 Super).
     EFFICIENCY = 0.88
     PIPELINE_STAGES = 3
+    SPARSITY_FORMAT = "samoyeds"
 
     def __init__(self,
                  pattern: SamoyedsPattern = SamoyedsPattern(1, 2, 32),

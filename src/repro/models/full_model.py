@@ -18,8 +18,8 @@ from repro.models.decoder import decoder_cost
 from repro.moe.config import MoEModelConfig
 from repro.moe.memory_model import (
     DTYPE,
-    FIXED_OVERHEAD,
     FRAGMENTATION,
+    fixed_overhead_bytes,
     kv_cache_bytes,
     moe_workspace_bytes,
     weight_bytes,
@@ -72,7 +72,7 @@ def full_model_estimate(config: MoEModelConfig, engine: str,
     weights = weight_bytes(config, engine) * config.num_layers
     kv = kv_cache_bytes(config, seq) * batch * config.num_layers
     workspace = moe_workspace_bytes(config, seq, engine) * batch
-    need = (weights + kv + workspace + FIXED_OVERHEAD[engine])
+    need = (weights + kv + workspace + fixed_overhead_bytes(config, engine))
     fits = need <= spec.dram_capacity * (1.0 - FRAGMENTATION)
 
     return ModelEstimate(
@@ -169,7 +169,7 @@ def cluster_model_estimate(config: MoEModelConfig, engine: str,
           / parallel.tp)
     workspace = (moe_workspace_bytes(config, seq, engine) * batch
                  / (parallel.ep * parallel.tp))
-    need = weights + kv + workspace + FIXED_OVERHEAD[engine]
+    need = weights + kv + workspace + fixed_overhead_bytes(config, engine)
     budget = min(g.dram_capacity for g in cluster.gpus) \
         * (1.0 - FRAGMENTATION)
     return ClusterEstimate(
@@ -203,7 +203,7 @@ def min_devices_for_model(config: MoEModelConfig, engine: str,
     kv = kv_cache_bytes(config, seq) * batch * config.num_layers
     workspace = moe_workspace_bytes(config, seq, engine) * batch
     budget = spec.dram_capacity * (1.0 - FRAGMENTATION) \
-        - FIXED_OVERHEAD[engine]
+        - fixed_overhead_bytes(config, engine)
     for devices in range(1, 129):
         if (weights + kv) / devices + workspace <= budget:
             return devices

@@ -124,7 +124,9 @@ def end_to_end_speedups(context: ExecutionContext | MoEModelConfig,
             f"baseline {baseline} infeasible for {config.name}: {exc}"
         ) from exc
     out: dict[str, float | None] = {}
-    for name in ENGINES:
+    for name, eng in ENGINES.items():
+        if getattr(eng, "is_meta", False):
+            continue     # auto is a dispatcher, not a contestant
         if name == baseline:
             out[name] = 1.0
             continue

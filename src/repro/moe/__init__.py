@@ -13,6 +13,7 @@ from repro.moe.config import (
     MoEModelConfig,
     get_model,
     list_models,
+    register_model,
 )
 from repro.moe.router import RoutingPlan, TopKRouter
 from repro.moe.activations import get_activation, list_activations
@@ -25,6 +26,7 @@ from repro.moe.layers import (
     SamoyedsEngine,
     TransformersEngine,
     VllmEngine,
+    register_engine,
 )
 from repro.moe.memory_model import (
     BlockAllocator,
@@ -45,12 +47,20 @@ from repro.moe.scheduler import (
     schedule_expert_parallel,
 )
 
+# Registers the "auto" engine (the cost-driven dispatcher) into
+# ENGINES; a plain module import tolerates the partial-initialisation
+# window when repro.registry.selector is what triggered this package.
+# (AutoEngine itself is exported by repro.registry, lazily.)
+import repro.registry.selector  # noqa: E402,F401  (registration side effect)
+
 __all__ = [
     "CFG_GROUPS",
     "MODEL_REGISTRY",
     "MoEModelConfig",
     "get_model",
     "list_models",
+    "register_model",
+    "register_engine",
     "RoutingPlan",
     "TopKRouter",
     "get_activation",

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.registry.core import Registry
 
 
 @dataclass(frozen=True)
@@ -118,11 +119,22 @@ MIXTRAL_8X22B = MoEModelConfig(
     intermediate_size=16384, top_k=2, num_heads=48, num_layers=56,
     config_group="CFG#5")
 
-MODEL_REGISTRY: dict[str, MoEModelConfig] = {
-    cfg.name: cfg for cfg in (
-        QWEN2_MOE, DEEPSEEK_MOE, MINICPM_MOE, OPENMOE_34B,
-        MIXTRAL_8X7B, MIXTRAL_8X22B)
-}
+#: The model registry, in Table 2 order (registration order).
+MODEL_REGISTRY: Registry[MoEModelConfig] = Registry("model")
+
+
+def register_model(config: MoEModelConfig,
+                   replace: bool = False) -> MoEModelConfig:
+    """Add ``config`` to the registry; collisions raise
+    :class:`ConfigError` unless ``replace=True`` (mirrors
+    :func:`repro.hw.spec.register_gpu`)."""
+    return MODEL_REGISTRY.register(config.name, config, replace=replace)
+
+
+for _cfg in (QWEN2_MOE, DEEPSEEK_MOE, MINICPM_MOE, OPENMOE_34B,
+             MIXTRAL_8X7B, MIXTRAL_8X22B):
+    register_model(_cfg)
+del _cfg
 
 CFG_GROUPS: dict[str, list[str]] = {
     "CFG#1": ["qwen2-moe", "deepseek-moe"],
@@ -134,15 +146,10 @@ CFG_GROUPS: dict[str, list[str]] = {
 
 
 def get_model(name: str) -> MoEModelConfig:
-    """Look up a Table-2 model by name."""
-    try:
-        return MODEL_REGISTRY[name]
-    except KeyError:
-        raise ConfigError(
-            f"unknown model {name!r}; known: {sorted(MODEL_REGISTRY)}"
-        ) from None
+    """Look up a registered model by name (did-you-mean on a miss)."""
+    return MODEL_REGISTRY.get(name)
 
 
 def list_models() -> list[str]:
-    """Registry keys in Table 2 order."""
+    """Registry keys in Table 2 (registration) order."""
     return list(MODEL_REGISTRY)

@@ -51,6 +51,8 @@ from repro.moe.config import MoEModelConfig
 from repro.moe.dataflow import permutation_seconds, unpermutation_seconds
 from repro.moe.experts import ExpertWeights
 from repro.moe.router import RoutingPlan
+from repro.registry.capabilities import Capabilities
+from repro.registry.core import Registry
 
 
 def _expert_forward(x_e: np.ndarray, expert: ExpertWeights,
@@ -87,12 +89,31 @@ class MoEEngine(abc.ABC):
     """Base class for the five engines."""
 
     name: str = "engine"
+    #: Meta engines (the ``auto`` dispatcher) are registered like any
+    #: other but are not contestants: figure sweeps skip them.
+    is_meta: bool = False
 
     # ------------------------------------------------------------------
     # Capability checks (the NS markers of Figures 14-16)
     # ------------------------------------------------------------------
     def supports(self, config: MoEModelConfig) -> bool:
         return True
+
+    def capabilities(self) -> Capabilities:
+        """Declared capability metadata (queried by ``engine="auto"``
+        and ``repro list engines``).  The default describes the dense
+        baselines; sparse engines override."""
+        return Capabilities(sparsity_format="dense", a_density=1.0,
+                            mma_shapes=("mma.m16n8k16",),
+                            needs_sparse_tensor_cores=False)
+
+    def segment_kernel(self, config: MoEModelConfig,
+                       spec: GPUSpec) -> "MatmulKernel | None":
+        """Kernel pricing this engine's expert segments in the
+        stream/placement schedulers; ``None`` keeps the caller's
+        default (the Samoyeds SSMM, the paper's measurement setup)."""
+        del config, spec
+        return getattr(self, "_kernel", None)
 
     def check_supported(self, config: MoEModelConfig) -> None:
         if not self.supports(config):
@@ -343,6 +364,13 @@ class SamoyedsEngine(MoEEngine):
         """n-tile: narrowed for many-expert models (§4.2, §6.2)."""
         return 64 if config.num_experts > 16 else 128
 
+    def capabilities(self) -> Capabilities:
+        return Capabilities(
+            sparsity_format="samoyeds",
+            a_density=self.pattern.density,
+            mma_shapes=(self._kernel.mma_shape().name,),
+            needs_sparse_tensor_cores=True)
+
     # Functional: identical math to the reference but on pruned weights
     # and through the SEL view (no permutation copies).
     def _run_routed(self, x, plan, experts, activation, out):
@@ -435,11 +463,26 @@ class SamoyedsEngine(MoEEngine):
                                "padded_tokens": float(padded)})
 
 
-#: Engine registry in the paper's legend order.
-ENGINES: dict[str, MoEEngine] = {
-    "transformers": TransformersEngine(),
-    "megablocks": MegaBlocksEngine(),
-    "vllm-ds": VllmEngine(),
-    "pit": PitEngine(),
-    "samoyeds": SamoyedsEngine(),
-}
+#: Engine registry in the paper's legend order.  A sixth entry,
+#: ``"auto"`` (the cost-driven dispatcher), is registered by
+#: :mod:`repro.registry.selector`, which :mod:`repro.moe` imports.
+ENGINES: Registry[MoEEngine] = Registry("engine")
+
+
+def register_engine(engine: MoEEngine,
+                    replace: bool = False) -> MoEEngine:
+    """Add ``engine`` to the registry under its ``name``.
+
+    Collisions raise :class:`ConfigError` unless ``replace=True``
+    (mirrors :func:`repro.hw.spec.register_gpu`).  This is the whole
+    third-party surface: subclass :class:`MoEEngine`, declare
+    :meth:`~MoEEngine.capabilities`, register — every front door
+    (``ExecutionContext``, specs, CLI, ``engine="auto"``) then sees it.
+    """
+    return ENGINES.register(engine.name, engine, replace=replace)
+
+
+for _engine in (TransformersEngine(), MegaBlocksEngine(), VllmEngine(),
+                PitEngine(), SamoyedsEngine()):
+    register_engine(_engine)
+del _engine

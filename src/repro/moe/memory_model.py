@@ -54,6 +54,51 @@ WEIGHT_FACTOR = {
 FRAGMENTATION = 0.05
 DTYPE = 2                   # fp16
 
+#: The cost-driven dispatcher (``engine="auto"``) has no fixed layout:
+#: its footprint is charged as the *elementwise maximum* over the fixed
+#: engines that support the model, so admission control can never
+#: over-admit regardless of which engine the selector picks per step.
+AUTO_ENGINE_NAME = "auto"
+
+
+def _auto_candidates(config: MoEModelConfig) -> list[str]:
+    """Fixed engines whose footprint bounds an ``auto`` deployment.
+
+    Asks the live engine registry which contestants *support* the
+    model (the same ``supports()`` gate the selector uses, so this can
+    never drift from the dispatch logic).  A selectable engine with no
+    memory-model entries (a third-party registration that skipped
+    ``WEIGHT_FACTOR`` / ``FIXED_OVERHEAD``) fails loudly here: the
+    selector could dispatch to it, so silently bounding over the known
+    engines only would break the never-over-admit guarantee.
+    """
+    from repro.moe.layers import ENGINES    # lazy: no import cycle
+    out = []
+    for name, engine in ENGINES.items():
+        if getattr(engine, "is_meta", False):
+            continue
+        if not engine.supports(config):
+            continue                        # NS pair: never selectable
+        if name not in WEIGHT_FACTOR or name not in FIXED_OVERHEAD:
+            raise ConfigError(
+                f"engine {name!r} is selectable by engine='auto' but "
+                f"has no memory-model entries; add it to "
+                f"repro.moe.memory_model WEIGHT_FACTOR/FIXED_OVERHEAD "
+                f"(see DESIGN.md 'Plugin registry & auto dispatch')")
+        out.append(name)
+    return out or list(WEIGHT_FACTOR)
+
+
+def fixed_overhead_bytes(config: MoEModelConfig, engine: str) -> float:
+    """Framework fixed overhead; the candidate maximum for ``auto``."""
+    if engine == AUTO_ENGINE_NAME:
+        return max(float(FIXED_OVERHEAD[name])
+                   for name in _auto_candidates(config))
+    try:
+        return float(FIXED_OVERHEAD[engine])
+    except KeyError:
+        raise ConfigError(f"unknown engine {engine!r}") from None
+
 
 @dataclass(frozen=True)
 class MemoryFootprint:
@@ -103,6 +148,9 @@ def weight_bytes(config: MoEModelConfig, engine: str,
     expert-parallel group (every token visits them) but still shard
     over ``tp``.
     """
+    if engine == AUTO_ENGINE_NAME:
+        return max(weight_bytes(config, name, parallel, device_experts)
+                   for name in _auto_candidates(config))
     attn = config.attention_param_count * DTYPE
     moe_dense = config.moe_param_count * DTYPE
     try:
@@ -153,6 +201,9 @@ def _einsum_dispatch_bytes(config: MoEModelConfig, seq_len: int) -> float:
 def moe_workspace_bytes(config: MoEModelConfig, seq_len: int,
                         engine: str) -> float:
     """Per-sequence MoE data-flow workspace for ``engine``."""
+    if engine == AUTO_ENGINE_NAME:
+        return max(moe_workspace_bytes(config, seq_len, name)
+                   for name in _auto_candidates(config))
     tokens = seq_len
     routed = tokens * config.top_k
     h, inter = config.hidden_size, config.intermediate_size
@@ -205,7 +256,7 @@ def footprint(config: MoEModelConfig, engine: str, seq_len: int,
         engine=engine,
         weights_bytes=weight_bytes(config, engine, parallel,
                                    device_experts),
-        fixed_bytes=float(FIXED_OVERHEAD[engine]),
+        fixed_bytes=fixed_overhead_bytes(config, engine),
         per_batch_bytes=per_sequence_bytes(config, engine, seq_len,
                                            parallel),
         capacity_bytes=float(spec.dram_capacity),
@@ -277,7 +328,7 @@ class MemoryLedger:
         self.static_bytes = (weight_bytes(self.config, self.engine,
                                           self.parallel,
                                           self.device_experts)
-                             + float(FIXED_OVERHEAD[self.engine]))
+                             + fixed_overhead_bytes(self.config, self.engine))
         self.budget_bytes = (float(self.spec.dram_capacity)
                              * (1.0 - FRAGMENTATION))
         self._context: dict[int, int] = {}

@@ -1,0 +1,33 @@
+"""Plugin registry: typed registries, capability metadata, auto dispatch.
+
+Three layers, lowest first:
+
+* :class:`Registry` (:mod:`repro.registry.core`) — the generic ordered
+  name -> object table behind all five system registries (engines,
+  kernels, GPUs, links, models): decorator + functional registration,
+  collision detection with ``replace=True``, did-you-mean misses;
+* :class:`Capabilities` (:mod:`repro.registry.capabilities`) — the
+  per-entry metadata every kernel and engine declares (sparsity format,
+  A-density, MMA shapes, dtype, sparse-tensor-core requirement);
+* :class:`AutoEngine` / :class:`SelectionTable`
+  (:mod:`repro.registry.selector`) — the ``engine="auto"`` cost-driven
+  dispatcher built on the two above.
+
+``AutoEngine`` and ``SelectionTable`` are re-exported lazily: the
+selector imports :mod:`repro.moe.layers`, so eagerly importing it here
+would cycle for the modules that need :class:`Registry` *before* the
+engine registry exists.
+"""
+
+from repro.registry.capabilities import Capabilities
+from repro.registry.core import Registry
+
+__all__ = ["Registry", "Capabilities", "AutoEngine", "SelectionTable",
+           "AUTO_ENGINE"]
+
+
+def __getattr__(name: str):
+    if name in ("AutoEngine", "SelectionTable", "AUTO_ENGINE"):
+        from repro.registry import selector
+        return getattr(selector, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

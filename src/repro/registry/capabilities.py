@@ -1,0 +1,80 @@
+"""Capability metadata declared by every kernel and engine.
+
+The paper's headline evaluation (Figures 12-13) shows that no single
+kernel wins everywhere: which contestant is fastest — or even *legal* —
+depends on the sparsity format it consumes, the density it was built
+for, the MMA shapes it issues and whether the device has a sparse ALU
+(Table 1).  :class:`Capabilities` turns those facts into queryable data
+so dispatch (``engine="auto"``, ``repro list``) can reason about
+compatibility instead of hard-coding names.
+
+Every :class:`~repro.kernels.base.MatmulKernel` and
+:class:`~repro.moe.layers.MoEEngine` answers ``capabilities()`` with one
+of these records; third-party registrations declare theirs the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.hw.spec import GPUSpec
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What one kernel/engine consumes and requires.
+
+    Attributes:
+        sparsity_format: A-operand storage format (``"dense"``,
+            ``"2:4"``, ``"v:n:m"``, ``"csr"``, ``"n:m"``,
+            ``"samoyeds"``).
+        a_density: Fraction of A elements stored/computed (1.0 dense).
+        mma_shapes: Instruction shapes the implementation issues, by
+            :attr:`~repro.hw.tensorcore.MmaShape.name` (empty for pure
+            SIMT kernels).
+        dtype: Operand element type.
+        needs_sparse_tensor_cores: True when the implementation issues
+            ``mma.sp`` and is therefore unavailable on devices without
+            a sparse ALU (Table 1's mandatory requirement).
+    """
+
+    sparsity_format: str = "dense"
+    a_density: float = 1.0
+    mma_shapes: tuple[str, ...] = ()
+    dtype: str = "fp16"
+    needs_sparse_tensor_cores: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.a_density <= 1.0:
+            raise ValueError(
+                f"a_density must be in (0, 1], got {self.a_density}")
+
+    def supports_device(self, spec: "GPUSpec") -> bool:
+        """Can this implementation run on ``spec`` at all?
+
+        The one hard architectural gate is the sparse ALU: ``mma.sp``
+        users are unavailable where Table 1 says there is none (the
+        paper's W7900 row).  Everything else — async copy, collective
+        load/store — degrades performance, not legality, and is already
+        priced by the simulator.
+        """
+        return not self.needs_sparse_tensor_cores or spec.has_sparse_alu
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON payload for ``repro list`` and serve reports."""
+        return {
+            "sparsity_format": self.sparsity_format,
+            "a_density": self.a_density,
+            "mma_shapes": list(self.mma_shapes),
+            "dtype": self.dtype,
+            "needs_sparse_tensor_cores": self.needs_sparse_tensor_cores,
+        }
+
+    def describe(self) -> str:
+        """One-line summary (the ``repro list`` table cell)."""
+        shapes = ",".join(self.mma_shapes) if self.mma_shapes else "simt"
+        sptc = "sptc" if self.needs_sparse_tensor_cores else "-"
+        return (f"{self.sparsity_format} d={self.a_density:g} "
+                f"{self.dtype} {shapes} {sptc}")

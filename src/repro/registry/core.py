@@ -1,0 +1,150 @@
+"""Generic name -> object registry with uniform error semantics.
+
+Before this module the reproduction carried five ad-hoc registries
+(``KERNELS`` and ``ENGINES`` module dicts, ``hw/spec``'s GPU table,
+``hw/interconnect``'s link table, ``moe/config``'s model table) with
+three different collision behaviours and two different miss messages.
+:class:`Registry` gives them one contract:
+
+* **registration** — functional (``reg.register(name, obj)``) or as a
+  decorator (``@reg.register("name")``); a name collision raises the
+  registry's error class unless ``replace=True`` is passed, so a typo'd
+  re-registration can never silently shadow a paper entry;
+* **lookup** — ``get`` (and ``[]``) raise the registry's error class
+  with the sorted known-name list and a did-you-mean suggestion, so a
+  config typo is a one-glance fix instead of a bare ``KeyError``;
+* **iteration** — the mapping protocol (``in``, ``len``, ``items`` …)
+  preserves *registration order*, which is the paper's legend order for
+  kernels and engines; ``names()`` is always sorted for messages.
+
+Third-party code extends the system by registering into the public
+registries (see DESIGN.md "Plugin registry & auto dispatch") — no repro
+internals need editing.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Callable, Generic, Iterator, TypeVar
+
+from repro.errors import ConfigError, ReproError
+
+T = TypeVar("T")
+
+#: Sentinel distinguishing "decorator form" from registering ``None``.
+_MISSING = object()
+
+
+class Registry(Generic[T]):
+    """An ordered name -> object table with helpful failure modes.
+
+    Attributes:
+        kind: Human label used in messages (``"engine"``, ``"GPU"`` …).
+        error_cls: :class:`~repro.errors.ReproError` subclass raised on
+            misses and collisions (domains keep their historical error
+            types: hardware registries raise ``HardwareModelError``,
+            the rest ``ConfigError``).
+    """
+
+    def __init__(self, kind: str,
+                 error_cls: "type[ReproError]" = ConfigError) -> None:
+        self.kind = kind
+        self.error_cls = error_cls
+        self._entries: dict[str, T] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, obj: "T | object" = _MISSING, *,
+                 replace: bool = False) -> "T | Callable[[T], T]":
+        """Add ``obj`` under ``name``; returns ``obj``.
+
+        With ``obj`` omitted, returns a decorator registering the
+        decorated object *as-is*.  The system registries store
+        **instances** (their consumers call ``capabilities()`` /
+        ``cost()`` on the values), so register an instance —
+        ``register_kernel(MyKernel())`` — or decorate a factory whose
+        *result* you register; decorating a class stores the class
+        object itself, which those consumers cannot use::
+
+            @CONFIG_HOOKS.register("mine")      # value-style registry
+            def my_hook(spec): ...
+
+        A duplicate ``name`` raises ``error_cls`` unless
+        ``replace=True`` (deliberate overwrite, e.g. tests swapping a
+        stub in).
+        """
+        if obj is _MISSING:
+            def decorator(target: T) -> T:
+                self.register(name, target, replace=replace)
+                return target
+            return decorator
+        if name in self._entries and not replace:
+            raise self.error_cls(
+                f"{self.kind} {name!r} is already registered; pass "
+                f"replace=True to overwrite it")
+        self._entries[name] = obj  # type: ignore[assignment]
+        return obj  # type: ignore[return-value]
+
+    def unregister(self, name: str) -> T:
+        """Remove and return the entry (tests restoring a clean slate)."""
+        if name not in self._entries:
+            raise self.error_cls(self.missing_message(name))
+        return self._entries.pop(name)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> T:
+        """Entry registered under ``name``.
+
+        A miss raises ``error_cls`` listing every valid name (sorted)
+        plus a closest-match suggestion — the uniform message the
+        registry satellite tests pin for all five registries.
+        """
+        try:
+            return self._entries[name]
+        except (KeyError, TypeError):
+            raise self.error_cls(self.missing_message(name)) from None
+
+    def missing_message(self, name: object) -> str:
+        """The unknown-name message (shared with path-qualified specs)."""
+        known = ", ".join(self.names()) or "<none registered>"
+        message = (f"unknown {self.kind} {name!r}; known "
+                   f"{self.kind}s: {known}")
+        close = difflib.get_close_matches(str(name), self._entries, n=1)
+        if close:
+            message += f" (did you mean {close[0]!r}?)"
+        return message
+
+    def names(self) -> list[str]:
+        """All registered names, sorted (message / CLI order)."""
+        return sorted(self._entries)
+
+    # ------------------------------------------------------------------
+    # Mapping protocol (registration order, the paper's legend order)
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> T:
+        return self.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> "tuple[str, ...]":
+        return tuple(self._entries)
+
+    def values(self) -> "tuple[T, ...]":
+        return tuple(self._entries.values())
+
+    def items(self) -> "tuple[tuple[str, T], ...]":
+        return tuple(self._entries.items())
+
+    def __repr__(self) -> str:
+        return (f"Registry({self.kind!r}, "
+                f"entries=[{', '.join(self._entries)}])")

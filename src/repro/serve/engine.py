@@ -61,6 +61,7 @@ from repro.moe.scheduler import (
     segment_seconds_from_loads,
 )
 from repro.moe.trace import zipf_expert_popularity
+from repro.registry.selector import AutoEngine
 from repro.serve.batcher import (
     ActiveRequest,
     Batcher,
@@ -143,6 +144,9 @@ class ServingEngine:
         self._step_comm_s = 0.0
         self._comm_s_total = 0.0
         self._busy_s_total = 0.0
+        # engine="auto": per-phase counts of which fixed engine the
+        # cost-driven selector dispatched each step to.
+        self._auto_counts: dict[str, dict[str, int]] = {}
 
     # ------------------------------------------------------------------
     # Step pricing
@@ -171,6 +175,12 @@ class ServingEngine:
                                           batch=len(plan.decode),
                                           flash=self.ctx.flash).total_s
         tokens = plan.total_tokens
+        if isinstance(self.ctx.engine, AutoEngine) and tokens > 0:
+            phase = ("prefill" if (plan.prefill or plan.chunks)
+                     else "decode")
+            winner = self.ctx.engine.select(cfg, tokens, spec).name
+            counts = self._auto_counts.setdefault(phase, {})
+            counts[winner] = counts.get(winner, 0) + 1
         if not self._distributed:
             self._step_comm_s = 0.0
             layer = attn + self._moe_seconds(tokens) \
@@ -335,6 +345,7 @@ class ServingEngine:
         self._step_comm_s = 0.0
         self._comm_s_total = 0.0
         self._busy_s_total = 0.0
+        self._auto_counts = {}
         ledger = self._make_ledger()
         arrivals = deque(sorted(trace, key=lambda r: r.arrival_s))
         records = {req.rid: RequestRecord(req) for req in trace}
@@ -448,7 +459,24 @@ class ServingEngine:
                          model=self.ctx.config.name,
                          gpu=self.ctx.spec.name, batcher=self.batcher.name,
                          num_requests=len(trace),
-                         cluster=self._cluster_report(ledger))
+                         cluster=self._cluster_report(ledger),
+                         auto=self._auto_report())
+
+    def _auto_report(self) -> dict[str, object] | None:
+        """Auto-dispatch report section (``None`` for fixed engines).
+
+        Names the engine the cost-driven selector dispatched each
+        serving phase to — the most frequent winner per phase under
+        ``selected``, full per-step counts under ``steps``.
+        """
+        if not isinstance(self.ctx.engine, AutoEngine):
+            return None
+        selected = {
+            phase: max(counts.items(), key=lambda kv: (kv[1], kv[0]))[0]
+            for phase, counts in self._auto_counts.items()}
+        return {"selected": selected,
+                "steps": {phase: dict(counts)
+                          for phase, counts in self._auto_counts.items()}}
 
     def _cluster_report(self, ledger: "MemoryLedger | DeviceLedgers"
                         ) -> dict[str, object] | None:

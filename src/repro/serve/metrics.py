@@ -181,6 +181,9 @@ class ServeReport:
     block_utilisation: PercentileSummary = field(
         default_factory=PercentileSummary.zero)
     cluster: dict[str, object] | None = None
+    #: Auto-dispatch section (``engine="auto"`` runs only): which fixed
+    #: engine the cost-driven selector picked per serving phase.
+    auto: dict[str, object] | None = None
 
     def to_dict(self) -> dict[str, object]:
         """JSON-ready payload (plain types only, stable key order).
@@ -213,6 +216,8 @@ class ServeReport:
             "block_utilisation": self.block_utilisation.to_dict(),
             **({"cluster": dict(self.cluster)}
                if self.cluster is not None else {}),
+            **({"auto": dict(self.auto)}
+               if self.auto is not None else {}),
         }
 
     @classmethod
@@ -316,7 +321,8 @@ def _sample_stats(samples: "Sequence[StepSample]") -> dict[str, object]:
 
 def _empty_report(collector: MetricsCollector, *, engine: str, model: str,
                   gpu: str, batcher: str, num_requests: int,
-                  cluster: dict[str, object] | None) -> ServeReport:
+                  cluster: dict[str, object] | None,
+                  auto: dict[str, object] | None) -> ServeReport:
     """Well-formed report for a run where nothing completed.
 
     A short horizon (or a trace cut off mid-flight) can finish zero
@@ -340,18 +346,21 @@ def _empty_report(collector: MetricsCollector, *, engine: str, model: str,
         queueing_s=PercentileSummary.zero(),
         preemptions=collector.preemptions,
         cluster=cluster,
+        auto=auto,
         **_sample_stats(samples),  # type: ignore[arg-type]
     )
 
 
 def summarise(collector: MetricsCollector, *, engine: str, model: str,
               gpu: str, batcher: str, num_requests: int,
-              cluster: dict[str, object] | None = None) -> ServeReport:
+              cluster: dict[str, object] | None = None,
+              auto: dict[str, object] | None = None) -> ServeReport:
     """Fold a run's samples and records into a :class:`ServeReport`.
 
     Zero completed requests yield a well-formed empty report (all
-    percentile blocks zeroed) rather than an error; ``cluster`` is the
-    optional multi-device section attached verbatim.
+    percentile blocks zeroed) rather than an error; ``cluster`` (the
+    multi-device section) and ``auto`` (the auto-dispatch section) are
+    attached verbatim when present.
     """
     done = [r for r in collector.records if r.completed]
     if cluster is not None and collector.samples:
@@ -362,7 +371,8 @@ def summarise(collector: MetricsCollector, *, engine: str, model: str,
     if not done:
         return _empty_report(collector, engine=engine, model=model,
                              gpu=gpu, batcher=batcher,
-                             num_requests=num_requests, cluster=cluster)
+                             num_requests=num_requests, cluster=cluster,
+                             auto=auto)
     samples = collector.samples
     if not samples:
         raise ConfigError("completed requests but no observed steps")
@@ -387,5 +397,6 @@ def summarise(collector: MetricsCollector, *, engine: str, model: str,
             [r.queueing_s for r in done]),
         preemptions=collector.preemptions,
         cluster=cluster,
+        auto=auto,
         **_sample_stats(samples),  # type: ignore[arg-type]
     )

@@ -1,0 +1,64 @@
+"""Versioned JSON persistence shared by the dispatch-table artifacts.
+
+:class:`~repro.kernels.autotuner.TuningTable` and
+:class:`~repro.registry.selector.SelectionTable` both ship as JSON
+files a deployment carries between runs, and both need the same
+failure semantics: a schema ``version`` field, and
+:class:`~repro.errors.ConfigError` naming the path on unreadable,
+corrupt, version-drifted or malformed payloads — never a raw
+``json.JSONDecodeError``/``KeyError`` traceback.  This module is that
+contract, written once.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ConfigError
+
+
+def save_versioned_json(path: "str | Path", kind: str, version: int,
+                        entries: dict) -> None:
+    """Write ``{"version": ..., "entries": ...}`` (sorted, indented)."""
+    payload = {"version": version, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_versioned_json(path: "str | Path", kind: str, version: int, *,
+                        allow_legacy: bool = False,
+                        entry_ok: "Callable[[object], bool] | None" = None
+                        ) -> dict:
+    """Load and validate a versioned payload, returning its entries.
+
+    ``allow_legacy`` accepts pre-version files (a bare entries
+    mapping); ``entry_ok`` additionally validates each entry value.
+    Every failure raises :class:`ConfigError` as ``"{kind} {path}:
+    reason"``.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"{kind} {path}: unreadable ({exc})") from None
+    if not isinstance(payload, dict):
+        raise ConfigError(
+            f"{kind} {path}: expected a JSON object, got "
+            f"{type(payload).__name__}")
+    if "version" in payload:
+        if payload["version"] != version:
+            raise ConfigError(
+                f"{kind} {path}: schema version {payload['version']!r} "
+                f"!= supported {version}")
+        entries = payload.get("entries")
+    elif allow_legacy:
+        entries = payload                   # legacy: bare entries map
+    else:
+        raise ConfigError(
+            f"{kind} {path}: missing schema version (expected a "
+            f"{{'version': {version}, 'entries': ...}} payload)")
+    ok = entry_ok or (lambda value: isinstance(value, dict))
+    if not isinstance(entries, dict) or not all(
+            ok(value) for value in entries.values()):
+        raise ConfigError(f"{kind} {path}: malformed entries")
+    return entries

@@ -106,3 +106,94 @@ class TestTuningTable:
         loaded = TuningTable.load(path)
         assert loaded.lookup("rtx4070s", 1024, 1024, 1024) == \
             DEFAULT_TILING
+
+
+class TestTuningTableSchema:
+    """Satellite: versioned persistence with ConfigError failure modes
+    (raw json.JSONDecodeError/KeyError must never surface)."""
+
+    def test_saved_payload_carries_version(self, tmp_path):
+        import json
+        table = TuningTable()
+        table.record("rtx4070s", 1024, 1024, 1024, DEFAULT_TILING)
+        path = tmp_path / "table.json"
+        table.save(path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == TuningTable.VERSION
+        assert "entries" in payload
+
+    def test_corrupt_json_raises_config_error_naming_path(self, tmp_path):
+        from repro.errors import ConfigError
+        path = tmp_path / "corrupt.json"
+        path.write_text("{oops")
+        with pytest.raises(ConfigError, match="corrupt.json"):
+            TuningTable.load(path)
+
+    def test_missing_file_raises_config_error(self, tmp_path):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError, match="nowhere.json"):
+            TuningTable.load(tmp_path / "nowhere.json")
+
+    def test_version_drift_rejected(self, tmp_path):
+        import json
+        from repro.errors import ConfigError
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(ConfigError, match="version"):
+            TuningTable.load(path)
+
+    def test_legacy_bare_entries_payload_accepted(self, tmp_path):
+        """Pre-version files (a bare entries mapping) keep loading."""
+        import json
+        from dataclasses import asdict
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(
+            {"rtx4070s:1024x1024x1024": asdict(DEFAULT_TILING)}))
+        loaded = TuningTable.load(path)
+        assert loaded.lookup("rtx4070s", 1024, 1024, 1024) == \
+            DEFAULT_TILING
+
+    def test_malformed_entries_rejected(self, tmp_path):
+        import json
+        from repro.errors import ConfigError
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 1,
+                                    "entries": {"k": "not-a-config"}}))
+        with pytest.raises(ConfigError, match="malformed"):
+            TuningTable.load(path)
+
+    def test_schema_drifted_entry_raises_config_error(self, tmp_path):
+        """A field-renamed entry fails at lookup with ConfigError, not
+        the raw TypeError dataclass construction gives."""
+        import json
+        from repro.errors import ConfigError
+        path = tmp_path / "drift.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "entries": {"rtx4070s:1024x1024x1024": {"mb_old": 64}}}))
+        loaded = TuningTable.load(path)
+        with pytest.raises(ConfigError, match="TilingConfig"):
+            loaded.lookup("rtx4070s", 1024, 1024, 1024)
+
+    def test_property_roundtrip_random_tables(self, tmp_path, rng):
+        """Seeded-random property test: record/save/load round-trips
+        exactly for arbitrary device/problem/config combinations."""
+        from dataclasses import replace
+        devices = ("rtx4070s", "a100", "h100", "mi300")
+        for case in range(20):
+            table = TuningTable()
+            recorded = []
+            for _ in range(int(rng.integers(1, 10))):
+                device = str(rng.choice(devices))
+                m, k, n = (int(2 ** rng.integers(8, 15))
+                           for _ in range(3))
+                cfg = replace(DEFAULT_TILING,
+                              stages=int(rng.integers(1, 6)))
+                table.record(device, m, k, n, cfg)
+                recorded.append((device, m, k, n, cfg))
+            path = tmp_path / f"table-{case}.json"
+            table.save(path)
+            loaded = TuningTable.load(path)
+            assert loaded.entries == table.entries
+            for device, m, k, n, cfg in recorded:
+                assert loaded.lookup(device, m, k, n) is not None

@@ -58,3 +58,48 @@ class TestCommands:
     def test_experiments_single(self, capsys):
         assert main(["experiments", "fig11"]) == 0
         assert "Figure 11b" in capsys.readouterr().out
+
+
+class TestListCommand:
+    """``repro list {engines,kernels,gpus,links,models}``."""
+
+    def _list(self, argv, capsys):
+        from repro.__main__ import main as repro_main
+        code = repro_main(["list", *argv])
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_list_engines_includes_auto_and_capabilities(self, capsys):
+        code, out, _ = self._list(["engines"], capsys)
+        assert code == 0
+        for name in ("transformers", "megablocks", "vllm-ds", "pit",
+                     "samoyeds", "auto"):
+            assert name in out
+        assert "sptc" in out and "d=0.25" in out
+
+    def test_list_each_kind(self, capsys):
+        expectations = {
+            "kernels": ("cublas", "sputnik", "cusparselt", "venom",
+                        "samoyeds"),
+            "gpus": ("rtx4070s", "a100", "w7900"),
+            "links": ("nvlink", "pcie4", "ib"),
+            "models": ("mixtral-8x7b", "openmoe-34b", "CFG#1"),
+        }
+        for kind, names in expectations.items():
+            code, out, _ = self._list([kind], capsys)
+            assert code == 0, kind
+            for name in names:
+                assert name in out, (kind, name)
+
+    def test_list_all_kinds_by_default(self, capsys):
+        code, out, _ = self._list([], capsys)
+        assert code == 0
+        for header in ("engines (", "kernels (", "gpus (", "links (",
+                       "models ("):
+            assert header in out
+
+    def test_unknown_kind_rejected_with_known_list(self, capsys):
+        code, _, err = self._list(["widgets"], capsys)
+        assert code == 2
+        assert "unknown registry 'widgets'" in err
+        assert "engines, kernels, gpus, links, models" in err

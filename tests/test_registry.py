@@ -1,0 +1,267 @@
+"""The generic Registry[T] and the five system registries behind it."""
+
+import pytest
+
+from repro.errors import ConfigError, HardwareModelError, ReproError
+from repro.hw.interconnect import (
+    LINK_REGISTRY,
+    LinkSpec,
+    get_link,
+    register_link,
+)
+from repro.hw.spec import GPU_REGISTRY, get_gpu, register_gpu
+from repro.hw.spec import RTX_4070_SUPER
+from repro.kernels import KERNELS, register_kernel
+from repro.kernels.gemm_dense import DenseGemmKernel
+from repro.moe.config import (
+    MIXTRAL_8X7B,
+    MODEL_REGISTRY,
+    get_model,
+    register_model,
+)
+from repro.moe.layers import ENGINES, TransformersEngine, register_engine
+from repro.context import resolve_engine
+from repro.registry import Registry
+
+
+class TestRegistryCore:
+    def test_functional_registration_and_get(self):
+        reg: Registry[int] = Registry("thing")
+        reg.register("one", 1)
+        assert reg.get("one") == 1
+        assert reg["one"] == 1
+        assert "one" in reg and len(reg) == 1
+
+    def test_decorator_registration(self):
+        reg: Registry[type] = Registry("widget")
+
+        @reg.register("mine")
+        class Widget:
+            pass
+
+        assert reg.get("mine") is Widget
+
+    def test_collision_raises_and_replace_overwrites(self):
+        reg: Registry[int] = Registry("thing")
+        reg.register("x", 1)
+        with pytest.raises(ConfigError, match="already registered"):
+            reg.register("x", 2)
+        assert reg.get("x") == 1            # original survived
+        reg.register("x", 2, replace=True)
+        assert reg.get("x") == 2
+
+    def test_miss_lists_sorted_names_and_suggests(self):
+        reg: Registry[int] = Registry("engine")
+        reg.register("zeta", 0)
+        reg.register("alpha", 1)
+        with pytest.raises(ConfigError) as err:
+            reg.get("alpah")
+        message = str(err.value)
+        assert "unknown engine 'alpah'" in message
+        assert "alpha, zeta" in message          # sorted, not insertion
+        assert "did you mean 'alpha'?" in message
+
+    def test_custom_error_class(self):
+        reg: Registry[int] = Registry("GPU", error_cls=HardwareModelError)
+        with pytest.raises(HardwareModelError):
+            reg.get("nope")
+
+    def test_iteration_preserves_registration_order(self):
+        reg: Registry[int] = Registry("thing")
+        for index, name in enumerate(("c", "a", "b")):
+            reg.register(name, index)
+        assert list(reg) == ["c", "a", "b"]
+        assert reg.keys() == ("c", "a", "b")
+        assert reg.names() == ["a", "b", "c"]
+        assert [v for _, v in reg.items()] == [0, 1, 2]
+
+    def test_unregister(self):
+        reg: Registry[int] = Registry("thing")
+        reg.register("x", 1)
+        assert reg.unregister("x") == 1
+        assert "x" not in reg
+        with pytest.raises(ConfigError):
+            reg.unregister("x")
+
+
+# ----------------------------------------------------------------------
+# One contract over all five system registries (collision satellite)
+# ----------------------------------------------------------------------
+
+def _dummy_gpu():
+    return RTX_4070_SUPER.with_overrides(name="dup-test-gpu")
+
+
+def _dummy_link():
+    return LinkSpec(name="dup-test-link", latency_s=1e-6, bandwidth=1e9)
+
+
+def _dummy_engine():
+    engine = TransformersEngine()
+    engine.name = "dup-test-engine"
+    return engine
+
+
+def _dummy_kernel():
+    kernel = DenseGemmKernel()
+    kernel.name = "dup-test-kernel"
+    return kernel
+
+
+def _dummy_model():
+    from dataclasses import replace
+    return replace(MIXTRAL_8X7B, name="dup-test-model")
+
+
+FIVE_REGISTRIES = [
+    pytest.param(GPU_REGISTRY, register_gpu, _dummy_gpu, id="gpu"),
+    pytest.param(LINK_REGISTRY, register_link, _dummy_link, id="link"),
+    pytest.param(ENGINES, register_engine, _dummy_engine, id="engine"),
+    pytest.param(KERNELS, register_kernel, _dummy_kernel, id="kernel"),
+    pytest.param(MODEL_REGISTRY, register_model, _dummy_model,
+                 id="model"),
+]
+
+
+class TestFiveRegistries:
+    @pytest.mark.parametrize("registry, register, make", FIVE_REGISTRIES)
+    def test_duplicate_registration_collides(self, registry, register,
+                                             make):
+        """Every registry raises on silent overwrite and accepts
+        replace=True — the register_gpu contract, uniformly."""
+        first, second = make(), make()
+        name = first.name
+        try:
+            assert register(first) is first
+            with pytest.raises(registry.error_cls,
+                               match="already registered"):
+                register(second)
+            assert registry.get(name) is first
+            assert register(second, replace=True) is second
+            assert registry.get(name) is second
+        finally:
+            if name in registry:
+                registry.unregister(name)
+
+    @pytest.mark.parametrize("registry, register, make", FIVE_REGISTRIES)
+    def test_collisions_raise_repro_errors(self, registry, register,
+                                           make):
+        assert issubclass(registry.error_cls, ReproError)
+
+
+# ----------------------------------------------------------------------
+# Miss-message regression tests (satellite: every registry miss lists
+# the sorted known-name set)
+# ----------------------------------------------------------------------
+
+class TestMissMessages:
+    def test_engine_miss_lists_names(self):
+        with pytest.raises(ConfigError) as err:
+            resolve_engine("vlm")
+        message = str(err.value)
+        assert "unknown engine 'vlm'" in message
+        for name in ("auto", "megablocks", "pit", "samoyeds",
+                     "transformers", "vllm-ds"):
+            assert name in message
+        assert "did you mean 'vllm-ds'?" in message
+
+    def test_kernel_miss_lists_names(self):
+        with pytest.raises(ConfigError) as err:
+            KERNELS.get("samoyed")
+        message = str(err.value)
+        assert "unknown kernel 'samoyed'" in message
+        for name in ("cublas", "cusparselt", "samoyeds", "sputnik",
+                     "venom"):
+            assert name in message
+        assert "did you mean 'samoyeds'?" in message
+
+    def test_gpu_miss_lists_names(self):
+        with pytest.raises(HardwareModelError) as err:
+            get_gpu("rtx4070")
+        message = str(err.value)
+        assert "unknown GPU 'rtx4070'" in message
+        for name in ("a100", "h100", "rtx4070s", "w7900"):
+            assert name in message
+        assert "did you mean" in message
+
+    def test_link_miss_lists_names(self):
+        with pytest.raises(HardwareModelError) as err:
+            get_link("nvlnk")
+        message = str(err.value)
+        assert "unknown link 'nvlnk'" in message
+        for name in ("ib", "nvlink", "pcie4"):
+            assert name in message
+        assert "did you mean 'nvlink'?" in message
+
+    def test_model_miss_lists_names(self):
+        with pytest.raises(ConfigError) as err:
+            get_model("mixtral-7x8b")
+        message = str(err.value)
+        assert "unknown model 'mixtral-7x8b'" in message
+        for name in ("deepseek-moe", "mixtral-8x7b", "qwen2-moe"):
+            assert name in message
+        assert "did you mean" in message
+
+    def test_names_sorted_in_message(self):
+        """The known-name list is sorted regardless of registration
+        order (links register nvlink, pcie4, ib)."""
+        with pytest.raises(HardwareModelError) as err:
+            get_link("bogus")
+        message = str(err.value)
+        assert message.index("ib") < message.index("nvlink") \
+            < message.index("pcie4")
+
+
+# ----------------------------------------------------------------------
+# Path-qualified spec validation against the registries (satellite)
+# ----------------------------------------------------------------------
+
+class TestSpecRegistryValidation:
+    def test_model_engine_typo_fails_at_validate_time(self):
+        from repro.api import DeploymentSpec
+        with pytest.raises(ConfigError) as err:
+            DeploymentSpec.from_dict({"model": {"engine": "vlm"}})
+        message = str(err.value)
+        assert message.startswith("model.engine: unknown engine 'vlm'")
+        assert "vllm-ds" in message and "did you mean" in message
+
+    def test_model_name_typo_path_qualified(self):
+        from repro.api import DeploymentSpec
+        with pytest.raises(ConfigError, match=r"model\.name: unknown "
+                                              r"model 'mixtral'"):
+            DeploymentSpec.from_dict({"model": {"name": "mixtral"}})
+
+    def test_hardware_gpu_and_link_path_qualified(self):
+        from repro.api import DeploymentSpec
+        with pytest.raises(ConfigError, match=r"hardware\.gpu: unknown "
+                                              r"GPU 'rtx4070'"):
+            DeploymentSpec.from_dict({"hardware": {"gpu": "rtx4070"}})
+        with pytest.raises(ConfigError, match=r"hardware\.link: unknown "
+                                              r"link 'nvlnk'"):
+            DeploymentSpec.from_dict({"hardware": {"link": "nvlnk"}})
+
+    def test_sweep_expansion_catches_engine_typo(self):
+        """A typo inside a sweep axis fails while expanding the grid,
+        before anything serves."""
+        from repro.api import DeploymentSpec, expand_sweep
+        base = DeploymentSpec.from_dict({})
+        with pytest.raises(ConfigError, match="model.engine"):
+            expand_sweep(base, {"model.engine": ["samoyeds", "vlm"]})
+
+    def test_auto_engine_accepted(self):
+        from repro.api import DeploymentSpec
+        spec = DeploymentSpec.from_dict({"model": {"engine": "auto"}})
+        assert spec.model.engine == "auto"
+
+    def test_third_party_engine_visible_to_specs(self):
+        """Registering an engine makes it a valid spec value — the
+        ~10-line third-party flow of DESIGN.md."""
+        from repro.api import DeploymentSpec
+        engine = _dummy_engine()
+        register_engine(engine)
+        try:
+            spec = DeploymentSpec.from_dict(
+                {"model": {"engine": "dup-test-engine"}})
+            assert spec.model.engine == "dup-test-engine"
+        finally:
+            ENGINES.unregister("dup-test-engine")
