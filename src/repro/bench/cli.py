@@ -13,7 +13,12 @@ Subcommands:
 * ``scale --devices 1,2,4,8`` — strong/weak scaling sweep over device
   counts (QPS, TTFT/TPOT and communication fraction per point);
 * ``run config.yaml`` — execute a declarative deployment config file
-  (single run or ``sweep:`` grid; see :mod:`repro.api`).
+  (single run or ``sweep:`` grid; see :mod:`repro.api`);
+* ``sim [--quick] [--check baseline.json]`` — benchmark the simulator
+  itself: replay a synthetic trace through the event-calendar core and
+  the frozen pre-calendar loop, emit ``BENCH_sim.json`` with
+  simulated-requests/sec, steps/sec and the speedup, optionally gating
+  on a checked-in baseline ratio (see :mod:`repro.bench.simbench`).
 
 ``serve`` and ``scale`` are thin shims over
 :class:`repro.api.DeploymentSpec`: every flag maps to a spec field (the
@@ -405,6 +410,53 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sim(args: argparse.Namespace) -> int:
+    from repro.bench import simbench
+
+    requests = args.requests
+    reference = args.reference_requests
+    if args.quick:
+        requests = (simbench.QUICK_REQUESTS if requests is None
+                    else requests)
+        reference = (simbench.QUICK_REFERENCE_REQUESTS
+                     if reference is None else reference)
+    requests = simbench.DEFAULT_REQUESTS if requests is None else requests
+    reference = (simbench.DEFAULT_REFERENCE_REQUESTS
+                 if reference is None else reference)
+    engine = ENGINE_ALIASES.get(args.engine.strip(), args.engine.strip())
+    payload = simbench.run_benchmark(
+        requests=requests, reference_requests=reference,
+        model=args.model, engine=engine, gpu=args.gpu,
+        num_layers=args.layers, seed=args.seed)
+    event = payload["event_core"]
+    ref = payload["reference_loop"]
+    speedup = payload["speedup"]
+    print(render_table(
+        ["core", "requests", "steps", "wall s", "req/s", "steps/s"],
+        [["event-calendar", event["requests"], event["steps"],
+          f"{event['wall_s']:.2f}", f"{event['requests_per_s']:.0f}",
+          f"{event['steps_per_s']:.0f}"],
+         ["reference-loop", ref["requests"], ref["steps"],
+          f"{ref['wall_s']:.2f}", f"{ref['requests_per_s']:.0f}",
+          f"{ref['steps_per_s']:.0f}"]],
+        title=f"simulator throughput "
+              f"(speedup {speedup['requests_per_s']:.1f}x)"),
+        file=sys.stderr)
+    text = render_json(payload)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+    if args.check:
+        failure = simbench.check_regression(payload, args.check,
+                                            tolerance=args.tolerance)
+        if failure:
+            print(f"repro bench sim: {failure}", file=sys.stderr)
+            return 1
+        print(f"repro bench sim: within {args.tolerance:.0%} of "
+              f"baseline {args.check}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -519,6 +571,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None,
                    help="write the JSON report here instead of stdout")
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "sim", help="benchmark the simulator itself (event-calendar "
+                    "core vs the frozen reference loop)")
+    p.add_argument("--requests", type=int, default=None,
+                   help="trace size for the event core (default: 100000, "
+                        "or 3000 with --quick)")
+    p.add_argument("--reference-requests", type=int, default=None,
+                   help="trace slice for the reference loop (default: "
+                        "2000, or 600 with --quick)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized run (smaller trace, same ratio)")
+    p.add_argument("--model", default="mixtral-8x7b",
+                   choices=sorted(MODEL_REGISTRY))
+    p.add_argument("--engine", default="samoyeds",
+                   help="MoE engine (registry name or alias; "
+                        "default: samoyeds)")
+    p.add_argument("--layers", type=int, default=1,
+                   help="decoder layers per step (default: 1, the "
+                        "paper's single-layer protocol)")
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.add_argument("--output", default="BENCH_sim.json",
+                   help="benchmark JSON path (default: BENCH_sim.json)")
+    p.add_argument("--check", default=None,
+                   help="baseline JSON to gate the speedup ratio "
+                        "against (benchmarks/BENCH_baseline.json)")
+    p.add_argument("--tolerance", type=float, default=0.30,
+                   help="allowed fractional drop below the baseline "
+                        "speedup (default: 0.30)")
+    p.add_argument("--gpu", default="a100", choices=list_gpus(),
+                   help="target device (default: a100)")
+    p.set_defaults(fn=cmd_sim)
     return parser
 
 

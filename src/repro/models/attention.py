@@ -81,7 +81,8 @@ def attention_cost(config: MoEModelConfig, tokens: int, spec: GPUSpec,
 
 def decode_attention_cost(config: MoEModelConfig, context_tokens: int,
                           spec: GPUSpec, batch: int = 1,
-                          flash: bool = True) -> AttentionCost:
+                          flash: bool = True,
+                          proj_s: "float | None" = None) -> AttentionCost:
     """One decode step: ``batch`` new tokens against cached contexts.
 
     ``context_tokens`` is the *total* KV-cache length summed across the
@@ -91,9 +92,16 @@ def decode_attention_cost(config: MoEModelConfig, context_tokens: int,
     streams the K and V caches once, so it is memory-bound on every
     device in the registry.  The quadratic term of prefill disappears —
     each new token does ``O(context)`` work.
+
+    The projection GEMMs depend only on ``batch``, not on the cached
+    contexts, and price through the (comparatively expensive) kernel
+    model; ``proj_s`` lets a caller that evaluates many context sums at
+    the same batch pass the memoised ``_projection_seconds`` value in
+    — everything context-dependent below is closed-form arithmetic.
     """
     h = config.hidden_size
-    proj = _projection_seconds(config, batch, spec)
+    proj = (proj_s if proj_s is not None
+            else _projection_seconds(config, batch, spec))
     core_flops = 2.0 * 2.0 * context_tokens * h        # QK^T and PV rows
     kv_bytes = 2.0 * 2.0 * context_tokens * h          # K and V, fp16
     # GEMV-shaped work: tensor cores idle, SIMT FLOPs bound compute.

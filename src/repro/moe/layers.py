@@ -164,23 +164,26 @@ class MoEEngine(abc.ABC):
     def _triple(self, kernel: MatmulKernel, config: MoEModelConfig,
                 n_tokens: int, spec: GPUSpec,
                 label: str) -> list[CostBreakdown]:
-        """The gate/up/down GEMM triple at ``n_tokens`` columns."""
+        """The gate/up/down GEMM triple at ``n_tokens`` columns.
+
+        Gate and up projections share one GEMM shape, so their cost is
+        evaluated once and listed twice (``combine`` only reads the
+        values, so repeating the breakdown is exact).
+        """
         h, inter = config.hidden_size, config.intermediate_size
         n = max(1, n_tokens)
-        return [
-            kernel.cost(inter, h, n, spec),
-            kernel.cost(inter, h, n, spec),
-            kernel.cost(h, inter, n, spec),
-        ]
+        gate_up = kernel.cost(inter, h, n, spec)
+        return [gate_up, gate_up, kernel.cost(h, inter, n, spec)]
 
     def _shared_cost(self, kernel: MatmulKernel, config: MoEModelConfig,
                      tokens: int, spec: GPUSpec, num_shared: int
                      ) -> list[CostBreakdown]:
-        parts: list[CostBreakdown] = []
-        for _ in range(num_shared):
-            parts.extend(self._triple(kernel, config, tokens, spec,
-                                      "shared"))
-        return parts
+        # Every shared expert sees the full token batch, so one triple
+        # prices them all; replicate it per expert for the combine sum.
+        if num_shared <= 0:
+            return []
+        return self._triple(kernel, config, tokens, spec,
+                            "shared") * num_shared
 
 
 def _elementwise_pass_seconds(rows: int, cols: int, spec: GPUSpec,
@@ -216,11 +219,11 @@ class TransformersEngine(MoEEngine):
         shared = (config.num_shared_experts if num_shared is None
                   else num_shared)
         work = LayerWorkload(config, tokens)
-        parts: list[CostBreakdown] = []
         n_e = max(1, round(work.routed_tokens_per_expert))
-        for _ in range(config.num_experts):
-            parts.extend(self._triple(self._kernel, config, n_e, spec,
-                                      "expert"))
+        # Every routed expert prices at the same mean load: one triple,
+        # replicated per expert.
+        parts = self._triple(self._kernel, config, n_e, spec,
+                             "expert") * config.num_experts
         parts.extend(self._shared_cost(self._kernel, config, tokens, spec,
                                        shared))
         gemm = combine(f"{self.name}-gemms", parts)
@@ -415,20 +418,21 @@ class SamoyedsEngine(MoEEngine):
         # SSMM segment at its own padded token count.  This is where the
         # §6.2 padding discussion bites for many-expert models.
         n_e = math.ceil(work.routed_tokens_per_expert / tile_n) * tile_n
-        parts: list[CostBreakdown] = []
-        for _ in range(config.num_experts):
-            parts.append(self._kernel.cost(inter, h, n_e, spec,
-                                           n_full=tokens))
-            parts.append(self._kernel.cost(inter, h, n_e, spec,
-                                           n_full=tokens))
-            parts.append(self._kernel.cost(h, inter, n_e, spec,
-                                           n_full=tokens))
-        for _ in range(shared):
-            parts.extend([
-                self._kernel.cost(inter, h, tokens, spec, n_full=tokens),
-                self._kernel.cost(inter, h, tokens, spec, n_full=tokens),
-                self._kernel.cost(h, inter, tokens, spec, n_full=tokens),
-            ])
+        # All experts share the padded segment shape: price the SSMM
+        # triple once (gate and up are the same GEMM) and replicate.
+        routed_gate_up = self._kernel.cost(inter, h, n_e, spec,
+                                           n_full=tokens)
+        routed_down = self._kernel.cost(h, inter, n_e, spec,
+                                        n_full=tokens)
+        parts = [routed_gate_up, routed_gate_up,
+                 routed_down] * config.num_experts
+        if shared > 0:
+            shared_gate_up = self._kernel.cost(inter, h, tokens, spec,
+                                               n_full=tokens)
+            shared_down = self._kernel.cost(h, inter, tokens, spec,
+                                            n_full=tokens)
+            parts.extend([shared_gate_up, shared_gate_up,
+                          shared_down] * shared)
         gemm = combine(f"{self.name}-gemms", parts)
         # Fused weighted accumulation: the down_proj epilogue performs an
         # fp32 read-modify-write against the shared output for every

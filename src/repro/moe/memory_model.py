@@ -408,6 +408,11 @@ class MemoryLedger:
     def active_requests(self) -> int:
         return len(self._context)
 
+    def kv_tokens(self) -> list[int]:
+        """Live KV context lengths per resident request, in ledger
+        (admission) order — the order :attr:`live_bytes` sums in."""
+        return list(self._context.values())
+
     @property
     def live_bytes(self) -> float:
         """Instantaneous footprint: static + grown-so-far KV caches."""

@@ -25,6 +25,8 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
+import numpy as np
+
 from repro.errors import ConfigError
 from repro.hw.interconnect import ACT_BYTES, ClusterSpec, make_cluster
 from repro.hw.spec import GPUSpec
@@ -60,14 +62,25 @@ class ScheduleResult:
 def segment_seconds_from_loads(config: MoEModelConfig,
                                loads: Iterable[int], spec: GPUSpec,
                                kernel: SamoyedsKernel,
-                               tile_n: int = 64, tp: int = 1) -> list[float]:
+                               tile_n: int = 64, tp: int = 1,
+                               memo: "dict[int, float] | None" = None
+                               ) -> list[float]:
     """Per-expert SSMM-triple time for the given per-expert token loads.
 
     The gate and up projections share one GEMM shape ``(inter, h, n_e)``
-    so their cost is computed once and counted twice; repeated padded
-    loads (common under near-uniform routing) hit a per-call memo so a
-    serving step prices a 64-expert layer with a handful of kernel-model
-    evaluations.
+    so their cost is computed once and counted twice.  The load vector
+    is bucketed through numpy: loads pad to their ``tile_n`` multiple
+    with integer arithmetic (``(load + tile_n - 1) // tile_n * tile_n``
+    equals the reference ``ceil`` for every integer load), the *unique*
+    padded shapes are priced once each through the kernel model, and
+    the per-expert vector is filled by bucket — a serving step prices a
+    64-expert layer with a handful of kernel-model evaluations instead
+    of one per expert.
+
+    ``memo`` optionally persists the per-``n_e`` triple seconds across
+    calls (the serving pricer reuses one dict per run).  It must be
+    private to a fixed (config, spec, kernel, tile_n, tp) combination —
+    entries are keyed by the padded shape alone.
 
     ``tp > 1`` prices a tensor-sharded segment: the expert inner
     dimension splits across the tensor-parallel group (the all-reduce
@@ -81,20 +94,24 @@ def segment_seconds_from_loads(config: MoEModelConfig,
     h, inter = config.hidden_size, config.intermediate_size
     if tp > 1:
         inter = max(1, math.ceil(inter / tp))
-    memo: dict[int, float] = {}
-    out = []
-    for load in loads:
-        if load == 0:
-            out.append(0.0)
-            continue
-        n_e = math.ceil(int(load) / tile_n) * tile_n
-        triple = memo.get(n_e)
+    arr = np.asarray(loads if isinstance(loads, np.ndarray)
+                     else list(loads), dtype=np.int64)
+    if arr.size == 0:
+        return []
+    if memo is None:
+        memo = {}
+    padded = (arr + tile_n - 1) // tile_n * tile_n
+    out = np.zeros(arr.size, dtype=np.float64)
+    active = arr != 0
+    for n_e in np.unique(padded[active]):
+        n_int = int(n_e)
+        triple = memo.get(n_int)
         if triple is None:
-            gate_up = kernel.cost(inter, h, n_e, spec).time_s
-            down = kernel.cost(h, inter, n_e, spec).time_s
-            triple = memo[n_e] = 2.0 * gate_up + down
-        out.append(triple)
-    return out
+            gate_up = kernel.cost(inter, h, n_int, spec).time_s
+            down = kernel.cost(h, inter, n_int, spec).time_s
+            triple = memo[n_int] = 2.0 * gate_up + down
+        out[active & (padded == n_e)] = triple
+    return out.tolist()
 
 
 def expert_segment_seconds(config: "MoEModelConfig | ExecutionContext",

@@ -67,6 +67,18 @@ class SelectionTable:
         :meth:`AutoEngine._problem_key`)."""
         return f"{device}:{problem}:d{density:g}"
 
+    @staticmethod
+    def step_key(device: str, phase: str, problem: str,
+                 density: float) -> str:
+        """Key of a whole-*step* memo entry (the serving pricer's
+        extension of the per-GEMM selection memo): the ``step:``
+        prefix namespaces it away from :meth:`key`, and the serving
+        phase (``prefill``/``decode``) joins the bucket because the
+        two phases revisit disjoint step shapes.  The entry stores the
+        dispatch winner plus the first modelled whole-step seconds
+        seen in the bucket."""
+        return f"step:{device}:{phase}:{problem}:d{density:g}"
+
     def record(self, key: str, engine: str, seconds: float) -> None:
         self.entries[key] = {"engine": engine, "seconds": float(seconds)}
 
@@ -178,6 +190,25 @@ class AutoEngine(MoEEngine):
         return (f"{m}x{k}x{n}-e{config.num_experts}-k{config.top_k}"
                 f"-s{shared}-{config.activation}")
 
+    def validate_choice(self, name: str, config: "MoEModelConfig",
+                        spec: "GPUSpec") -> "MoEEngine | None":
+        """Revalidate a (possibly shipped/stale) table entry.
+
+        The named engine must be registered, must be a *fixed* engine
+        — ``"auto"`` in a hand-edited table would dispatch the
+        dispatcher to itself — and must still support the model on
+        this device.  Returns the engine, or ``None`` when the entry
+        cannot be honoured (the caller re-prices from scratch).
+        """
+        if name not in self.registry:
+            return None
+        engine = self.registry.get(name)
+        if (not getattr(engine, "is_meta", False)
+                and engine.supports(config)
+                and engine.capabilities().supports_device(spec)):
+            return engine
+        return None
+
     def select(self, config: "MoEModelConfig", tokens: int,
                spec: "GPUSpec",
                num_shared: "int | None" = None) -> MoEEngine:
@@ -192,15 +223,9 @@ class AutoEngine(MoEEngine):
             spec.name, self._problem_key(config, tokens, num_shared),
             self.density)
         choice = self.table.lookup(key)
-        if choice is not None and choice in self.registry:
-            engine = self.registry.get(choice)
-            # Revalidate a (possibly shipped/stale) entry: it must name
-            # a *fixed* engine — "auto" in a hand-edited table would
-            # dispatch the dispatcher to itself — that still supports
-            # the model on this device.
-            if (not getattr(engine, "is_meta", False)
-                    and engine.supports(config)
-                    and engine.capabilities().supports_device(spec)):
+        if choice is not None:
+            engine = self.validate_choice(choice, config, spec)
+            if engine is not None:
                 return engine
         engines = self.compatible_engines(config, spec)
         if not engines:

@@ -2,14 +2,28 @@
 
 Everything below the serving layer prices one decoder layer for one
 token batch; this package lifts the cost stack to the *request* level: a
-discrete-event loop admits requests from an arrival trace, packs prefill
-and decode work into engine steps under a token budget, charges
-KV-cache growth against device memory, and reports TTFT / TPOT /
-throughput / queue-depth percentiles per engine.  DESIGN.md documents
-how the simulator composes with the per-layer models; this is an
-extension beyond the paper's per-layer evaluation.
+heap-ordered event calendar (:mod:`repro.serve.events`) admits requests
+from an arrival trace, packs prefill and decode work into engine steps
+under a token budget, charges KV-cache growth against device memory,
+and reports TTFT / TPOT / throughput / queue-depth percentiles per
+engine.  Step pricing is memoised and vectorized
+(:mod:`repro.serve.costs`); ``repro bench sim`` measures the
+simulator's own speed.  DESIGN.md documents how the simulator composes
+with the per-layer models; this is an extension beyond the paper's
+per-layer evaluation.
 """
 
+from repro.serve.costs import StepPricer
+from repro.serve.events import (
+    CLOCK_EPS,
+    Arrival,
+    EventKind,
+    EventManager,
+    EventQueue,
+    HorizonExpired,
+    Preempt,
+    StepComplete,
+)
 from repro.serve.request import (
     Request,
     bursty_trace,
@@ -30,10 +44,20 @@ from repro.serve.metrics import (
     PercentileSummary,
     ServeReport,
     percentile,
+    sim_throughput,
     summarise,
 )
 
 __all__ = [
+    "CLOCK_EPS",
+    "Arrival",
+    "StepComplete",
+    "Preempt",
+    "HorizonExpired",
+    "EventKind",
+    "EventQueue",
+    "EventManager",
+    "StepPricer",
     "Request",
     "poisson_trace",
     "bursty_trace",
@@ -50,5 +74,6 @@ __all__ = [
     "PercentileSummary",
     "ServeReport",
     "percentile",
+    "sim_throughput",
     "summarise",
 ]

@@ -29,6 +29,7 @@ from __future__ import annotations
 import abc
 from collections import deque
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.errors import ConfigError
 from repro.moe.memory_model import DeviceLedgers, MemoryLedger
@@ -39,9 +40,17 @@ from repro.serve.request import Request
 LedgerLike = MemoryLedger | DeviceLedgers
 
 
-@dataclass
+@dataclass(eq=False)
 class ActiveRequest:
-    """A request resident in device memory (admitted, not finished)."""
+    """A request resident in device memory (admitted, not finished).
+
+    ``eq=False``: residency is identity.  Exactly one ActiveRequest
+    exists per admitted rid, and the serving loops remove it from the
+    ``running`` list thousands of times per second — identity
+    comparison keeps ``list.remove`` a C-level pointer scan instead of
+    a field-by-field dataclass ``__eq__`` against every resident
+    request.
+    """
 
     request: Request
     admitted_s: float
@@ -85,7 +94,13 @@ class StepPlan:
     def empty(self) -> bool:
         return not self.prefill and not self.decode and not self.chunks
 
-    @property
+    # The token totals are pure functions of the (frozen) membership
+    # tuples, and the serving hot path reads them several times per
+    # step (pricing signature, metrics sample), so they memoise on the
+    # instance.  ``cached_property`` writes the instance ``__dict__``
+    # directly, which a frozen dataclass permits; equality and hashing
+    # still compare only the declared fields.
+    @cached_property
     def prefill_tokens(self) -> int:
         return (sum(ar.request.prompt_tokens for ar in self.prefill)
                 + sum(chunk.tokens for chunk in self.chunks))
@@ -94,7 +109,7 @@ class StepPlan:
     def decode_tokens(self) -> int:
         return len(self.decode)
 
-    @property
+    @cached_property
     def total_tokens(self) -> int:
         """New tokens traversing the MoE layer this step."""
         return self.prefill_tokens + self.decode_tokens

@@ -1,10 +1,18 @@
-"""Discrete-event serving loop over the per-layer cost stack.
+"""Discrete-event serving core over the per-layer cost stack.
 
-The engine advances a clock from step to step: at each boundary the
-batcher composes the step (admissions + decodes), the step's duration is
-priced with the prefill/decode cost split from :mod:`repro.models` —
-scaled by ``num_layers`` to a full-model forward — and request lifecycle
-timestamps fall out of the clock.  Memory is charged through a
+The engine is an event calendar (:mod:`repro.serve.events`): a
+heap-ordered queue of typed events — :class:`~repro.serve.events.Arrival`,
+:class:`~repro.serve.events.StepComplete`,
+:class:`~repro.serve.events.Preempt`,
+:class:`~repro.serve.events.HorizonExpired` — with an
+:class:`~repro.serve.events.EventManager` that owns the clock.  At each
+step boundary the batcher composes the step (admissions + decodes), a
+:class:`~repro.serve.costs.StepPricer` prices its duration with the
+prefill/decode cost split from :mod:`repro.models` — scaled by
+``num_layers`` to a full-model forward — and a ``StepComplete`` event
+is scheduled; its handler applies the plan's lifecycle effects when
+the clock reaches it.  Request timestamps fall out of the clock.
+Memory is charged through a
 :class:`~repro.moe.memory_model.MemoryLedger` — the conservative
 peak-reserving :class:`~repro.moe.memory_model.KVCacheTracker` by
 default, or the paged :class:`~repro.moe.memory_model.BlockAllocator`
@@ -17,7 +25,9 @@ block; the engine then *preempts* the youngest resident request
 (latest arrival): its blocks are released and the request returns to
 the front of the waiting queue to be recomputed on readmission
 (vLLM's recompute preemption).  Generation restarts from the prompt,
-but the request's first recorded TTFT is kept.
+but the request's first recorded TTFT is kept.  Preemptions surface as
+:class:`~repro.serve.events.Preempt` events dispatched at the instant
+they happen.
 
 Inside a step, the MoE layer can optionally be priced through the
 expert-segment LPT scheduler (``streams > 1`` on a Samoyeds context):
@@ -33,6 +43,10 @@ collectives (TP all-reduces, EP dispatch/combine all-to-alls), and
 memory runs through one ledger per device
 (:class:`~repro.moe.memory_model.DeviceLedgers`) with admission gated
 on the bottleneck device.
+
+The pre-calendar nested-``while`` implementation survives verbatim in
+:mod:`repro.serve._legacy_loop` as the golden baseline; the calendar
+core is pinned byte-identical to it by ``tests/test_serve_golden.py``.
 """
 
 from __future__ import annotations
@@ -44,22 +58,14 @@ from typing import Sequence
 from repro.context import ExecutionContext
 from repro.errors import CapacityError, ConfigError
 from repro.hw.interconnect import ClusterSpec, LinkSpec, ParallelPlan
-from repro.models.attention import attention_cost, decode_attention_cost
-from repro.models.decoder import boundary_comm_seconds, norm_seconds
-from repro.moe.layers import SamoyedsEngine
 from repro.moe.memory_model import (
     BlockAllocator,
     DeviceLedgers,
     KVCacheTracker,
     MemoryLedger,
+    kv_cache_bytes,
 )
-from repro.moe.scheduler import (
-    ExpertPlacement,
-    device_makespans,
-    place_experts,
-    schedule_parallel,
-    segment_seconds_from_loads,
-)
+from repro.moe.scheduler import ExpertPlacement, place_experts
 from repro.moe.trace import zipf_expert_popularity
 from repro.registry.selector import AutoEngine
 from repro.serve.batcher import (
@@ -67,6 +73,16 @@ from repro.serve.batcher import (
     Batcher,
     ContinuousBatcher,
     StepPlan,
+)
+from repro.serve.costs import StepPricer
+from repro.serve.events import (
+    CLOCK_EPS,
+    Arrival,
+    EventKind,
+    EventManager,
+    HorizonExpired,
+    Preempt,
+    StepComplete,
 )
 from repro.serve.metrics import (
     MetricsCollector,
@@ -123,7 +139,6 @@ class ServingEngine:
         if self.horizon_s is not None and self.horizon_s <= 0:
             raise ConfigError("horizon_s must be positive")
         self._rng = new_rng(self.seed)
-        self._moe_memo: dict[int, float] = {}
         self._popularity = zipf_expert_popularity(
             self.ctx.config.num_experts, self.routing_skew)
         parallel = self.ctx.parallel
@@ -141,6 +156,10 @@ class ServingEngine:
                     self.ctx.config.num_experts, parallel.ep,
                     policy=self.placement_policy,
                     profile=self._popularity)
+        self._pricer = StepPricer(self.ctx, self._layers,
+                                  self._popularity, self._rng,
+                                  placement=self._placement,
+                                  cluster=self._cluster)
         self._step_comm_s = 0.0
         self._comm_s_total = 0.0
         self._busy_s_total = 0.0
@@ -154,127 +173,20 @@ class ServingEngine:
     def step_seconds(self, plan: StepPlan) -> float:
         """Duration of one engine step (full forward over all layers).
 
-        On a multi-device context the step is a per-device makespan:
+        Delegates to the memoising :class:`StepPricer`.  On a
+        multi-device context the step is a per-device makespan:
         attention shards over the tensor-parallel group, expert
         segments run on their owning expert-parallel devices, and the
         boundary collectives (TP all-reduces, EP dispatch/combine
         all-to-alls) are added per layer.  ``self._step_comm_s`` holds
         the communication share of the step just priced.
         """
-        cfg, spec = self.ctx.config, self.ctx.spec
-        attn = 0.0
-        for ar in plan.prefill:
-            attn += attention_cost(cfg, ar.request.prompt_tokens, spec,
-                                   batch=1, flash=self.ctx.flash).total_s
-        for chunk in plan.chunks:
-            attn += self._chunk_attention_seconds(chunk.offset,
-                                                  chunk.tokens)
-        if plan.decode:
-            context = sum(ar.context_tokens for ar in plan.decode)
-            attn += decode_attention_cost(cfg, context, spec,
-                                          batch=len(plan.decode),
-                                          flash=self.ctx.flash).total_s
-        tokens = plan.total_tokens
-        if isinstance(self.ctx.engine, AutoEngine) and tokens > 0:
-            phase = ("prefill" if (plan.prefill or plan.chunks)
-                     else "decode")
-            winner = self.ctx.engine.select(cfg, tokens, spec).name
-            counts = self._auto_counts.setdefault(phase, {})
-            counts[winner] = counts.get(winner, 0) + 1
-        if not self._distributed:
-            self._step_comm_s = 0.0
-            layer = attn + self._moe_seconds(tokens) \
-                + norm_seconds(cfg, tokens, spec)
-            return layer * self._layers
-        parallel, cluster = self.ctx.parallel, self._cluster
-        assert cluster is not None
-        moe_compute = self._distributed_moe_seconds(tokens)
-        comm = boundary_comm_seconds(cfg, tokens, parallel, cluster)
-        layer = (attn / parallel.tp + moe_compute
-                 + norm_seconds(cfg, tokens, spec) + comm)
-        self._step_comm_s = comm * self._layers
-        return layer * self._layers
-
-    def _chunk_attention_seconds(self, offset: int, tokens: int) -> float:
-        """Marginal prefill attention for ``tokens`` new prompt tokens
-        attending over ``offset`` already-cached ones (chunked prefill:
-        the causal quadratic telescopes across chunks)."""
-        cfg, spec = self.ctx.config, self.ctx.spec
-        if offset <= 0:
-            return attention_cost(cfg, tokens, spec, batch=1,
-                                  flash=self.ctx.flash).total_s
-        whole = attention_cost(cfg, offset + tokens, spec, batch=1,
-                               flash=self.ctx.flash).total_s
-        prior = attention_cost(cfg, offset, spec, batch=1,
-                               flash=self.ctx.flash).total_s
-        return max(whole - prior, 0.0)
-
-    def _engine_moe_memo(self, tokens: int) -> float:
-        """Memoised monolithic engine cost of the MoE layer."""
-        cached = self._moe_memo.get(tokens)
-        if cached is None:
-            cached = self.ctx.engine.cost(self.ctx.config, tokens,
-                                          self.ctx.spec).time_s
-            self._moe_memo[tokens] = cached
-        return cached
-
-    def _draw_segments(self, tokens: int, tp: int = 1) -> list[float]:
-        """Per-expert SSMM segment times for one step's routed load,
-        drawn from the routing-skew profile (``tp`` shards the expert
-        inner dimension)."""
-        ctx = self.ctx
-        routed = tokens * ctx.config.top_k
-        loads = self._rng.multinomial(routed, self._popularity)
-        return segment_seconds_from_loads(
-            ctx.config, loads, ctx.spec, ctx.segment_kernel(),
-            ctx.effective_tile_n, tp=tp)
-
-    def _moe_seconds(self, tokens: int) -> float:
-        """MoE-layer seconds for ``tokens`` new tokens in one step."""
-        if tokens <= 0:
-            return 0.0
-        ctx = self.ctx
-        use_lpt = ctx.streams > 1 and isinstance(ctx.engine, SamoyedsEngine)
-        if not use_lpt:
-            return self._engine_moe_memo(tokens)
-        # LPT path: overlap per-expert SSMM segments on ctx.streams
-        # streams; keep the engine model's data-flow overheads.
-        cost = ctx.engine.cost(ctx.config, tokens, ctx.spec)
-        segments = self._draw_segments(tokens)
-        makespan = schedule_parallel(segments, ctx.streams).makespan_s
-        dataflow = float(cost.detail.get("dataflow_s", 0.0))
-        return makespan + dataflow
-
-    def _distributed_moe_seconds(self, tokens: int) -> float:
-        """Per-device MoE compute seconds for ``tokens`` new tokens
-        under the context's parallel plan (the dispatch/combine
-        collectives are priced by :func:`boundary_comm_seconds`).
-
-        A Samoyeds context draws per-expert loads from the routing-skew
-        profile, prices tensor-sharded SSMM segments and takes the
-        slowest expert-parallel device's LPT makespan over its own
-        experts; other engines scale their monolithic cost by the ideal
-        ``1 / (ep * tp)`` shard.
-        """
-        if tokens <= 0:
-            return 0.0
-        ctx = self.ctx
-        parallel = ctx.parallel
-        if not isinstance(ctx.engine, SamoyedsEngine):
-            return self._engine_moe_memo(tokens) / (parallel.ep
-                                                    * parallel.tp)
-        cost = ctx.engine.cost(ctx.config, tokens, ctx.spec)
-        segments = self._draw_segments(tokens, tp=parallel.tp)
-        if self._placement is not None:
-            compute = max(device_makespans(segments, self._placement,
-                                           ctx.streams))
-        else:
-            compute = schedule_parallel(segments, ctx.streams).makespan_s
-        dataflow = float(cost.detail.get("dataflow_s", 0.0))
-        return compute + dataflow / (parallel.ep * parallel.tp)
+        step_s, comm_s, _ = self._pricer.price(plan)
+        self._step_comm_s = comm_s
+        return step_s
 
     # ------------------------------------------------------------------
-    # Event loop
+    # Event handlers and memory policy
     # ------------------------------------------------------------------
     def _make_ledger(self) -> "MemoryLedger | DeviceLedgers":
         if self._distributed:
@@ -295,19 +207,26 @@ class ServingEngine:
         return KVCacheTracker(self.ctx.config, self.ctx.engine.name,
                               self.ctx.spec)
 
-    def _evict(self, victim: ActiveRequest, ledger: "MemoryLedger | DeviceLedgers",
+    def _evict(self, victim: ActiveRequest,
+               ledger: "MemoryLedger | DeviceLedgers",
                running: list[ActiveRequest], waiting: "deque[Request]",
-               evicted: set[int], collector: MetricsCollector) -> None:
-        """Preempt ``victim``: free its blocks, requeue for recompute."""
+               evicted: set[int], manager: EventManager) -> None:
+        """Preempt ``victim``: free its blocks, requeue for recompute.
+
+        The :class:`Preempt` event dispatches immediately at the
+        current clock — preemption is a same-instant consequence of
+        the completing step, not a scheduled future."""
         ledger.release(victim.request.rid)
         running.remove(victim)
         waiting.appendleft(victim.request)
         evicted.add(victim.request.rid)
-        collector.preempt()
+        manager.emit(Preempt(when=manager.clock,
+                             victim_rid=victim.request.rid))
 
-    def _grow(self, ar: ActiveRequest, ledger: "MemoryLedger | DeviceLedgers",
+    def _grow(self, ar: ActiveRequest,
+              ledger: "MemoryLedger | DeviceLedgers",
               running: list[ActiveRequest], waiting: "deque[Request]",
-              evicted: set[int], collector: MetricsCollector) -> bool:
+              evicted: set[int], manager: EventManager) -> bool:
         """Charge one token of KV growth for ``ar``, preempting the
         youngest resident request (latest arrival) until it fits.
 
@@ -333,10 +252,13 @@ class ServingEngine:
                         available_bytes=int(ledger.budget_bytes
                                             - ledger.static_bytes))
                 self._evict(victim, ledger, running, waiting, evicted,
-                            collector)
+                            manager)
                 if victim is ar:
                     return False
 
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
     def run(self, trace: Sequence[Request],
             max_steps: int = 1_000_000) -> ServeReport:
         """Serve ``trace`` to completion and summarise the run."""
@@ -347,24 +269,253 @@ class ServingEngine:
         self._busy_s_total = 0.0
         self._auto_counts = {}
         ledger = self._make_ledger()
-        arrivals = deque(sorted(trace, key=lambda r: r.arrival_s))
         records = {req.rid: RequestRecord(req) for req in trace}
         waiting: deque[Request] = deque()
         running: list[ActiveRequest] = []
         collector = MetricsCollector()
-        clock = 0.0
+        manager = EventManager()
+        queue = manager.queue
+        for req in sorted(trace, key=lambda r: (r.arrival_s, r.rid)):
+            queue.push(Arrival(when=req.arrival_s, request=req))
+        if self.horizon_s is not None:
+            queue.push(HorizonExpired(when=self.horizon_s))
         steps = 0
+        # The (at most one) in-flight step's plan.  The StepComplete
+        # event carries the timing; the plan is mutable engine state.
+        in_flight: list[StepPlan] = []
 
-        while arrivals or waiting or running:
-            if self.horizon_s is not None and clock >= self.horizon_s:
-                break                      # horizon reached: stop serving
-            while arrivals and arrivals[0].arrival_s <= clock + 1e-12:
-                waiting.append(arrivals.popleft())
-            plan = self.batcher.plan_step(clock, waiting, running, ledger,
-                                          bool(arrivals))
+        def on_arrival(event: Arrival) -> None:
+            waiting.append(event.request)
+
+        def on_preempt(event: Preempt) -> None:
+            collector.preempt()
+
+        def on_horizon(event: HorizonExpired) -> None:
+            manager.stop()             # plan no further steps
+
+        def on_step_complete(event: StepComplete) -> None:
+            plan = in_flight.pop()
+            clock = manager.clock
+            self._busy_s_total += event.step_s
+            self._comm_s_total += event.comm_s
+            evicted: set[int] = set()
+            # Every ledger-charged request must be resident before any
+            # growth, so preemption can see (and evict) all of them.
+            running.extend(plan.prefill)
+            # Decode growth first, oldest arrivals first: under paged
+            # allocation the block that backs a new token may require
+            # preempting the youngest resident request.
+            for ar in sorted(plan.decode,
+                             key=lambda a: (a.request.arrival_s,
+                                            a.request.rid)):
+                if ar.request.rid in evicted:
+                    continue
+                ar.generated += 1
+                self._grow(ar, ledger, running, waiting, evicted,
+                           manager)
+            for ar in plan.prefill:            # prompt + first token
+                record = records[ar.request.rid]
+                if record.admitted_s is None:
+                    record.admitted_s = ar.admitted_s
+                if ar.request.rid in evicted:
+                    continue
+                if record.first_token_s is None:
+                    record.first_token_s = clock
+                ar.prefilled = True
+                ar.prefilled_tokens = ar.request.prompt_tokens
+                ar.generated = 1
+                self._grow(ar, ledger, running, waiting, evicted,
+                           manager)
+            for chunk in plan.chunks:          # chunked prefill slices
+                ar = chunk.ar
+                record = records[ar.request.rid]
+                if record.admitted_s is None:
+                    record.admitted_s = ar.admitted_s
+                if ar.request.rid in evicted:
+                    continue
+                ar.prefilled_tokens += chunk.tokens
+                if ar.prefilled_tokens >= ar.request.prompt_tokens:
+                    ar.prefilled = True         # last chunk: token one
+                    ar.generated = 1
+                    if record.first_token_s is None:
+                        record.first_token_s = clock
+                    self._grow(ar, ledger, running, waiting, evicted,
+                               manager)
+            # Arrivals that landed during (or epsilon-past) the step
+            # join the queue before the sample, so queue-depth
+            # percentiles see them; a coinciding horizon sets the stop
+            # flag here but never suppresses the sample below.
+            manager.dispatch_due()
+            collector.observe(StepSample(
+                clock_s=clock,
+                queue_depth=len(waiting),
+                running=ledger.active_requests,
+                step_tokens=plan.total_tokens,
+                live_bytes=ledger.live_bytes,
+                reserved_bytes=ledger.reserved_bytes,
+                pool_util=ledger.pool_utilisation,
+                comm_s=event.comm_s,
+                step_s=event.step_s,
+            ))
+            for ar in [ar for ar in running if ar.finished]:
+                running.remove(ar)
+                ledger.release(ar.request.rid)
+                record = records[ar.request.rid]
+                record.finished_s = clock
+                collector.finish(record)
+
+        manager.on(EventKind.ARRIVAL, on_arrival)
+        manager.on(EventKind.PREEMPT, on_preempt)
+        manager.on(EventKind.HORIZON_EXPIRED, on_horizon)
+        manager.on(EventKind.STEP_COMPLETE, on_step_complete)
+
+        # -- uneventful-decode fast path --------------------------------
+        # The discrete-event payoff: when the calendar can prove the
+        # next step is a pure decode step whose completion dispatches
+        # nothing — no arrival inside the epsilon window, no horizon,
+        # nobody reaching their output length, nothing waiting to admit
+        # — the general path's outcome is fully determined, and runs of
+        # such steps reduce to the pricing arithmetic plus a metrics
+        # sample.  Restricted to the configurations where that proof
+        # holds: plain continuous batching (the plan is exactly
+        # ``decode=tuple(running)``), conservative admission (growth
+        # never fails, so no preemption), a fixed single-device engine
+        # and a deterministic pricer (no RNG draw per step).
+        fast_eligible = (type(self.batcher) is ContinuousBatcher
+                         and self.page_size is None
+                         and not self._distributed
+                         and not self._pricer.stochastic
+                         and not isinstance(self.ctx.engine, AutoEngine)
+                         and type(ledger) is KVCacheTracker)
+
+        def fast_decode_run() -> bool:
+            """Commit a run of provably uneventful pure-decode steps.
+
+            Every committed step replays, float op for float op, what
+            the general path would have done: the same pricing
+            composition as :meth:`StepPricer._price` for a decode-only
+            plan, the same ``max(clock, clock + step_s)`` clock update,
+            the same per-step sample values (``live_bytes`` summed over
+            the same per-request KV lengths in ledger order).  Only the
+            work whose outcome is already known is skipped — planning,
+            per-token ledger growth (bulk-applied afterwards), the
+            preemption machinery and the finish scan.  Stops *before*
+            any step boundary where an event could be due, leaving that
+            step to the general path.  Returns True when at least one
+            step was committed.
+            """
+            nonlocal steps
+            if not running or not all(ar.prefilled for ar in running):
+                return False
+            # The step in which the earliest finisher reaches its
+            # output length must run through the general path.
+            limit = min(ar.request.output_tokens - ar.generated
+                        for ar in running) - 1
+            limit = min(limit, max_steps - steps)
+            if limit <= 0:
+                return False
+            pricer = self._pricer
+            batch = len(running)
+            context = sum(ar.context_tokens for ar in running)
+            moe_s = pricer._moe_seconds(batch)
+            norm_s = pricer._norm_seconds(batch)
+            layers = self._layers
+            config, spec = self.ctx.config, self.ctx.spec
+            static = ledger.static_bytes
+            toks = ledger.kv_tokens()
+            reserved = ledger.reserved_bytes
+            util = ledger.pool_utilisation
+            residents = ledger.active_requests
+            # The queue cannot change inside the run (fast steps push
+            # no events), so the barrier — the earliest event that
+            # could become due at a step boundary — is a constant.
+            head = queue.peek()
+            barrier = head.when if head is not None else None
+            # ``live_bytes`` closed form: the per-token KV charge is an
+            # integer number of bytes for every registry model, so
+            # per-request growth sums collapse to exact integer
+            # arithmetic; one cross-check against the general path's
+            # per-request float sum guards the assumption (falling
+            # back to that sum if a config ever breaks it).
+            per_tok = kv_cache_bytes(config, 1)
+            kv_int = int(per_tok)
+            total0 = sum(toks)
+            closed_form = (
+                float(kv_int) == per_tok
+                and static + float(kv_int * (total0 + batch))
+                == static + sum(kv_cache_bytes(config, t + 1)
+                                for t in toks))
+            # Inline the flash decode-attention arithmetic (the same
+            # float ops as decode_attention_cost, minus the call and
+            # the AttentionCost object); the rare flash=False context
+            # keeps the function call.
+            flash = self.ctx.flash
+            if flash:
+                proj = pricer.decode_proj(batch)
+                h = config.hidden_size
+                ccf = spec.cuda_core_flops
+                bw = spec.dram_bandwidth
+                launch = spec.kernel_launch_overhead_s
+            observe = collector.samples.append
+            busy = self._busy_s_total
+            clock = manager.clock
+            committed = 0
+            while committed < limit:
+                if flash:
+                    flops = 2.0 * 2.0 * context * h
+                    attn = 0.0 + ((proj + max(flops / ccf, flops / bw))
+                                  + launch)
+                else:
+                    attn = 0.0 + pricer._decode_attn(context, batch)
+                step_s = (attn + moe_s + norm_s) * layers
+                when = clock + step_s
+                if barrier is not None and barrier <= when + CLOCK_EPS:
+                    break          # something is due at this boundary
+                committed += 1
+                steps += 1
+                clock = clock if clock >= when else when
+                busy += step_s
+                context += batch
+                if closed_form:
+                    live = static + float(
+                        kv_int * (total0 + committed * batch))
+                else:
+                    live = static + sum(
+                        kv_cache_bytes(config, t + committed)
+                        for t in toks)
+                observe(StepSample(clock, 0, residents, batch, live,
+                                   reserved, util, 0.0, step_s))
+            if not committed:
+                return False
+            self._busy_s_total = busy
+            manager.clock = clock
+            for ar in running:
+                ar.generated += committed
+                ledger.grow(ar.request.rid, committed)
+            return True
+
+        while True:
+            # Same-instant events first: arrivals within the epsilon
+            # of the clock, a horizon the clock has reached.
+            manager.dispatch_due()
+            if in_flight:
+                # A step is in flight: advance to its completion (or
+                # to whatever precedes it).  A step straddling the
+                # horizon still completes fully, as before.
+                manager.advance()
+                continue
+            if manager.stopped:
+                break                  # horizon reached: stop serving
+            if not (waiting or running or queue.pending_arrivals):
+                break                  # trace fully served
+            if fast_eligible and not waiting and fast_decode_run():
+                continue
+            plan = self.batcher.plan_step(
+                manager.clock, waiting, running, ledger,
+                bool(queue.pending_arrivals))
             if plan.empty:
-                if arrivals:                       # idle until next arrival
-                    clock = max(clock, arrivals[0].arrival_s)
+                if queue.pending_arrivals:
+                    manager.advance()  # idle until the next arrival
                     continue
                 # An unfinished partial prefill is the stuck request
                 # (it holds the blocks); otherwise blame the queue head.
@@ -383,77 +534,16 @@ class ServingEngine:
             if steps > max_steps:
                 raise ConfigError(f"exceeded {max_steps} steps; trace too "
                                   f"large or engine starved")
-            step_s = self.step_seconds(plan)
-            clock += step_s
-            self._busy_s_total += step_s
-            self._comm_s_total += self._step_comm_s
-            evicted: set[int] = set()
-
-            # Every ledger-charged request must be resident before any
-            # growth, so preemption can see (and evict) all of them.
-            running.extend(plan.prefill)
-            # Decode growth first, oldest arrivals first: under paged
-            # allocation the block that backs a new token may require
-            # preempting the youngest resident request.
-            for ar in sorted(plan.decode,
-                             key=lambda a: (a.request.arrival_s,
-                                            a.request.rid)):
-                if ar.request.rid in evicted:
-                    continue
-                ar.generated += 1
-                self._grow(ar, ledger, running, waiting, evicted,
-                           collector)
-            for ar in plan.prefill:                # prompt + first token
-                record = records[ar.request.rid]
-                if record.admitted_s is None:
-                    record.admitted_s = ar.admitted_s
-                if ar.request.rid in evicted:
-                    continue
-                if record.first_token_s is None:
-                    record.first_token_s = clock
-                ar.prefilled = True
-                ar.prefilled_tokens = ar.request.prompt_tokens
-                ar.generated = 1
-                self._grow(ar, ledger, running, waiting, evicted,
-                           collector)
-            for chunk in plan.chunks:              # chunked prefill slices
-                ar = chunk.ar
-                record = records[ar.request.rid]
-                if record.admitted_s is None:
-                    record.admitted_s = ar.admitted_s
-                if ar.request.rid in evicted:
-                    continue
-                ar.prefilled_tokens += chunk.tokens
-                if ar.prefilled_tokens >= ar.request.prompt_tokens:
-                    ar.prefilled = True             # last chunk: token one
-                    ar.generated = 1
-                    if record.first_token_s is None:
-                        record.first_token_s = clock
-                    self._grow(ar, ledger, running, waiting, evicted,
-                               collector)
-
-            # Arrivals that landed during the step join the queue before
-            # the sample, so queue-depth percentiles see them.
-            while arrivals and arrivals[0].arrival_s <= clock + 1e-12:
-                waiting.append(arrivals.popleft())
-
-            collector.observe(StepSample(
-                clock_s=clock,
-                queue_depth=len(waiting),
-                running=ledger.active_requests,
-                step_tokens=plan.total_tokens,
-                live_bytes=ledger.live_bytes,
-                reserved_bytes=ledger.reserved_bytes,
-                pool_util=ledger.pool_utilisation,
-                comm_s=self._step_comm_s,
-                step_s=step_s,
-            ))
-            for ar in [ar for ar in running if ar.finished]:
-                running.remove(ar)
-                ledger.release(ar.request.rid)
-                record = records[ar.request.rid]
-                record.finished_s = clock
-                collector.finish(record)
+            step_s, comm_s, winner = self._pricer.price(plan)
+            self._step_comm_s = comm_s
+            if winner is not None:
+                phase = ("prefill" if (plan.prefill or plan.chunks)
+                         else "decode")
+                counts = self._auto_counts.setdefault(phase, {})
+                counts[winner] = counts.get(winner, 0) + 1
+            in_flight.append(plan)
+            queue.push(StepComplete(when=manager.clock + step_s,
+                                    step_s=step_s, comm_s=comm_s))
 
         return summarise(collector, engine=self.ctx.engine.name,
                          model=self.ctx.config.name,

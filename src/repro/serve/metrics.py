@@ -400,3 +400,22 @@ def summarise(collector: MetricsCollector, *, engine: str, model: str,
         auto=auto,
         **_sample_stats(samples),  # type: ignore[arg-type]
     )
+
+
+def sim_throughput(num_requests: int, steps: int,
+                   wall_s: float) -> dict[str, float]:
+    """Simulator throughput: simulated requests and steps per *wall*
+    second.
+
+    This measures the simulator itself, not the modelled server —
+    ``repro bench sim`` feeds it a timed replay to build the
+    ``BENCH_sim.json`` trajectory.  A non-positive wall clock (a
+    too-coarse timer on a tiny run) reports zero rather than dividing
+    by it.
+    """
+    if wall_s <= 0:
+        return {"wall_s": wall_s, "requests_per_s": 0.0,
+                "steps_per_s": 0.0}
+    return {"wall_s": wall_s,
+            "requests_per_s": num_requests / wall_s,
+            "steps_per_s": steps / wall_s}
