@@ -12,6 +12,12 @@ side of the registry API::
 
     repro list engines
     repro list            # every registry
+
+``repro lint [paths]`` runs the static invariant checker
+(:mod:`repro.analysis`) over the given files/directories::
+
+    repro lint src/
+    repro lint src/repro/serve --select REP001 --format json
 """
 
 from __future__ import annotations
@@ -85,16 +91,21 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
         print("usage: repro bench <subcommand> [options]\n"
+              "       repro lint [paths] [--select CODES] "
+              "[--format text|json]\n"
               "       repro list [engines|kernels|gpus|links|models]\n"
               "       (see `repro bench --help` for bench subcommands)")
         return 0 if argv else 2
     if argv[0] == "bench":
         from repro.bench.cli import main as bench_main
         return bench_main(argv[1:])
+    if argv[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+        return lint_main(argv[1:])
     if argv[0] == "list":
         return cmd_list(argv[1:])
-    print(f"repro: unknown command {argv[0]!r}; try `repro bench --help` "
-          f"or `repro list`", file=sys.stderr)
+    print(f"repro: unknown command {argv[0]!r}; try `repro bench --help`, "
+          f"`repro lint --help` or `repro list`", file=sys.stderr)
     return 2
 
 

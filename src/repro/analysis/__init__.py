@@ -1,0 +1,32 @@
+"""Static analysis and runtime sanitizing for the simulator core.
+
+Two complementary checkers keep the simulator's invariants honest:
+
+* ``repro lint`` (:mod:`repro.analysis.cli`) — an stdlib-``ast`` lint
+  engine with repo-specific rules (REP001–REP006) covering
+  determinism, unit-suffix discipline, registry hygiene, frozen-event
+  discipline, bare asserts and inline clock epsilons;
+* the **sim-sanitizer** (:mod:`repro.analysis.sanitizer`) — opt-in
+  runtime wrappers (``REPRO_SANITIZE=1`` or ``sanitize=True``) around
+  the event calendar, memory ledgers and step pricer that raise a
+  structured :class:`~repro.errors.SanitizerError` at the violation
+  site.
+
+Importing this package registers the built-in rules into
+:data:`~repro.analysis.rules.RULES`.
+"""
+
+from repro.analysis import determinism as _determinism  # noqa: F401
+from repro.analysis import structure as _structure  # noqa: F401
+from repro.analysis import units as _units  # noqa: F401
+from repro.analysis.engine import LintEngine, LintResult, collect_files
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project
+from repro.analysis.rules import RULES, LintRule, register_rule
+from repro.analysis.sanitizer import sanitize_enabled, wrap_ledger
+
+__all__ = [
+    "Finding", "LintEngine", "LintResult", "LintRule", "ModuleInfo",
+    "Project", "RULES", "collect_files", "register_rule",
+    "sanitize_enabled", "wrap_ledger",
+]

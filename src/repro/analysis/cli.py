@@ -1,0 +1,128 @@
+"""``repro lint`` — run the static invariant checker.
+
+Usage::
+
+    repro lint src/                      # whole tree, default rules
+    repro lint src/repro/serve --select REP001,REP005
+    repro lint src/ --format json        # machine-readable output
+    repro lint src/ --write-baseline     # grandfather current findings
+
+Exit codes: 0 clean (or baseline-covered), 1 findings, 2 usage error.
+
+The baseline (``lint-baseline.json`` at the invocation root by
+default) suppresses grandfathered findings by ``(rule, path, message)``
+— see DESIGN.md "Static analysis & sim-sanitizer" for the workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import (DEFAULT_BASELINE, LintEngine,
+                                   load_baseline, write_baseline)
+from repro.analysis.rules import RULES
+from repro.errors import ConfigError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Static invariant checker for the repro codebase.")
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)")
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help=f"baseline file (default: {DEFAULT_BASELINE} if present)")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings as the new baseline and exit 0")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit")
+    return parser
+
+
+def _resolve_baseline(args: argparse.Namespace) -> "Path | None":
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Path(args.baseline)
+    default = Path(DEFAULT_BASELINE)
+    return default if default.is_file() else None
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in RULES.names():
+            print(f"{code}  {RULES.get(code).summary}")
+        return 0
+
+    select = None
+    if args.select is not None:
+        select = [code.strip() for code in args.select.split(",")
+                  if code.strip()]
+
+    try:
+        engine = LintEngine(select=select)
+    except ConfigError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = _resolve_baseline(args)
+    try:
+        baseline = (load_baseline(baseline_path)
+                    if baseline_path is not None else None)
+        result = engine.run(args.paths, baseline=baseline)
+    except ConfigError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = Path(args.baseline) if args.baseline is not None \
+            else Path(DEFAULT_BASELINE)
+        count = write_baseline(result.findings, target)
+        print(f"wrote {count} baseline entr"
+              f"{'y' if count == 1 else 'ies'} to {target}")
+        return 0
+
+    if args.format == "json":
+        payload = {
+            "version": 1,
+            "files": result.files,
+            "rules": result.rules,
+            "findings": [f.to_dict() for f in result.new],
+            "baselined": result.baselined,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in result.new:
+            print(finding.format())
+        summary = (f"{len(result.new)} finding"
+                   f"{'' if len(result.new) == 1 else 's'} "
+                   f"({result.baselined} baselined) across "
+                   f"{result.files} files")
+        print(summary)
+        for key in result.stale_baseline:
+            print(f"note: stale baseline entry {key[0]} {key[1]}: "
+                  f"{key[2]}", file=sys.stderr)
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

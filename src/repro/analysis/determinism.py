@@ -1,0 +1,166 @@
+"""REP001 — determinism discipline.
+
+The simulator's core contract is that a fixed seed reproduces a run
+bit for bit (the golden tests pin JSON byte-identity).  Three things
+break that silently:
+
+* **wall-clock reads** (``time.time``, ``datetime.now`` …) leaking
+  into model code — model time must come from the event calendar's
+  clock.  The ``bench/`` harness is exempt: measuring *real* elapsed
+  time is its job.
+* **unseeded / global RNG** — ``np.random.default_rng()`` with no
+  seed, the global ``np.random.*`` state, or the stdlib ``random``
+  module.  All randomness flows through ``utils/rng.py`` so one seed
+  governs a run.
+* **float accumulation over set iteration** in pricing paths — set
+  order is salted per process, so ``sum`` over a set of floats can
+  differ between runs even with equal elements.  (Dict iteration is
+  fine: insertion order is defined.)
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project, dotted_name
+from repro.analysis.rules import LintRule, register_rule
+
+#: Call chains that read the wall clock.
+WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today", "date.today",
+}
+
+#: Directories whose job is measuring real elapsed time.
+TIMER_EXEMPT_DIRS = ("bench",)
+
+#: The one module allowed to construct numpy generators.
+RNG_HOME = "utils/rng.py"
+
+#: Pricing-path directories where set-order float accumulation is
+#: checked (the paths whose sums end up in golden-pinned reports).
+PRICING_DIRS = ("serve", "models", "moe", "kernels", "hw")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Syntactically-recognisable set: display, comprehension, or a
+    direct ``set(...)`` / ``frozenset(...)`` call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register_rule
+class Determinism(LintRule):
+    code = "REP001"
+    summary = ("no wall clock, unseeded/global RNG, or set-order "
+               "float accumulation in model code")
+
+    def check(self, module: ModuleInfo,
+              project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        timers_ok = module.in_dir(*TIMER_EXEMPT_DIRS)
+        rng_home = module.matches(RNG_HOME)
+        pricing = module.in_dir(*PRICING_DIRS)
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(
+                    module, node, timers_ok=timers_ok, rng_home=rng_home))
+                if pricing:
+                    findings.extend(self._check_set_sum(module, node))
+            elif isinstance(node, (ast.Import, ast.ImportFrom)) \
+                    and not rng_home:
+                findings.extend(self._check_import(module, node))
+            elif pricing and isinstance(node, ast.For):
+                findings.extend(self._check_set_loop(module, node))
+        return findings
+
+    # -- wall clock + RNG ------------------------------------------------
+    def _check_call(self, module: ModuleInfo, node: ast.Call, *,
+                    timers_ok: bool, rng_home: bool) -> list[Finding]:
+        chain = dotted_name(node.func)
+        if chain is None:
+            return []
+        if not timers_ok and chain in WALL_CLOCK:
+            return [self.finding(
+                module, node,
+                f"wall-clock call `{chain}()` breaks simulation "
+                "determinism; model time comes from the event clock "
+                "(bench/ harness code is exempt)")]
+        if rng_home:
+            return []
+        if chain.endswith("random.default_rng"):
+            return [self.finding(
+                module, node,
+                "construct RNGs via repro.utils.rng.new_rng so one "
+                "seed governs the whole run"
+                + ("" if node.args or node.keywords
+                   else " (this call is also unseeded)"))]
+        root, _, rest = chain.partition(".")
+        if root in ("np", "numpy") and rest.startswith("random.") \
+                and rest.count(".") >= 1 \
+                and rest.split(".")[1] not in ("default_rng", "Generator",
+                                               "SeedSequence"):
+            return [self.finding(
+                module, node,
+                f"`{chain}()` uses numpy's *global* RNG state; draw "
+                "from a generator made by repro.utils.rng.new_rng")]
+        if root == "random" and rest and "." not in rest:
+            return [self.finding(
+                module, node,
+                f"`{chain}()` uses the stdlib global RNG; draw from a "
+                "generator made by repro.utils.rng.new_rng")]
+        return []
+
+    def _check_import(self, module: ModuleInfo,
+                      node: "ast.Import | ast.ImportFrom") -> list[Finding]:
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        else:
+            names = [node.module or ""]
+        if "random" in names:
+            return [self.finding(
+                module, node,
+                "stdlib `random` is process-global state; use "
+                "repro.utils.rng.new_rng (allowed only in utils/rng.py)")]
+        return []
+
+    # -- set-order accumulation ------------------------------------------
+    def _check_set_sum(self, module: ModuleInfo,
+                       node: ast.Call) -> list[Finding]:
+        if dotted_name(node.func) not in ("sum", "math.fsum"):
+            return []
+        if not node.args:
+            return []
+        arg = node.args[0]
+        over_set = _is_set_expr(arg)
+        if isinstance(arg, (ast.GeneratorExp, ast.ListComp)) \
+                and arg.generators \
+                and _is_set_expr(arg.generators[0].iter):
+            over_set = True
+        if over_set:
+            return [self.finding(
+                module, node,
+                "float accumulation over a set iterates in salted hash "
+                "order; sum over a sorted sequence instead")]
+        return []
+
+    def _check_set_loop(self, module: ModuleInfo,
+                        node: ast.For) -> list[Finding]:
+        if not _is_set_expr(node.iter):
+            return []
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.AugAssign) \
+                    and isinstance(stmt.op, (ast.Add, ast.Sub)):
+                return [self.finding(
+                    module, node,
+                    "accumulating over set iteration is salted-hash "
+                    "ordered; iterate a sorted sequence instead")]
+        return []

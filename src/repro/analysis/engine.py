@@ -1,0 +1,165 @@
+"""Lint driver: collect files, run rules, apply the baseline.
+
+The driver is what ``repro lint`` (and the tests) call:
+
+* :func:`collect_files` expands paths/directories into ``.py`` files
+  in sorted order (deterministic output);
+* :class:`LintEngine` parses everything up front into a
+  :class:`~repro.analysis.project.Project` (cross-file rules need the
+  whole set), then runs each selected rule over each module;
+* the **baseline** is a committed JSON file of grandfathered findings.
+  Matching is a multiset over ``(rule, path, message)`` — line numbers
+  are ignored so unrelated edits don't invalidate entries, but a *new*
+  duplicate of a baselined finding in the same file still fails.
+
+A file that does not parse yields a single ``PARSE`` finding instead
+of aborting the run; ``PARSE`` findings cannot be baselined.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project
+from repro.analysis.rules import RULES
+from repro.errors import ConfigError
+
+#: Default committed baseline location (repo root).
+DEFAULT_BASELINE = "lint-baseline.json"
+
+BASELINE_VERSION = 1
+
+
+def collect_files(paths: "list[str | Path]") -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            batch = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            batch = [path]
+        else:
+            raise ConfigError(f"lint path does not exist: {path}")
+        for item in batch:
+            if item not in seen:
+                seen.add(item)
+                files.append(item)
+    return files
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding]          # everything the rules reported
+    new: list[Finding]               # findings not covered by baseline
+    baselined: int                   # suppressed by the baseline
+    stale_baseline: list[tuple[str, str, str]]  # entries that matched nothing
+    files: int
+    rules: list[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.new
+
+
+@dataclass
+class LintEngine:
+    """Run a selected set of rules over a file set."""
+
+    select: "list[str] | None" = None
+    rules: list = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.select is None:
+            self.rules = list(RULES.values())
+        else:
+            self.rules = [RULES.get(code) for code in self.select]
+
+    def run(self, paths: "list[str | Path]",
+            baseline: "Counter | None" = None) -> LintResult:
+        files = collect_files(paths)
+        modules: list[ModuleInfo] = []
+        parse_failures: list[Finding] = []
+        for file in files:
+            source = file.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=str(file))
+            except SyntaxError as exc:
+                parse_failures.append(Finding(
+                    path=str(file), line=exc.lineno or 0,
+                    col=(exc.offset or 1) - 1, rule="PARSE",
+                    message=f"file does not parse: {exc.msg}"))
+                continue
+            modules.append(ModuleInfo(path=str(file), tree=tree))
+
+        project = Project(modules)
+        findings = list(parse_failures)
+        for module in modules:
+            for rule in self.rules:
+                findings.extend(rule.check(module, project))
+        findings.sort()
+
+        remaining = Counter(baseline or ())
+        new: list[Finding] = []
+        suppressed = 0
+        for finding in findings:
+            key = finding.baseline_key()
+            if finding.rule != "PARSE" and remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                suppressed += 1
+            else:
+                new.append(finding)
+        stale = sorted(key for key, count in remaining.items() if count > 0)
+        return LintResult(findings=findings, new=new, baselined=suppressed,
+                          stale_baseline=stale, files=len(files),
+                          rules=sorted(rule.code for rule in self.rules))
+
+
+# ----------------------------------------------------------------------
+# Baseline file I/O
+# ----------------------------------------------------------------------
+def load_baseline(path: "str | Path") -> "Counter":
+    """Baseline file -> multiset of ``(rule, path, message)`` keys."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"baseline {path} is not valid JSON: {exc}") \
+            from None
+    if not isinstance(payload, dict) \
+            or payload.get("version") != BASELINE_VERSION:
+        raise ConfigError(
+            f"baseline {path} must be an object with version="
+            f"{BASELINE_VERSION}")
+    keys: Counter = Counter()
+    for entry in payload.get("findings", []):
+        try:
+            keys[(entry["rule"], entry["path"], entry["message"])] += 1
+        except (TypeError, KeyError):
+            raise ConfigError(
+                f"baseline {path}: each finding needs rule/path/message"
+            ) from None
+    return keys
+
+
+def write_baseline(findings: list[Finding], path: "str | Path") -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    entries = [{"rule": f.rule, "path": f.path, "message": f.message}
+               for f in sorted(findings) if f.rule != "PARSE"]
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": ("Grandfathered `repro lint` findings. Matching "
+                    "ignores line numbers; regenerate with "
+                    "`repro lint <paths> --write-baseline`."),
+        "findings": entries,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+    return len(entries)

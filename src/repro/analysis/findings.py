@@ -1,0 +1,39 @@
+"""Lint finding record shared by every rule and the CLI.
+
+A :class:`Finding` is deliberately flat — one file/line/col, one rule
+code, one message — so text output, JSON output and the baseline file
+are all trivial projections of the same object.  Baseline matching
+ignores line/col (see :func:`Finding.baseline_key`): grandfathered
+findings survive unrelated edits above them in the file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used for baseline suppression.
+
+        Line/col are excluded on purpose: a baseline entry keeps
+        matching while the offending *code* is unchanged, even when
+        edits elsewhere in the file shift it around.
+        """
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "message": self.message}
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

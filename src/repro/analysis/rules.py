@@ -1,0 +1,105 @@
+"""Lint rule protocol and the rule registry.
+
+Rules are plain objects registered into :data:`RULES` — the same
+generic :class:`~repro.registry.core.Registry` the engine/kernel/GPU
+tables use, so ``--select REP999`` fails with the registry's uniform
+did-you-mean message and third-party checks can register without
+editing this package::
+
+    @register_rule
+    class MyRule(LintRule):
+        code = "REP901"
+        summary = "..."
+        def check(self, module, project): ...
+
+This module also hosts the two single-file rules small enough not to
+deserve their own module: REP005 (no bare ``assert``) and REP006 (no
+inline clock epsilon in ``serve/``).
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project
+from repro.registry.core import Registry
+
+
+class LintRule(abc.ABC):
+    """One checkable invariant, identified by its ``REPnnn`` code."""
+
+    code: str = "REP000"
+    summary: str = ""
+
+    @abc.abstractmethod
+    def check(self, module: ModuleInfo,
+              project: Project) -> list[Finding]:
+        """Findings for ``module`` (cross-file context via ``project``)."""
+
+    def finding(self, module: ModuleInfo, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(path=module.path,
+                       line=getattr(node, "lineno", 0),
+                       col=getattr(node, "col_offset", 0),
+                       rule=self.code, message=message)
+
+
+#: All known rules, keyed by code, in registration (= documentation) order.
+RULES: Registry[LintRule] = Registry("lint rule")
+
+
+def register_rule(cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator: instantiate and register under ``cls.code``."""
+    RULES.register(cls.code, cls())
+    return cls
+
+
+@register_rule
+class NoBareAssert(LintRule):
+    """``assert`` vanishes under ``python -O``; library invariants must
+    be typed exceptions (:class:`~repro.errors.InternalError` for bugs,
+    :class:`~repro.errors.ConfigError` for bad input)."""
+
+    code = "REP005"
+    summary = "no bare assert in library code (stripped under -O)"
+
+    def check(self, module: ModuleInfo,
+              project: Project) -> list[Finding]:
+        return [
+            self.finding(
+                module, node,
+                "bare assert is stripped under `python -O`; raise "
+                "InternalError (bug) or ConfigError (bad input) instead")
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.Assert)
+        ]
+
+
+@register_rule
+class NoInlineClockEpsilon(LintRule):
+    """Clock comparisons in ``serve/`` must use the named
+    ``CLOCK_EPS``; an inline ``1e-12`` silently drifts if the named
+    tolerance ever changes."""
+
+    code = "REP006"
+    summary = "use serve.events.CLOCK_EPS, not an inline 1e-12"
+
+    EPSILON = 1e-12
+
+    def check(self, module: ModuleInfo,
+              project: Project) -> list[Finding]:
+        if not module.in_dir("serve") or module.matches("serve/events.py"):
+            return []
+        return [
+            self.finding(
+                module, node,
+                "inline clock epsilon 1e-12; use "
+                "repro.serve.events.CLOCK_EPS so every comparison "
+                "shares one tolerance")
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+            and node.value == self.EPSILON
+        ]

@@ -1,0 +1,201 @@
+"""REP002 — unit-suffix discipline.
+
+The cost stack carries three unit families — seconds, bytes, tokens —
+through plain floats.  The repo convention is that any identifier
+holding one of them says so with a suffix (``step_s``, ``kv_bytes``,
+``prompt_tokens``); a drifted unit (milliseconds where seconds are
+expected) is then visible in the *name* at every use site.  This rule
+enforces three things:
+
+1. **canonical suffixes** — deprecated synonyms (``_ms``, ``_secs``,
+   ``_nbytes``, ``_toks`` …) are flagged on function names, parameters
+   and assignment targets;
+2. **no cross-family arithmetic** — ``a_s + b_bytes`` is flagged
+   (ratios are fine: ``bytes / s`` is a bandwidth, and ``*_per_*``
+   names are exempt from family inference entirely);
+3. **no unit laundering** — assigning an expression whose family is
+   inferable (a ``*_s`` name, a ``*_seconds(...)`` call, a same-family
+   sum) to a bare unsuffixed local drops the unit on the floor and is
+   flagged.
+
+Family inference is deliberately shallow — names, attributes, calls by
+name, ``min``/``max``/``sum``/``abs``/``float`` transparency, and
+``+``/``-`` (which preserve family).  ``*`` and ``/`` change units, so
+they stop inference.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project, dotted_name
+from repro.analysis.rules import LintRule, register_rule
+
+#: family label -> canonical suffixes (and bare names) denoting it.
+FAMILIES = {
+    "seconds": ("_s", "_seconds", "seconds"),
+    "bytes": ("_bytes", "bytes", "nbytes"),
+    "tokens": ("_tokens", "tokens"),
+}
+
+#: deprecated suffix -> the canonical replacement to suggest.
+DEPRECATED = {
+    "_sec": "_s", "_secs": "_s", "_ms": "_s", "_us": "_s",
+    "_millis": "_s", "_micros": "_s",
+    "_byte": "_bytes", "_nbytes": "_bytes",
+    "_kib": "_bytes", "_mib": "_bytes", "_gib": "_bytes",
+    "_kb": "_bytes", "_mb": "_bytes", "_gb": "_bytes",
+    "_tok": "_tokens", "_toks": "_tokens",
+}
+
+#: builtins transparent to family inference.
+TRANSPARENT_CALLS = ("min", "max", "sum", "abs", "float", "int", "round")
+
+
+def _last_segment(name: str) -> str:
+    return name.rsplit(".", 1)[-1]
+
+
+def family_of_name(name: str) -> str | None:
+    """Unit family a bare identifier claims, or ``None``."""
+    name = _last_segment(name)
+    if name.isupper() or "_per_" in name:
+        return None
+    for label, suffixes in FAMILIES.items():
+        for suffix in suffixes:
+            if (suffix.startswith("_") and name.endswith(suffix)) \
+                    or name == suffix:
+                return label
+    return None
+
+
+def deprecated_suffix(name: str) -> "tuple[str, str] | None":
+    """(bad suffix, canonical replacement) if ``name`` uses one."""
+    name = _last_segment(name)
+    if name.isupper() or "_per_" in name:
+        return None
+    for suffix in sorted(DEPRECATED, key=len, reverse=True):
+        if name.endswith(suffix):
+            return suffix, DEPRECATED[suffix]
+    return None
+
+
+def infer_family(node: ast.AST) -> str | None:
+    """Unit family of an expression, by shallow syntactic inference."""
+    if isinstance(node, ast.Name):
+        return family_of_name(node.id)
+    if isinstance(node, ast.Attribute):
+        return family_of_name(node.attr)
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is None:
+            return None
+        short = _last_segment(name)
+        if short in TRANSPARENT_CALLS:
+            args = node.args
+            if short == "sum" and args:
+                args = args[:1]
+            families = {infer_family(a) for a in args
+                        if not isinstance(a, ast.Starred)}
+            families.discard(None)
+            return families.pop() if len(families) == 1 else None
+        return family_of_name(short)
+    if isinstance(node, (ast.GeneratorExp, ast.ListComp)):
+        return infer_family(node.elt)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left, right = infer_family(node.left), infer_family(node.right)
+        if left == right:
+            return left
+        return None
+    if isinstance(node, ast.IfExp):
+        body, orelse = infer_family(node.body), infer_family(node.orelse)
+        return body if body == orelse else None
+    return None
+
+
+@register_rule
+class UnitDiscipline(LintRule):
+    code = "REP002"
+    summary = ("seconds/bytes/tokens identifiers use _s/_bytes/_tokens "
+               "suffixes; no cross-family arithmetic")
+
+    def check(self, module: ModuleInfo,
+              project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_def(module, node))
+            elif isinstance(node, ast.BinOp) \
+                    and isinstance(node.op, (ast.Add, ast.Sub)):
+                findings.extend(self._check_binop(module, node))
+            elif isinstance(node, ast.Assign):
+                findings.extend(self._check_assign(module, node))
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                target = node.target
+                if isinstance(target, ast.Name):
+                    findings.extend(
+                        self._check_target_name(module, node, target.id))
+        return findings
+
+    def _deprecated_finding(self, module: ModuleInfo, node: ast.AST,
+                            what: str, name: str) -> list[Finding]:
+        hit = deprecated_suffix(name)
+        if hit is None:
+            return []
+        bad, good = hit
+        return [self.finding(
+            module, node,
+            f"{what} `{name}` uses non-canonical unit suffix `{bad}`; "
+            f"use `{good}` (convert the value, don't just rename)")]
+
+    def _check_def(self, module: ModuleInfo,
+                   node: "ast.FunctionDef | ast.AsyncFunctionDef"
+                   ) -> list[Finding]:
+        findings = self._deprecated_finding(module, node, "function",
+                                            node.name)
+        args = node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            findings.extend(
+                self._deprecated_finding(module, arg, "parameter", arg.arg))
+        return findings
+
+    def _check_target_name(self, module: ModuleInfo, node: ast.AST,
+                           name: str) -> list[Finding]:
+        return self._deprecated_finding(module, node, "assignment target",
+                                        name)
+
+    def _check_binop(self, module: ModuleInfo,
+                     node: ast.BinOp) -> list[Finding]:
+        left, right = infer_family(node.left), infer_family(node.right)
+        if left is not None and right is not None and left != right:
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            return [self.finding(
+                module, node,
+                f"`{op}` mixes unit families: left is {left}, right "
+                f"is {right}")]
+        return []
+
+    def _check_assign(self, module: ModuleInfo,
+                      node: ast.Assign) -> list[Finding]:
+        findings: list[Finding] = []
+        name_targets = [t for t in node.targets if isinstance(t, ast.Name)]
+        for target in name_targets:
+            findings.extend(
+                self._check_target_name(module, node, target.id))
+        # unit laundering: family-carrying value, unsuffixed bare target
+        value_family = infer_family(node.value)
+        if value_family is None:
+            return findings
+        suffix = FAMILIES[value_family][0]
+        for target in name_targets:
+            name = target.id
+            if name.isupper() or name.startswith("_") or "_per_" in name:
+                continue
+            if family_of_name(name) is None \
+                    and deprecated_suffix(name) is None:
+                findings.append(self.finding(
+                    module, node,
+                    f"`{name}` is assigned a {value_family}-carrying "
+                    f"expression; name it with the `{suffix}` suffix"))
+        return findings

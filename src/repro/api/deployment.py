@@ -92,7 +92,8 @@ class Deployment:
                              seed=w.seed,
                              page_size=serving.page_size,
                              horizon_s=serving.horizon_s,
-                             placement_policy=serving.placement)
+                             placement_policy=serving.placement,
+                             sanitize=serving.sanitize or None)
 
     # ------------------------------------------------------------------
     # Execution

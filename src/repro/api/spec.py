@@ -243,6 +243,10 @@ class ServingSpec(_SpecBase):
             parallelism.
         horizon_s: Optional serving horizon (seconds of simulated
             clock).
+        sanitize: Run under the sim-sanitizer's runtime invariant
+            checks (see :mod:`repro.analysis.sanitizer`).  ``False``
+            still honours the ``REPRO_SANITIZE`` environment variable
+            at run time; reports are byte-identical either way.
     """
 
     _SECTION = "serving"
@@ -254,6 +258,7 @@ class ServingSpec(_SpecBase):
     page_size: int | None = None
     placement: str = "balanced"
     horizon_s: float | None = None
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         _check_choice("serving.batcher", self.batcher, BATCHER_NAMES)
@@ -267,6 +272,7 @@ class ServingSpec(_SpecBase):
                       PLACEMENT_POLICIES)
         _check_positive_float("serving.horizon_s", self.horizon_s,
                               optional=True)
+        _check_bool("serving.sanitize", self.sanitize)
 
 
 @dataclass(frozen=True)

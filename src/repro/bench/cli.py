@@ -173,7 +173,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                         "batch_size": args.batch_size,
                         "page_size": args.page_size or None,
                         "placement": args.placement,
-                        "horizon_s": args.horizon},
+                        "horizon_s": args.horizon,
+                        "sanitize": args.sanitize},
             "workload": {"kind": args.trace, "requests": args.requests,
                          "qps": args.qps,
                          "prompt_tokens": args.prompt_tokens,
@@ -529,6 +530,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--horizon", type=float, default=None,
                    help="stop serving at this clock (seconds); "
                         "in-flight requests stay unfinished")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run under the sim-sanitizer's runtime "
+                        "invariant checks (same as REPRO_SANITIZE=1); "
+                        "the report is byte-identical")
     p.add_argument("--seed", type=int, default=DEFAULT_SEED)
     p.add_argument("--output", default=None,
                    help="write the JSON report here instead of stdout")

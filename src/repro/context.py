@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, InternalError
 from repro.hw.interconnect import (
     TRIVIAL_PLAN,
     ClusterSpec,
@@ -120,7 +120,10 @@ class ExecutionContext:
         link = kwargs.pop("link", None)
         if link is not None and kwargs.get("cluster") is None:
             plan = kwargs.get("parallel", TRIVIAL_PLAN)
-            assert isinstance(plan, ParallelPlan)
+            if not isinstance(plan, ParallelPlan):
+                raise InternalError(
+                    "parallel plan was not normalised to ParallelPlan "
+                    f"before cluster construction: {plan!r}")
             if not plan.is_trivial:
                 from repro.hw.interconnect import get_link
                 link_spec = (get_link(link) if isinstance(link, str)

@@ -41,6 +41,37 @@ class ConfigError(ReproError):
     """An MoE / model configuration is inconsistent."""
 
 
+class InternalError(ReproError):
+    """An internal invariant of the library was violated.
+
+    Raised where the code used to say ``assert``: unlike a bare
+    ``assert`` these checks survive ``python -O``, and unlike
+    :class:`ConfigError` they indicate a bug in :mod:`repro` itself
+    rather than bad caller input (please report them).
+    """
+
+
+class SanitizerError(InternalError):
+    """A runtime invariant check of the sim-sanitizer failed.
+
+    Raised only when sanitizing is enabled (``REPRO_SANITIZE=1`` or
+    ``sanitize=True``); carries the violated invariant's name and a
+    structured ``subject`` dict naming the event/request/step involved
+    so the failure points at the source, not a downstream percentile.
+    """
+
+    def __init__(self, invariant: str, message: str,
+                 **subject: object) -> None:
+        detail = ", ".join(f"{key}={value!r}"
+                           for key, value in sorted(subject.items()))
+        full = f"[{invariant}] {message}"
+        if detail:
+            full += f" ({detail})"
+        super().__init__(full)
+        self.invariant = invariant
+        self.subject = dict(subject)
+
+
 class CapacityError(ReproError):
     """A workload does not fit in device memory (OOM in the paper)."""
 

@@ -40,10 +40,10 @@ def dram_transactions(pattern: AccessPattern, spec: GPUSpec) -> int:
     """Number of DRAM sectors touched by one pass over ``pattern``."""
     check_positive(pattern.rows, "rows")
     check_positive(pattern.row_bytes, "row_bytes")
-    txn = spec.dram_transaction_bytes
+    txn_bytes = spec.dram_transaction_bytes
     if pattern.contiguous:
-        return math.ceil(pattern.useful_bytes / txn)
-    return pattern.rows * math.ceil(pattern.row_bytes / txn)
+        return math.ceil(pattern.useful_bytes / txn_bytes)
+    return pattern.rows * math.ceil(pattern.row_bytes / txn_bytes)
 
 
 def dram_bytes(pattern: AccessPattern, spec: GPUSpec) -> int:
@@ -53,8 +53,9 @@ def dram_bytes(pattern: AccessPattern, spec: GPUSpec) -> int:
 
 def coalescing_efficiency(pattern: AccessPattern, spec: GPUSpec) -> float:
     """Useful bytes / moved bytes, in (0, 1]."""
-    moved = dram_bytes(pattern, spec)
-    return pattern.useful_bytes / moved if moved else 1.0
+    moved_bytes = dram_bytes(pattern, spec)
+    return (pattern.useful_bytes / moved_bytes
+            if moved_bytes else 1.0)
 
 
 def io_amplification(useful_bytes: int, loaded_bytes: int) -> float:

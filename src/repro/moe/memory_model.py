@@ -124,14 +124,16 @@ class MemoryFootprint:
 
     def require_batch(self, batch: int) -> None:
         """Raise :class:`CapacityError` if ``batch`` does not fit."""
-        need = (self.weights_bytes + self.fixed_bytes
-                + batch * self.per_batch_bytes)
-        have = self.capacity_bytes * (1.0 - FRAGMENTATION)
-        if need > have:
+        need_bytes = (self.weights_bytes + self.fixed_bytes
+                      + batch * self.per_batch_bytes)
+        have_bytes = self.capacity_bytes * (1.0 - FRAGMENTATION)
+        if need_bytes > have_bytes:
             raise CapacityError(
                 f"{self.engine}: batch {batch} needs "
-                f"{need / GIB:.2f} GiB > {have / GIB:.2f} GiB available",
-                required_bytes=int(need), available_bytes=int(have))
+                f"{need_bytes / GIB:.2f} GiB > "
+                f"{have_bytes / GIB:.2f} GiB available",
+                required_bytes=int(need_bytes),
+                available_bytes=int(have_bytes))
 
 
 def weight_bytes(config: MoEModelConfig, engine: str,
@@ -287,13 +289,13 @@ def per_sequence_bytes(config: MoEModelConfig, engine: str,
     activation buffers hold the full hidden state on every device (the
     all-reduce rematerialises it) and do not shrink.
     """
-    kv = kv_cache_bytes(config, seq_len)
-    act = _base_activation_bytes(config, seq_len)
-    work = moe_workspace_bytes(config, seq_len, engine)
+    kv_bytes = kv_cache_bytes(config, seq_len)
+    act_bytes = _base_activation_bytes(config, seq_len)
+    work_bytes = moe_workspace_bytes(config, seq_len, engine)
     if parallel is None or parallel.is_trivial:
-        return kv + act + work
-    return (kv / parallel.tp + act
-            + work / (parallel.ep * parallel.tp))
+        return kv_bytes + act_bytes + work_bytes
+    return (kv_bytes / parallel.tp + act_bytes
+            + work_bytes / (parallel.ep * parallel.tp))
 
 
 @dataclass
@@ -397,11 +399,11 @@ class MemoryLedger:
         the paged policy: at block-aligned ``seq_len``) — the serving
         engine reproduces Table 3 without consulting it.
         """
-        per_seq = self.peak_bytes(seq_len)
-        if per_seq <= 0:
+        per_seq_bytes = self.peak_bytes(seq_len)
+        if per_seq_bytes <= 0:
             raise ConfigError("per-sequence bytes must be positive")
         return max(0, int((self.budget_bytes - self.static_bytes)
-                          // per_seq))
+                          // per_seq_bytes))
 
     # -- observation ---------------------------------------------------
     @property
@@ -416,19 +418,20 @@ class MemoryLedger:
     @property
     def live_bytes(self) -> float:
         """Instantaneous footprint: static + grown-so-far KV caches."""
-        kv = sum(kv_cache_bytes(self.config, tokens)
-                 for tokens in self._context.values())
+        kv_bytes = sum(kv_cache_bytes(self.config, tokens)
+                       for tokens in self._context.values())
         if self.parallel is not None and not self.parallel.is_trivial:
-            kv /= self.parallel.tp
-        return self.static_bytes + kv
+            kv_bytes /= self.parallel.tp
+        return self.static_bytes + kv_bytes
 
     @property
     def pool_utilisation(self) -> float:
         """Charged fraction of the post-static memory pool, in [0, 1+)."""
-        pool = self.budget_bytes - self.static_bytes
-        if pool <= 0:
+        pool_bytes = self.budget_bytes - self.static_bytes
+        if pool_bytes <= 0:
             return 0.0
-        return max(0.0, (self.reserved_bytes - self.static_bytes) / pool)
+        return max(0.0, (self.reserved_bytes - self.static_bytes)
+                   / pool_bytes)
 
 
 @dataclass
@@ -459,16 +462,17 @@ class KVCacheTracker(MemoryLedger):
     def admit(self, request_id: int, prompt_tokens: int,
               final_seq_len: int) -> None:
         """Reserve a request's peak footprint (raises on overflow)."""
-        need = self.sequence_bytes(final_seq_len)
-        if need > self.free_bytes:
+        need_bytes = self.sequence_bytes(final_seq_len)
+        if need_bytes > self.free_bytes:
             raise CapacityError(
                 f"{self.engine}: request {request_id} needs "
-                f"{need / GIB:.2f} GiB > {self.free_bytes / GIB:.2f} GiB "
-                f"free", required_bytes=int(need),
+                f"{need_bytes / GIB:.2f} GiB > "
+                f"{self.free_bytes / GIB:.2f} GiB "
+                f"free", required_bytes=int(need_bytes),
                 available_bytes=int(max(self.free_bytes, 0)))
         if request_id in self._reserved:
             raise ConfigError(f"request {request_id} already admitted")
-        self._reserved[request_id] = need
+        self._reserved[request_id] = need_bytes
         self._context[request_id] = prompt_tokens
 
     def admission_chunk(self, desired_tokens: int,
@@ -527,11 +531,11 @@ class BlockAllocator(MemoryLedger):
         so per-block marginals telescope exactly to
         :func:`per_sequence_bytes`.
         """
-        cached = self._cum_memo.get(blocks)
-        if cached is None:
-            cached = self.sequence_bytes(blocks * self.page_size)
-            self._cum_memo[blocks] = cached
-        return cached
+        cached_bytes = self._cum_memo.get(blocks)
+        if cached_bytes is None:
+            cached_bytes = self.sequence_bytes(blocks * self.page_size)
+            self._cum_memo[blocks] = cached_bytes
+        return cached_bytes
 
     @property
     def used_blocks(self) -> int:
@@ -554,13 +558,13 @@ class BlockAllocator(MemoryLedger):
         if request_id in self._blocks:
             raise ConfigError(f"request {request_id} already admitted")
         blocks = self.blocks_for(prompt_tokens)
-        need = self.block_bytes(blocks)
-        if need > self.free_bytes:
+        need_bytes = self.block_bytes(blocks)
+        if need_bytes > self.free_bytes:
             raise CapacityError(
                 f"{self.engine}: request {request_id} needs {blocks} "
-                f"blocks ({need / GIB:.2f} GiB) > "
+                f"blocks ({need_bytes / GIB:.2f} GiB) > "
                 f"{self.free_bytes / GIB:.2f} GiB free",
-                required_bytes=int(need),
+                required_bytes=int(need_bytes),
                 available_bytes=int(max(self.free_bytes, 0)))
         self._blocks[request_id] = blocks
         self._context[request_id] = prompt_tokens
@@ -569,10 +573,10 @@ class BlockAllocator(MemoryLedger):
                         final_seq_len: int) -> int:
         if desired_tokens <= 0:
             return 0
-        free = self.free_bytes
+        free_bytes = self.free_bytes
         blocks = 0
         while (blocks < self.blocks_for(desired_tokens)
-               and self.block_bytes(blocks + 1) <= free):
+               and self.block_bytes(blocks + 1) <= free_bytes):
             blocks += 1
         return min(desired_tokens, blocks * self.page_size)
 
@@ -582,12 +586,12 @@ class BlockAllocator(MemoryLedger):
             return 0
         held = self._blocks[request_id]
         context = self._context[request_id]
-        free = self.free_bytes
+        free_bytes = self.free_bytes
         blocks = max(held, self.blocks_for(context))
         target = self.blocks_for(context + desired_tokens)
         while (blocks < target and
                self.block_bytes(blocks + 1) - self.block_bytes(held)
-               <= free):
+               <= free_bytes):
             blocks += 1
         return max(0, min(desired_tokens,
                           blocks * self.page_size - context))
@@ -606,14 +610,15 @@ class BlockAllocator(MemoryLedger):
         held = self._blocks[request_id]
         needed = self.blocks_for(context)
         if needed > held:
-            delta = self.block_bytes(needed) - self.block_bytes(held)
-            if delta > self.free_bytes:
+            delta_bytes = self.block_bytes(needed) \
+                - self.block_bytes(held)
+            if delta_bytes > self.free_bytes:
                 raise CapacityError(
                     f"{self.engine}: request {request_id} needs "
                     f"{needed - held} more blocks "
-                    f"({delta / GIB:.3f} GiB) > "
+                    f"({delta_bytes / GIB:.3f} GiB) > "
                     f"{self.free_bytes / GIB:.3f} GiB free",
-                    required_bytes=int(delta),
+                    required_bytes=int(delta_bytes),
                     available_bytes=int(max(self.free_bytes, 0)))
             self._blocks[request_id] = needed
         self._context[request_id] = context

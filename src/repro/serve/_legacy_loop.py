@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.context import ExecutionContext
-from repro.errors import CapacityError, ConfigError
+from repro.errors import CapacityError, ConfigError, InternalError
 from repro.hw.interconnect import ClusterSpec
 from repro.models.attention import attention_cost, decode_attention_cost
 from repro.models.decoder import boundary_comm_seconds, norm_seconds
@@ -172,7 +172,9 @@ class ReferenceEngine:
                 + norm_seconds(cfg, tokens, spec)
             return layer * self._layers
         parallel, cluster = self.ctx.parallel, self._cluster
-        assert cluster is not None
+        if cluster is None:
+            raise InternalError(
+                "distributed pricing requested without a cluster")
         moe_compute = self._distributed_moe_seconds(tokens)
         comm = boundary_comm_seconds(cfg, tokens, parallel, cluster)
         layer = (attn / parallel.tp + moe_compute
@@ -245,7 +247,9 @@ class ReferenceEngine:
         if self._distributed:
             parallel = self.ctx.parallel
             cluster = self._cluster
-            assert cluster is not None
+            if cluster is None:
+                raise InternalError(
+                    "distributed run has no cluster for its ledgers")
             grid = parallel.ep * parallel.tp
             gpus = [cluster.device(d % cluster.num_devices)
                     for d in range(grid)]
@@ -420,7 +424,9 @@ class ReferenceEngine:
         if not self._distributed:
             return None
         cluster = self._cluster
-        assert cluster is not None
+        if cluster is None:
+            raise InternalError(
+                "distributed run has no cluster for its report")
         busy = self._busy_s_total
         info: dict[str, object] = {
             "parallel": self.ctx.parallel.to_dict(),

@@ -176,9 +176,10 @@ class ContinuousBatcher(BudgetedBatcher):
             if (self.max_running is not None
                     and resident >= self.max_running):
                 break
-            prompt = waiting[0].prompt_tokens
-            oversized = prompt > self.token_budget
-            if prompt > budget and not (oversized and resident == 0):
+            prompt_tokens = waiting[0].prompt_tokens
+            oversized = prompt_tokens > self.token_budget
+            if prompt_tokens > budget \
+                    and not (oversized and resident == 0):
                 # Budget exhausted — except an over-budget prompt on an
                 # otherwise idle engine, which must run alone or starve.
                 break
@@ -186,7 +187,7 @@ class ContinuousBatcher(BudgetedBatcher):
             if admitted is None:
                 break                     # memory-bound: retry next step
             prefill.append(admitted)
-            budget -= prompt
+            budget -= prompt_tokens
         return StepPlan(prefill=tuple(prefill), decode=decode)
 
 
@@ -218,17 +219,17 @@ class ChunkedPrefillBatcher(BudgetedBatcher):
         partial = next((ar for ar in running if not ar.prefilled), None)
         in_flight = partial is not None
         if partial is not None and budget > 0:
-            remaining = (partial.request.prompt_tokens
-                         - partial.prefilled_tokens)
+            remaining_tokens = (partial.request.prompt_tokens
+                                - partial.prefilled_tokens)
             grant = tracker.clamp_growth(partial.request.rid,
-                                         min(budget, remaining))
+                                         min(budget, remaining_tokens))
             if grant > 0:
                 tracker.grow(partial.request.rid, grant)
                 chunks.append(PrefillChunk(
                     ar=partial, tokens=grant,
                     offset=partial.prefilled_tokens))
                 budget -= grant
-                in_flight = grant < remaining
+                in_flight = grant < remaining_tokens
         while budget > 0 and waiting and not in_flight:
             if (self.max_running is not None
                     and len(running) >= self.max_running):

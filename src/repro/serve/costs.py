@@ -43,6 +43,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.errors import InternalError
 from repro.models.attention import (
     _projection_seconds,
     attention_cost,
@@ -156,22 +157,22 @@ class StepPricer:
                 + self._norm_seconds(tokens)
             return (layer * self._layers, 0.0, winner)
         parallel = self.ctx.parallel
-        moe_compute = self._distributed_moe_seconds(tokens)
-        comm = self._comm_seconds(tokens)
-        layer = (attn / parallel.tp + moe_compute
-                 + self._norm_seconds(tokens) + comm)
-        return (layer * self._layers, comm * self._layers, winner)
+        moe_compute_s = self._distributed_moe_seconds(tokens)
+        comm_s = self._comm_seconds(tokens)
+        layer = (attn / parallel.tp + moe_compute_s
+                 + self._norm_seconds(tokens) + comm_s)
+        return (layer * self._layers, comm_s * self._layers, winner)
 
     # ------------------------------------------------------------------
     # Memoised components
     # ------------------------------------------------------------------
     def _prefill_attn(self, prompt_tokens: int) -> float:
-        cached = self._attn.get(prompt_tokens)
-        if cached is None:
-            cached = self._attn[prompt_tokens] = attention_cost(
+        cached_s = self._attn.get(prompt_tokens)
+        if cached_s is None:
+            cached_s = self._attn[prompt_tokens] = attention_cost(
                 self.ctx.config, prompt_tokens, self.ctx.spec,
                 batch=1, flash=self.ctx.flash).total_s
-        return cached
+        return cached_s
 
     def _chunk_attn(self, offset: int, tokens: int) -> float:
         """Marginal prefill attention of a chunk (the causal quadratic
@@ -190,11 +191,11 @@ class StepPricer:
         """Memoised decode projection GEMM seconds for ``batch`` new
         tokens — the only kernel-model call in decode attention, and a
         function of the batch alone."""
-        proj = self._proj.get(batch)
-        if proj is None:
-            proj = self._proj[batch] = _projection_seconds(
+        proj_s = self._proj.get(batch)
+        if proj_s is None:
+            proj_s = self._proj[batch] = _projection_seconds(
                 self.ctx.config, batch, self.ctx.spec)
-        return proj
+        return proj_s
 
     def _decode_attn(self, context: int, batch: int) -> float:
         """Decode attention for a batch against ``context`` total cached
@@ -209,20 +210,22 @@ class StepPricer:
             proj_s=self.decode_proj(batch)).total_s
 
     def _norm_seconds(self, tokens: int) -> float:
-        cached = self._norm.get(tokens)
-        if cached is None:
-            cached = self._norm[tokens] = norm_seconds(
+        cached_s = self._norm.get(tokens)
+        if cached_s is None:
+            cached_s = self._norm[tokens] = norm_seconds(
                 self.ctx.config, tokens, self.ctx.spec)
-        return cached
+        return cached_s
 
     def _comm_seconds(self, tokens: int) -> float:
-        cached = self._comm.get(tokens)
-        if cached is None:
-            assert self._cluster is not None
-            cached = self._comm[tokens] = boundary_comm_seconds(
+        cached_s = self._comm.get(tokens)
+        if cached_s is None:
+            if self._cluster is None:
+                raise InternalError(
+                    "comm pricing requested without a cluster")
+            cached_s = self._comm[tokens] = boundary_comm_seconds(
                 self.ctx.config, tokens, self.ctx.parallel,
                 self._cluster)
-        return cached
+        return cached_s
 
     def _moe_cost(self, tokens: int) -> "tuple[float, float]":
         """Memoised monolithic engine cost: (time_s, dataflow_s)."""
@@ -246,10 +249,10 @@ class StepPricer:
             return self._moe_cost(tokens)[0]
         # LPT path: overlap per-expert SSMM segments on ctx.streams
         # streams; keep the engine model's data-flow overheads.
-        _, dataflow = self._moe_cost(tokens)
+        _, dataflow_s = self._moe_cost(tokens)
         segments = self._draw_segments(tokens)
-        makespan = schedule_parallel(segments, ctx.streams).makespan_s
-        return makespan + dataflow
+        makespan_s = schedule_parallel(segments, ctx.streams).makespan_s
+        return makespan_s + dataflow_s
 
     def _distributed_moe_seconds(self, tokens: int) -> float:
         """Per-device MoE compute seconds under the parallel plan (the
@@ -261,14 +264,15 @@ class StepPricer:
         if not self._samoyeds:
             return self._moe_cost(tokens)[0] / (parallel.ep
                                                 * parallel.tp)
-        _, dataflow = self._moe_cost(tokens)
+        _, dataflow_s = self._moe_cost(tokens)
         segments = self._draw_segments(tokens, tp=parallel.tp)
         if self._placement is not None:
-            compute = max(device_makespans(segments, self._placement,
-                                           ctx.streams))
+            compute_s = max(device_makespans(segments, self._placement,
+                                             ctx.streams))
         else:
-            compute = schedule_parallel(segments, ctx.streams).makespan_s
-        return compute + dataflow / (parallel.ep * parallel.tp)
+            compute_s = schedule_parallel(segments,
+                                          ctx.streams).makespan_s
+        return compute_s + dataflow_s / (parallel.ep * parallel.tp)
 
     def _draw_segments(self, tokens: int, tp: int = 1) -> list[float]:
         """Per-expert segment times for one step's routed load, drawn
@@ -302,7 +306,10 @@ class StepPricer:
         same way ``select`` revalidates its own entries.
         """
         engine = self.ctx.engine
-        assert isinstance(engine, AutoEngine)
+        if not isinstance(engine, AutoEngine):
+            raise InternalError(
+                "auto-winner lookup on a non-auto engine "
+                f"({type(engine).__name__})")
         cfg, spec = self.ctx.config, self.ctx.spec
         bucket = AutoEngine._bucket(cfg, tokens)
         memo_key = (phase, bucket)
@@ -321,7 +328,10 @@ class StepPricer:
 
     def _step_key(self, tokens: int, phase: str) -> str:
         engine = self.ctx.engine
-        assert isinstance(engine, AutoEngine)
+        if not isinstance(engine, AutoEngine):
+            raise InternalError(
+                "selection-table key requested on a non-auto engine "
+                f"({type(engine).__name__})")
         return SelectionTable.step_key(
             self.ctx.spec.name, phase,
             engine._problem_key(self.ctx.config, tokens, None),
@@ -333,7 +343,10 @@ class StepPricer:
         under the table's ``step:`` namespace, so a saved table primes
         the next deployment's fast path."""
         engine = self.ctx.engine
-        assert isinstance(engine, AutoEngine)
+        if not isinstance(engine, AutoEngine):
+            raise InternalError(
+                "step recording on a non-auto engine "
+                f"({type(engine).__name__})")
         phase = "prefill" if (plan.prefill or plan.chunks) else "decode"
         key = self._step_key(plan.total_tokens, phase)
         if key not in engine.table.entries:

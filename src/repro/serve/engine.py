@@ -56,7 +56,13 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.context import ExecutionContext
-from repro.errors import CapacityError, ConfigError
+from repro.errors import CapacityError, ConfigError, InternalError
+from repro.analysis.sanitizer import (
+    SanitizedEventManager,
+    SanitizedStepPricer,
+    sanitize_enabled,
+    wrap_ledger,
+)
 from repro.hw.interconnect import ClusterSpec, LinkSpec, ParallelPlan
 from repro.moe.memory_model import (
     BlockAllocator,
@@ -119,6 +125,13 @@ class ServingEngine:
         placement_policy: Expert-to-device placement under expert
             parallelism (``balanced`` uses the routing-skew profile,
             ``round_robin`` ignores it).
+        sanitize: Run under the sim-sanitizer (runtime invariant
+            checks on the event calendar, the memory ledgers and the
+            pricing memos — see :mod:`repro.analysis.sanitizer`).
+            ``None`` (default) defers to the ``REPRO_SANITIZE``
+            environment variable.  Reports are byte-identical either
+            way; sanitized runs trade the uneventful-decode fast path
+            for the checks.
     """
 
     ctx: ExecutionContext
@@ -129,6 +142,7 @@ class ServingEngine:
     page_size: int | None = None
     horizon_s: float | None = None
     placement_policy: str = "balanced"
+    sanitize: bool | None = None
 
     def __post_init__(self) -> None:
         self._layers = self.num_layers or self.ctx.config.num_layers
@@ -156,7 +170,9 @@ class ServingEngine:
                     self.ctx.config.num_experts, parallel.ep,
                     policy=self.placement_policy,
                     profile=self._popularity)
-        self._pricer = StepPricer(self.ctx, self._layers,
+        self._sanitize = sanitize_enabled(self.sanitize)
+        pricer_cls = SanitizedStepPricer if self._sanitize else StepPricer
+        self._pricer = pricer_cls(self.ctx, self._layers,
                                   self._popularity, self._rng,
                                   placement=self._placement,
                                   cluster=self._cluster)
@@ -192,7 +208,9 @@ class ServingEngine:
         if self._distributed:
             parallel = self.ctx.parallel
             cluster = self._cluster
-            assert cluster is not None
+            if cluster is None:
+                raise InternalError(
+                    "distributed run has no cluster for its ledgers")
             grid = parallel.ep * parallel.tp
             gpus = [cluster.device(d % cluster.num_devices)
                     for d in range(grid)]
@@ -242,13 +260,15 @@ class ServingEngine:
                 victim = max(running, key=lambda a: (a.request.arrival_s,
                                                      a.request.rid))
                 if victim is ar and len(running) == 1:
-                    total = ar.request.total_tokens
+                    total_tokens = ar.request.total_tokens
                     raise CapacityError(
-                        f"request {ar.request.rid} ({total} tokens) "
+                        f"request {ar.request.rid} "
+                        f"({total_tokens} tokens) "
                         f"exceeds device memory even alone on "
                         f"{self.ctx.spec.name} with "
                         f"{self.ctx.engine.name}",
-                        required_bytes=int(ledger.peak_bytes(total)),
+                        required_bytes=int(
+                            ledger.peak_bytes(total_tokens)),
                         available_bytes=int(ledger.budget_bytes
                                             - ledger.static_bytes))
                 self._evict(victim, ledger, running, waiting, evicted,
@@ -268,12 +288,15 @@ class ServingEngine:
         self._comm_s_total = 0.0
         self._busy_s_total = 0.0
         self._auto_counts = {}
-        ledger = self._make_ledger()
+        raw_ledger = self._make_ledger()
+        ledger = (wrap_ledger(raw_ledger) if self._sanitize
+                  else raw_ledger)
         records = {req.rid: RequestRecord(req) for req in trace}
         waiting: deque[Request] = deque()
         running: list[ActiveRequest] = []
         collector = MetricsCollector()
-        manager = EventManager()
+        manager = (SanitizedEventManager() if self._sanitize
+                   else EventManager())
         queue = manager.queue
         for req in sorted(trace, key=lambda r: (r.arrival_s, r.rid)):
             queue.push(Arrival(when=req.arrival_s, request=req))
@@ -386,6 +409,7 @@ class ServingEngine:
                          and not self._distributed
                          and not self._pricer.stochastic
                          and not isinstance(self.ctx.engine, AutoEngine)
+                         and not self._sanitize
                          and type(ledger) is KVCacheTracker)
 
         def fast_decode_run() -> bool:
@@ -416,14 +440,14 @@ class ServingEngine:
                 return False
             pricer = self._pricer
             batch = len(running)
-            context = sum(ar.context_tokens for ar in running)
+            context_tokens = sum(ar.context_tokens for ar in running)
             moe_s = pricer._moe_seconds(batch)
             norm_s = pricer._norm_seconds(batch)
             layers = self._layers
             config, spec = self.ctx.config, self.ctx.spec
-            static = ledger.static_bytes
-            toks = ledger.kv_tokens()
-            reserved = ledger.reserved_bytes
+            static_bytes = ledger.static_bytes
+            resident_tokens = ledger.kv_tokens()
+            reserved_bytes = ledger.reserved_bytes
             util = ledger.pool_utilisation
             residents = ledger.active_requests
             # The queue cannot change inside the run (fast steps push
@@ -437,36 +461,39 @@ class ServingEngine:
             # arithmetic; one cross-check against the general path's
             # per-request float sum guards the assumption (falling
             # back to that sum if a config ever breaks it).
-            per_tok = kv_cache_bytes(config, 1)
-            kv_int = int(per_tok)
-            total0 = sum(toks)
+            per_token_bytes = kv_cache_bytes(config, 1)
+            kv_int_bytes = int(per_token_bytes)
+            total0_tokens = sum(resident_tokens)
             closed_form = (
-                float(kv_int) == per_tok
-                and static + float(kv_int * (total0 + batch))
-                == static + sum(kv_cache_bytes(config, t + 1)
-                                for t in toks))
+                float(kv_int_bytes) == per_token_bytes
+                and static_bytes
+                + float(kv_int_bytes * (total0_tokens + batch))
+                == static_bytes + sum(kv_cache_bytes(config, t + 1)
+                                      for t in resident_tokens))
             # Inline the flash decode-attention arithmetic (the same
             # float ops as decode_attention_cost, minus the call and
             # the AttentionCost object); the rare flash=False context
             # keeps the function call.
             flash = self.ctx.flash
             if flash:
-                proj = pricer.decode_proj(batch)
+                proj_s = pricer.decode_proj(batch)
                 h = config.hidden_size
                 ccf = spec.cuda_core_flops
                 bw = spec.dram_bandwidth
-                launch = spec.kernel_launch_overhead_s
+                launch_s = spec.kernel_launch_overhead_s
             observe = collector.samples.append
             busy = self._busy_s_total
             clock = manager.clock
             committed = 0
             while committed < limit:
                 if flash:
-                    flops = 2.0 * 2.0 * context * h
-                    attn = 0.0 + ((proj + max(flops / ccf, flops / bw))
-                                  + launch)
+                    flops = 2.0 * 2.0 * context_tokens * h
+                    attn = 0.0 + ((proj_s
+                                   + max(flops / ccf, flops / bw))
+                                  + launch_s)
                 else:
-                    attn = 0.0 + pricer._decode_attn(context, batch)
+                    attn = 0.0 + pricer._decode_attn(context_tokens,
+                                                     batch)
                 step_s = (attn + moe_s + norm_s) * layers
                 when = clock + step_s
                 if barrier is not None and barrier <= when + CLOCK_EPS:
@@ -475,16 +502,18 @@ class ServingEngine:
                 steps += 1
                 clock = clock if clock >= when else when
                 busy += step_s
-                context += batch
+                context_tokens += batch
                 if closed_form:
-                    live = static + float(
-                        kv_int * (total0 + committed * batch))
+                    live_bytes = static_bytes + float(
+                        kv_int_bytes * (total0_tokens
+                                        + committed * batch))
                 else:
-                    live = static + sum(
+                    live_bytes = static_bytes + sum(
                         kv_cache_bytes(config, t + committed)
-                        for t in toks)
-                observe(StepSample(clock, 0, residents, batch, live,
-                                   reserved, util, 0.0, step_s))
+                        for t in resident_tokens)
+                observe(StepSample(clock, 0, residents, batch,
+                                   live_bytes, reserved_bytes, util,
+                                   0.0, step_s))
             if not committed:
                 return False
             self._busy_s_total = busy
@@ -545,11 +574,15 @@ class ServingEngine:
             queue.push(StepComplete(when=manager.clock + step_s,
                                     step_s=step_s, comm_s=comm_s))
 
+        if self._sanitize and not manager.stopped:
+            # A fully served trace must leave the ledger at its static
+            # charge (horizon runs legitimately end with residents).
+            ledger.assert_drained()
         return summarise(collector, engine=self.ctx.engine.name,
                          model=self.ctx.config.name,
                          gpu=self.ctx.spec.name, batcher=self.batcher.name,
                          num_requests=len(trace),
-                         cluster=self._cluster_report(ledger),
+                         cluster=self._cluster_report(raw_ledger),
                          auto=self._auto_report())
 
     def _auto_report(self) -> dict[str, object] | None:
@@ -574,7 +607,9 @@ class ServingEngine:
         if not self._distributed:
             return None
         cluster = self._cluster
-        assert cluster is not None
+        if cluster is None:
+            raise InternalError(
+                "distributed run has no cluster for its report")
         busy = self._busy_s_total
         info: dict[str, object] = {
             "parallel": self.ctx.parallel.to_dict(),
@@ -647,7 +682,8 @@ def simulate(model: str | ExecutionContext, engine: str = "samoyeds",
              parallel: "str | ParallelPlan | None" = None,
              link: "str | LinkSpec | None" = None,
              horizon_s: float | None = None,
-             placement_policy: str = "balanced") -> ServeReport:
+             placement_policy: str = "balanced",
+             sanitize: bool | None = None) -> ServeReport:
     """One-call serving simulation from registry names.
 
     This is the legacy kwargs front door; new code should prefer the
@@ -668,6 +704,9 @@ def simulate(model: str | ExecutionContext, engine: str = "samoyeds",
     shards the server over a homogeneous cluster of ``gpu`` copies
     joined by ``link``; ``horizon_s`` cuts serving off at that clock
     (the report stays well-formed even when nothing completed).
+    ``sanitize=True`` (or ``REPRO_SANITIZE=1``) runs under the
+    sim-sanitizer's runtime invariant checks; the report is
+    byte-identical to an unsanitized run.
     """
     if isinstance(model, ExecutionContext):
         conflicts = _conflicting_ctx_args(
@@ -688,5 +727,6 @@ def simulate(model: str | ExecutionContext, engine: str = "samoyeds",
                            num_layers=num_layers,
                            routing_skew=routing_skew, seed=seed,
                            page_size=page_size, horizon_s=horizon_s,
-                           placement_policy=placement_policy)
+                           placement_policy=placement_policy,
+                           sanitize=sanitize)
     return server.run(trace)

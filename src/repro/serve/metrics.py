@@ -23,6 +23,7 @@ from dataclasses import dataclass, field, fields
 from typing import Sequence
 
 from repro.errors import ConfigError
+from repro.serve.events import CLOCK_EPS
 from repro.serve.request import Request
 
 
@@ -376,9 +377,9 @@ def summarise(collector: MetricsCollector, *, engine: str, model: str,
     samples = collector.samples
     if not samples:
         raise ConfigError("completed requests but no observed steps")
-    first_arrival = min(r.request.arrival_s for r in done)
-    last_finish = max(r.finished_s for r in done)          # type: ignore
-    duration = max(last_finish - first_arrival, 1e-12)
+    first_arrival_s = min(r.request.arrival_s for r in done)
+    last_finish_s = max(r.finished_s for r in done)        # type: ignore
+    duration_s = max(last_finish_s - first_arrival_s, CLOCK_EPS)
     out_tokens = sum(r.request.output_tokens for r in done)
     return ServeReport(
         engine=engine,
@@ -387,10 +388,10 @@ def summarise(collector: MetricsCollector, *, engine: str, model: str,
         batcher=batcher,
         num_requests=num_requests,
         completed=len(done),
-        duration_s=duration,
+        duration_s=duration_s,
         steps=len(collector.samples),
-        qps_sustained=len(done) / duration,
-        output_tokens_per_s=out_tokens / duration,
+        qps_sustained=len(done) / duration_s,
+        output_tokens_per_s=out_tokens / duration_s,
         ttft_s=PercentileSummary.from_values([r.ttft_s for r in done]),
         tpot_s=PercentileSummary.from_values([r.tpot_s for r in done]),
         queueing_s=PercentileSummary.from_values(

@@ -1,0 +1,141 @@
+"""``repro lint`` CLI tests: JSON golden, baseline workflow, dogfood."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FLAGGED = "def f(x):\n    assert x > 0\n    return x\n"
+
+
+@pytest.fixture
+def flagged_tree(tmp_path, monkeypatch):
+    """A tree with exactly one REP005 finding; cwd moved there so the
+    default baseline path resolves inside the sandbox."""
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text(FLAGGED)
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def run_cli(*argv: str) -> "tuple[int, str]":
+    import contextlib
+    import io
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = lint_main(list(argv))
+    return code, out.getvalue()
+
+
+def test_text_output_and_exit_code(flagged_tree):
+    code, out = run_cli("pkg")
+    assert code == 1
+    lines = out.strip().splitlines()
+    assert lines[0].startswith("pkg/mod.py:2:4: REP005 ")
+    assert lines[-1] == "1 finding (0 baselined) across 1 files"
+
+
+def test_json_output_golden(flagged_tree):
+    code, out = run_cli("pkg", "--format", "json")
+    assert code == 1
+    payload = json.loads(out)
+    # Pin the full machine-readable shape (the CI contract).
+    assert payload == {
+        "version": 1,
+        "files": 1,
+        "rules": ["REP001", "REP002", "REP003", "REP004", "REP005",
+                  "REP006"],
+        "findings": [{
+            "path": "pkg/mod.py",
+            "line": 2,
+            "col": 4,
+            "rule": "REP005",
+            "message": ("bare assert is stripped under `python -O`; "
+                        "raise InternalError (bug) or ConfigError "
+                        "(bad input) instead"),
+        }],
+        "baselined": 0,
+    }
+
+
+def test_select_filters_rules(flagged_tree):
+    code, out = run_cli("pkg", "--select", "REP001,REP002")
+    assert code == 0
+    assert "0 findings" in out
+
+
+def test_unknown_select_is_usage_error(flagged_tree, capsys):
+    code, _ = run_cli("pkg", "--select", "REP042")
+    assert code == 2
+    assert "REP042" in capsys.readouterr().err
+
+
+def test_baseline_roundtrip(flagged_tree):
+    # 1. write a baseline grandfathering the finding
+    code, out = run_cli("pkg", "--write-baseline")
+    assert code == 0
+    assert "wrote 1 baseline entry" in out
+    baseline = json.loads((flagged_tree / "lint-baseline.json")
+                          .read_text())
+    assert baseline["version"] == 1
+    assert len(baseline["findings"]) == 1
+    # 2. the same tree is now clean (finding suppressed, exit 0)
+    code, out = run_cli("pkg")
+    assert code == 0
+    assert "0 findings (1 baselined)" in out
+    # 3. --no-baseline still shows it
+    code, _ = run_cli("pkg", "--no-baseline")
+    assert code == 1
+    # 4. a *new* finding is not suppressed
+    (flagged_tree / "pkg" / "other.py").write_text(FLAGGED)
+    code, out = run_cli("pkg")
+    assert code == 1
+    assert "1 finding (1 baselined)" in out
+
+
+def test_stale_baseline_entry_reported(flagged_tree, capsys):
+    run_cli("pkg", "--write-baseline")
+    (flagged_tree / "pkg" / "mod.py").write_text("X = 1\n")
+    code, _ = run_cli("pkg")
+    assert code == 0                    # stale entries never fail a run
+    assert "stale baseline entry" in capsys.readouterr().err
+
+
+def test_list_rules(flagged_tree):
+    code, out = run_cli("--list-rules")
+    assert code == 0
+    assert [line.split()[0] for line in out.strip().splitlines()] == [
+        "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"]
+
+
+def test_lint_subcommand_wired_into_repro_cli(flagged_tree):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "pkg"],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin"},
+        cwd=flagged_tree)
+    assert proc.returncode == 1
+    assert "REP005" in proc.stdout
+
+
+def test_dogfood_repo_src_is_clean(monkeypatch):
+    """The acceptance gate: the repo lints clean against its own
+    baseline, and the strict rules carry no baseline entries at all.
+
+    Baseline paths are repo-root-relative, so the lint runs from the
+    repo root — the same invocation CI uses."""
+    monkeypatch.chdir(REPO_ROOT)
+    code, out = run_cli("src", "--baseline",
+                        str(REPO_ROOT / "lint-baseline.json"))
+    assert code == 0, out
+    baseline = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+    grandfathered = {entry["rule"] for entry in baseline["findings"]}
+    assert grandfathered <= {"REP002", "REP006"}
