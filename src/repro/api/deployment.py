@@ -41,6 +41,17 @@ class Deployment:
         from repro.api.loader import load_deployment
         return cls(spec=load_deployment(path))
 
+    @classmethod
+    def from_dict(cls, payload) -> "Deployment":
+        """Rebuild from a ``DeploymentSpec.to_dict()`` payload.
+
+        This is the wire format of the parallel experiment executor:
+        :mod:`repro.exec` ships each sweep point to its worker process
+        as the spec's plain-dict form (specs round-trip exactly, so
+        the rebuilt deployment is value-identical to the parent's).
+        """
+        return cls(spec=DeploymentSpec.from_dict(payload))
+
     # ------------------------------------------------------------------
     # Stack construction
     # ------------------------------------------------------------------

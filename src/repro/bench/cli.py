@@ -18,7 +18,17 @@ Subcommands:
   itself: replay a synthetic trace through the event-calendar core and
   the frozen pre-calendar loop, emit ``BENCH_sim.json`` with
   simulated-requests/sec, steps/sec and the speedup, optionally gating
-  on a checked-in baseline ratio (see :mod:`repro.bench.simbench`).
+  on a checked-in baseline ratio (see :mod:`repro.bench.simbench`);
+* ``sweepbench [--jobs N] [--check baseline.json]`` — benchmark the
+  parallel experiment executor: the fixed 32-point grid serial vs
+  fanned over ``--jobs`` worker processes, emitting
+  ``BENCH_sweep.json`` (see :mod:`repro.bench.sweepbench`).
+
+``run`` and ``scale`` accept ``--jobs N`` to execute independent sweep
+points on a :class:`~repro.exec.PointRunner` process pool — payloads
+are byte-identical to the serial loop, results always land in grid
+order, and an infeasible or crashed point fails alone (see
+:mod:`repro.exec`).
 
 ``serve`` and ``scale`` are thin shims over
 :class:`repro.api.DeploymentSpec`: every flag maps to a spec field (the
@@ -55,6 +65,18 @@ def _add_problem_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--m", type=int, default=4096)
     parser.add_argument("--k", type=int, default=4096)
     parser.add_argument("--n", type=int, default=4096)
+
+
+def _add_jobs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for sweep points "
+                             "(1 = serial; payloads are byte-identical "
+                             "either way)")
+    parser.add_argument("--warm", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="warm the shared dispatch table once "
+                             "before fan-out (engine=auto sweeps; "
+                             "--no-warm starts workers cold)")
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -233,13 +255,46 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_line(result, done: int, total: int) -> None:
+    """One stderr line per completed parallel point."""
+    if result.ok:
+        status = "ok"
+    elif result.crashed:
+        status = result.error
+    else:
+        status = f"infeasible ({result.error})"
+    print(f"# [{done}/{total}] {result.label or 'base'}: {status}",
+          file=sys.stderr)
+
+
+def _run_parallel(specs, labels, jobs: int, warm: bool):
+    """Fan deployment specs over the process pool (grid-ordered
+    results), with the warm shared-dispatch-table pre-pass."""
+    import os
+    import tempfile
+
+    from repro.exec import PointRunner, warm_selection_table
+
+    with tempfile.TemporaryDirectory(prefix="repro-exec-") as tmp:
+        table_path = os.path.join(tmp, "dispatch-table.json")
+        if warm:
+            warm_selection_table(specs, table_path)
+        runner = PointRunner(jobs=jobs, table_path=table_path,
+                             progress=_progress_line)
+        return runner.run(specs, labels)
+
+
 def cmd_scale(args: argparse.Namespace) -> int:
     from repro.api import Deployment, DeploymentSpec
     from repro.errors import ReproError
+    from repro.serve.metrics import ServeReport
 
     if args.mode not in ("ep", "tp"):
         print("repro bench scale: --mode must be ep or tp",
               file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("repro bench scale: --jobs must be >= 1", file=sys.stderr)
         return 2
     try:
         devices = [int(d) for d in args.devices.split(",") if d.strip()]
@@ -267,14 +322,18 @@ def cmd_scale(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
-    def run_point(count: int, scale_load: bool) -> dict[str, object]:
+    def point_spec(count: int,
+                   scale_load: bool) -> tuple[DeploymentSpec, int]:
         factor = count if scale_load else 1
         spec = base.with_overrides({
             "hardware.parallel": f"{args.mode}={count}",
             "workload.requests": args.requests * factor,
             "workload.qps": args.qps * factor,
         })
-        report = Deployment(spec).run()
+        return spec, factor
+
+    def point_payload(spec: DeploymentSpec, count: int, factor: int,
+                      report: ServeReport) -> dict[str, object]:
         cluster = report.cluster or {}
         return {
             "devices": count,
@@ -291,18 +350,51 @@ def cmd_scale(args: argparse.Namespace) -> int:
 
     strong: list[dict[str, object]] = []
     weak: list[dict[str, object]] = []
-    for count in devices:
-        for series, scale_load in ((strong, False), (weak, True)):
-            if scale_load and count == 1:
-                series.append(dict(strong[-1]))   # same point at 1 device
-                continue
-            try:
-                series.append(run_point(count, scale_load))
-            except ReproError as exc:
-                label = "weak" if scale_load else "strong"
-                print(f"# {count} devices ({label}): infeasible ({exc})",
-                      file=sys.stderr)
-                series.append({"devices": count, "error": str(exc)})
+    if args.jobs > 1 and len(devices) > 1:
+        # Fan every (count, series) point over the pool, then
+        # reassemble the strong/weak series in device order — byte-
+        # identical to the serial payload (the golden tests pin it).
+        specs, labels, meta = [], [], []
+        for pos, count in enumerate(devices):
+            for series, scale_load in (("strong", False),
+                                       ("weak", True)):
+                if scale_load and count == 1:
+                    continue          # same point as strong at 1 device
+                spec, factor = point_spec(count, scale_load)
+                specs.append(spec)
+                labels.append(f"{count} devices ({series})")
+                meta.append((series, pos, count, factor, spec))
+        results = _run_parallel(specs, labels, args.jobs, args.warm)
+        table: dict[tuple[str, int], dict[str, object]] = {}
+        for (series, pos, count, factor, spec), result in zip(meta,
+                                                              results):
+            if result.error is not None:
+                table[(series, pos)] = {"devices": count,
+                                        "error": result.error}
+            else:
+                table[(series, pos)] = point_payload(
+                    spec, count, factor,
+                    ServeReport.from_dict(result.report))
+        for pos, count in enumerate(devices):
+            strong.append(table[("strong", pos)])
+            weak.append(dict(strong[-1]) if count == 1
+                        else table[("weak", pos)])
+    else:
+        for count in devices:
+            for series, scale_load in ((strong, False), (weak, True)):
+                if scale_load and count == 1:
+                    series.append(dict(strong[-1]))  # same point at 1
+                    continue
+                spec, factor = point_spec(count, scale_load)
+                try:
+                    report = Deployment(spec).run()
+                except ReproError as exc:
+                    label = "weak" if scale_load else "strong"
+                    print(f"# {count} devices ({label}): infeasible "
+                          f"({exc})", file=sys.stderr)
+                    series.append({"devices": count, "error": str(exc)})
+                    continue
+                series.append(point_payload(spec, count, factor, report))
 
     # Speedups are only meaningful relative to the smallest swept device
     # count; if that point errored, print "-" rather than rebasing.
@@ -350,11 +442,23 @@ def cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_row(label: str, report) -> list[object]:
+    """One sweep-table row (shared by the serial and parallel paths)."""
+    return [label, report.completed,
+            f"{report.qps_sustained:.2f}",
+            f"{report.output_tokens_per_s:.0f}",
+            f"{report.ttft_s.p50 * 1e3:.1f}",
+            f"{report.tpot_s.p50 * 1e3:.2f}"]
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.api import Deployment, load_sweep
     from repro.errors import ReproError
-    from repro.serve.metrics import REPORT_HEADERS
+    from repro.serve.metrics import REPORT_HEADERS, ServeReport
 
+    if args.jobs < 1:
+        print("repro bench run: --jobs must be >= 1", file=sys.stderr)
+        return 2
     try:
         base, points = load_sweep(args.config)
     except ConfigError as exc:
@@ -379,23 +483,33 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         entries: list[dict[str, object]] = []
         rows = []
-        for point in points:
-            entry: dict[str, object] = {
-                "overrides": dict(point.overrides)}
-            try:
-                report = Deployment(point.spec).run()
-            except ReproError as exc:
-                print(f"# {point.describe()}: infeasible ({exc})",
-                      file=sys.stderr)
-                entry["error"] = str(exc)
-            else:
-                entry["report"] = report.to_dict()
-                rows.append([point.describe(), report.completed,
-                             f"{report.qps_sustained:.2f}",
-                             f"{report.output_tokens_per_s:.0f}",
-                             f"{report.ttft_s.p50 * 1e3:.1f}",
-                             f"{report.tpot_s.p50 * 1e3:.2f}"])
-            entries.append(entry)
+        if args.jobs > 1 and len(points) > 1:
+            results = _run_parallel([p.spec for p in points],
+                                    [p.describe() for p in points],
+                                    args.jobs, args.warm)
+            for point, result in zip(points, results):
+                entry = {"overrides": dict(point.overrides)}
+                if result.error is not None:
+                    entry["error"] = result.error
+                else:
+                    entry["report"] = result.report
+                    rows.append(_sweep_row(
+                        point.describe(),
+                        ServeReport.from_dict(result.report)))
+                entries.append(entry)
+        else:
+            for point in points:
+                entry = {"overrides": dict(point.overrides)}
+                try:
+                    report = Deployment(point.spec).run()
+                except ReproError as exc:
+                    print(f"# {point.describe()}: infeasible ({exc})",
+                          file=sys.stderr)
+                    entry["error"] = str(exc)
+                else:
+                    entry["report"] = report.to_dict()
+                    rows.append(_sweep_row(point.describe(), report))
+                entries.append(entry)
         if rows:
             print(render_table(
                 ["point", "done", "qps", "tok/s", "ttft p50 ms",
@@ -455,6 +569,53 @@ def cmd_sim(args: argparse.Namespace) -> int:
             return 1
         print(f"repro bench sim: within {args.tolerance:.0%} of "
               f"baseline {args.check}", file=sys.stderr)
+    return 0
+
+
+def cmd_sweepbench(args: argparse.Namespace) -> int:
+    from repro.bench import sweepbench
+
+    if args.jobs < 1:
+        print("repro bench sweepbench: --jobs must be >= 1",
+              file=sys.stderr)
+        return 2
+    requests = args.requests
+    if requests is None:
+        requests = (sweepbench.QUICK_POINT_REQUESTS if args.quick
+                    else sweepbench.DEFAULT_POINT_REQUESTS)
+    payload = sweepbench.run_benchmark(jobs=args.jobs,
+                                       requests=requests,
+                                       seed=args.seed)
+    serial, parallel = payload["serial"], payload["parallel"]
+    print(render_table(
+        ["executor", "points", "errors", "wall s"],
+        [["serial", serial["points"], serial["errors"],
+          f"{serial['wall_s']:.2f}"],
+         [f"--jobs {parallel['jobs']}", parallel["points"],
+          parallel["errors"], f"{parallel['wall_s']:.2f}"]],
+        title=(f"sweep executor throughput "
+               f"(speedup {payload['speedup']['wall_clock']:.2f}x, "
+               f"payloads identical: "
+               f"{payload['payloads_identical']})")),
+        file=sys.stderr)
+    text = render_json(payload)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+    cpus = payload["host"]["cpu_count"]
+    if args.check:
+        failure = sweepbench.check_regression(payload, args.check,
+                                              tolerance=args.tolerance)
+        if failure:
+            print(f"repro bench sweepbench: {failure}", file=sys.stderr)
+            return 1
+        if isinstance(cpus, int) and cpus < 2:
+            print(f"repro bench sweepbench: host has {cpus} cpu(s); "
+                  f"speedup gate skipped (determinism still checked)",
+                  file=sys.stderr)
+        else:
+            print(f"repro bench sweepbench: within {args.tolerance:.0%} "
+                  f"of baseline {args.check}", file=sys.stderr)
     return 0
 
 
@@ -565,6 +726,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=DEFAULT_SEED)
     p.add_argument("--output", default=None,
                    help="write the JSON report here instead of stdout")
+    _add_jobs_args(p)
     _add_gpu_arg(p)
     p.set_defaults(fn=cmd_scale)
 
@@ -575,7 +737,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="path to the config file (see examples/configs)")
     p.add_argument("--output", default=None,
                    help="write the JSON report here instead of stdout")
+    _add_jobs_args(p)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "sweepbench",
+        help="benchmark the parallel experiment executor (serial vs "
+             "--jobs wall-clock on the fixed 32-point grid)")
+    p.add_argument("--jobs", type=int, default=4,
+                   help="worker processes for the parallel side "
+                        "(default: 4, the benchmark protocol)")
+    p.add_argument("--requests", type=int, default=None,
+                   help="requests per grid point (default: 600, or "
+                        "150 with --quick)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized run (smaller points, same grid and "
+                        "therefore a comparable ratio)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--output", default="BENCH_sweep.json",
+                   help="benchmark JSON path (default: BENCH_sweep.json)")
+    p.add_argument("--check", default=None,
+                   help="baseline JSON to gate the speedup ratio "
+                        "against (benchmarks/BENCH_baseline.json)")
+    p.add_argument("--tolerance", type=float, default=0.30,
+                   help="allowed fractional drop below the baseline "
+                        "speedup (default: 0.30)")
+    p.set_defaults(fn=cmd_sweepbench)
 
     p = sub.add_parser(
         "sim", help="benchmark the simulator itself (event-calendar "

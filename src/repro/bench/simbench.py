@@ -30,6 +30,7 @@ from repro.serve._legacy_loop import ReferenceEngine
 from repro.serve.engine import ServingEngine
 from repro.serve.metrics import sim_throughput
 from repro.serve.request import Request, replay_trace
+from repro.utils.host import host_metadata
 from repro.utils.rng import new_rng
 
 #: Benchmark protocol defaults: the acceptance workload is a
@@ -125,6 +126,10 @@ def run_benchmark(requests: int = DEFAULT_REQUESTS,
     }
     return {
         "version": BENCH_VERSION,
+        # Informational only: trajectory comparisons across machines
+        # need to see the host; the --check gate never reads it (it
+        # compares the machine-independent speedup ratio).
+        "host": host_metadata(),
         "workload": {
             "model": model, "engine": engine, "gpu": gpu,
             "num_layers": num_layers, "requests": requests,

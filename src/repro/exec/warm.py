@@ -1,0 +1,75 @@
+"""Warm pre-pass: populate the shared dispatch table before fan-out.
+
+``engine="auto"`` runs price every registered engine once per problem
+bucket and memoise the winner in the process-wide
+:class:`~repro.registry.selector.SelectionTable`.  A serial sweep pays
+that pricing once and every later point hits the memo; a cold process
+pool would pay it once *per worker*.  This pre-pass performs the
+per-GEMM-bucket selections once in the parent — every power-of-two
+token count up to each spec's step token budget, the buckets a serving
+run revisits — and merge-saves them to the shared table file workers
+pre-load, so the fan-out starts from a populated cache.
+
+Selection is deterministic, so warming is purely a performance
+choice: warm or cold, every worker computes identical winners and the
+payloads are byte-identical (the golden tests pin this).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+def warm_tokens(token_budget: int) -> "list[int]":
+    """The token counts whose power-of-two buckets cover a budget."""
+    tokens = []
+    t = 1
+    while t <= token_budget:
+        tokens.append(t)
+        t *= 2
+    if not tokens or tokens[-1] < token_budget:
+        tokens.append(token_budget)        # the final partial bucket
+    return tokens
+
+
+def warm_selection_table(specs: Sequence, path: "str | None" = None
+                         ) -> int:
+    """Price the selections ``specs`` will need, once, in this process.
+
+    Only ``engine="auto"`` specs contribute; each distinct
+    (model, gpu, token-budget) combination is priced at every
+    power-of-two token count up to the budget, recording the winners
+    in the process-wide table.  With ``path`` given, the accumulated
+    entries are atomically merge-saved there for workers to pre-load.
+    Per-point selection failures are skipped — an infeasible point
+    reports its own error when it runs.  Returns the number of
+    entries in the warm table.
+    """
+    from repro.hw.spec import get_gpu
+    from repro.moe.config import MODEL_REGISTRY
+    from repro.registry.selector import AUTO_ENGINE
+
+    seen = set()
+    for spec in specs:
+        if spec.model.engine != "auto":
+            continue
+        key = (spec.model.name, spec.hardware.gpu,
+               spec.serving.token_budget)
+        if key in seen:
+            continue
+        seen.add(key)
+        try:
+            config = MODEL_REGISTRY.get(spec.model.name)
+            gpu = get_gpu(spec.hardware.gpu)
+        except ReproError:
+            continue
+        for tokens in warm_tokens(spec.serving.token_budget):
+            try:
+                AUTO_ENGINE.select(config, tokens, gpu)
+            except ReproError:
+                continue
+    if path is not None and AUTO_ENGINE.table.entries:
+        AUTO_ENGINE.table.merge_save(path)
+    return len(AUTO_ENGINE.table.entries)

@@ -34,7 +34,11 @@ from repro.kernels.autotuner import problem_bucket
 from repro.moe.layers import ENGINES, MoEEngine, register_engine
 from repro.registry.capabilities import Capabilities
 from repro.registry.core import Registry
-from repro.utils.persist import load_versioned_json, save_versioned_json
+from repro.utils.persist import (
+    load_versioned_json,
+    merge_versioned_json,
+    save_versioned_json,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.hw.simulator import CostBreakdown
@@ -90,6 +94,21 @@ class SelectionTable:
     def save(self, path: "str | Path") -> None:
         save_versioned_json(path, "selection table", self.VERSION,
                             self.entries)
+
+    def merge_save(self, path: "str | Path") -> None:
+        """Merge this table's entries into the file at ``path``.
+
+        Load-modify-merge through
+        :func:`~repro.utils.persist.merge_versioned_json`: entries
+        already on disk survive, this table's entries win collisions,
+        and the write is atomic — the contract that lets N pool
+        workers accumulate selections in one shared warm table
+        instead of clobbering each other.  The in-memory table adopts
+        the merged view.
+        """
+        self.entries = dict(merge_versioned_json(
+            path, "selection table", self.VERSION, self.entries,
+            entry_ok=lambda v: isinstance(v, dict) and "engine" in v))
 
     @classmethod
     def load(cls, path: "str | Path") -> "SelectionTable":

@@ -1,0 +1,31 @@
+"""Host metadata stamped into benchmark payloads.
+
+``BENCH_sim.json`` and ``BENCH_sweep.json`` are trajectory artifacts:
+numbers recorded on one machine get compared against numbers recorded
+on another (a laptop vs a CI runner vs a future self).  Recording the
+measuring host makes those comparisons honest — a 1-core container
+cannot show a 4-way parallel speedup, and a reader should be able to
+see that from the payload alone.  Regression gates deliberately ignore
+this block: they compare machine-independent *ratios*, never absolute
+numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+
+
+def host_metadata() -> dict[str, object]:
+    """Describe the measuring host (cpu count, python, platform).
+
+    Purely informational: ``--check`` gates never read it, so payloads
+    recorded on different machines stay comparable on their ratios.
+    """
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }

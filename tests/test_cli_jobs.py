@@ -1,0 +1,124 @@
+"""``--jobs N`` on the bench CLI: golden serial/parallel equivalence.
+
+The executor's user-facing contract: ``repro bench run`` and ``repro
+bench scale`` emit **byte-identical** JSON whether the points run
+serially or fanned over worker processes — including under the
+runtime sim-sanitizer — and an infeasible sweep point keeps its grid
+position as an ``error`` entry either way.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.cli import main
+
+CONFIG_DIR = os.path.join(os.path.dirname(__file__), "..",
+                          "examples", "configs")
+CLUSTER_SWEEP = os.path.join(CONFIG_DIR, "cluster_sweep.yaml")
+
+SCALE_ARGS = ["scale", "--devices", "1,2", "--requests", "8",
+              "--qps", "8", "--prompt-tokens", "64",
+              "--output-tokens", "4", "--layers", "1", "--gpu", "a100"]
+
+
+def run_cli(capsys, argv):
+    """Run the CLI, returning (exit code, stdout)."""
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+class TestJobsValidation:
+    def test_run_rejects_nonpositive_jobs(self, capsys):
+        assert main(["run", CLUSTER_SWEEP, "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_scale_rejects_nonpositive_jobs(self, capsys):
+        assert main(SCALE_ARGS + ["--jobs", "-1"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
+class TestRunGolden:
+    def test_cluster_sweep_parallel_byte_identical(self, capsys):
+        code, serial = run_cli(capsys, ["run", CLUSTER_SWEEP])
+        assert code == 0
+        code, parallel = run_cli(capsys,
+                                 ["run", CLUSTER_SWEEP, "--jobs", "2"])
+        assert code == 0
+        assert parallel == serial
+
+    def test_cluster_sweep_parallel_identical_under_sanitizer(
+            self, capsys, monkeypatch):
+        """The sanitizer's runtime checks ride along into spawn
+        workers via the environment; the payload must not change."""
+        code, baseline = run_cli(capsys, ["run", CLUSTER_SWEEP])
+        assert code == 0
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        code, sanitized = run_cli(capsys,
+                                  ["run", CLUSTER_SWEEP, "--jobs", "2"])
+        assert code == 0
+        assert sanitized == baseline
+
+    def test_cold_table_also_identical(self, capsys):
+        """--no-warm skips the pre-pass; winners are recomputed in
+        each worker but are deterministic, so bytes still match."""
+        code, serial = run_cli(capsys, ["run", CLUSTER_SWEEP])
+        assert code == 0
+        code, cold = run_cli(capsys, ["run", CLUSTER_SWEEP,
+                                      "--jobs", "2", "--no-warm"])
+        assert code == 0
+        assert cold == serial
+
+
+class TestInfeasiblePointPosition:
+    @pytest.fixture
+    def sweep_config(self, tmp_path):
+        """Two-point sweep whose second point (ep=16 on an 8-expert
+        model) is infeasible."""
+        path = tmp_path / "sweep.yaml"
+        path.write_text(json.dumps({
+            "model": {"name": "mixtral-8x7b", "engine": "samoyeds",
+                      "num_layers": 1},
+            "hardware": {"gpu": "a100"},
+            "workload": {"kind": "poisson", "requests": 6, "qps": 8.0,
+                         "prompt_tokens": 64, "output_tokens": 4,
+                         "seed": 7},
+            "sweep": {"hardware.parallel": ["ep=1", "ep=16"]},
+        }))
+        return str(path)
+
+    def check_payload(self, out):
+        payload = json.loads(out)
+        sweep = payload["sweep"]
+        assert len(sweep) == 2
+        assert sweep[0]["overrides"] == {"hardware.parallel": "ep=1"}
+        assert "report" in sweep[0] and "error" not in sweep[0]
+        # The infeasible point keeps its grid position and carries
+        # the error string instead of a report.
+        assert sweep[1]["overrides"] == {"hardware.parallel": "ep=16"}
+        assert "error" in sweep[1] and "report" not in sweep[1]
+        return out
+
+    def test_serial_and_parallel_keep_position(self, capsys,
+                                               sweep_config):
+        code, serial = run_cli(capsys, ["run", sweep_config])
+        assert code == 0
+        self.check_payload(serial)
+        code, parallel = run_cli(capsys,
+                                 ["run", sweep_config, "--jobs", "2"])
+        assert code == 0
+        assert self.check_payload(parallel) == serial
+
+
+class TestScaleGolden:
+    def test_scale_parallel_byte_identical(self, capsys):
+        code, serial = run_cli(capsys, SCALE_ARGS)
+        assert code == 0
+        code, parallel = run_cli(capsys, SCALE_ARGS + ["--jobs", "2"])
+        assert code == 0
+        assert parallel == serial
+        # Sanity: the payload really contains both series.
+        payload = json.loads(serial)
+        assert [p["devices"] for p in payload["strong"]] == [1, 2]
+        assert [p["devices"] for p in payload["weak"]] == [1, 2]

@@ -1,0 +1,141 @@
+"""Atomic + merge-on-write persistence (``repro.utils.persist``).
+
+The dispatch-table files are shared between concurrent sweep workers,
+so the write path carries two guarantees the parallel executor leans
+on: a crash mid-write leaves the old payload intact (atomic temp-file
++ ``os.replace``), and concurrent writers accumulate entries instead
+of clobbering each other (load-modify-merge).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels.autotuner import TuningTable
+from repro.registry.selector import SelectionTable
+from repro.utils.persist import (load_versioned_json, merge_versioned_json,
+                                 save_versioned_json)
+
+
+def read_json(path):
+    return json.loads(path.read_text())
+
+
+def temp_files(directory):
+    return [name for name in os.listdir(directory)
+            if name.endswith(".tmp")]
+
+
+class TestAtomicSave:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "table.json"
+        save_versioned_json(path, "table", 1, {"k": {"v": 1}})
+        assert load_versioned_json(path, "table", 1) == {"k": {"v": 1}}
+        assert temp_files(tmp_path) == []
+
+    def test_serialisation_error_leaves_old_payload_intact(self, tmp_path):
+        """Simulated mid-write crash #1: the payload cannot serialise.
+
+        json.dumps raises before any file is touched, so the old
+        payload must survive byte for byte and no temp file may
+        remain.
+        """
+        path = tmp_path / "table.json"
+        save_versioned_json(path, "table", 1, {"k": {"v": 1}})
+        before = path.read_bytes()
+        with pytest.raises(TypeError):
+            save_versioned_json(path, "table", 1, {"bad": object()})
+        assert path.read_bytes() == before
+        assert temp_files(tmp_path) == []
+
+    def test_replace_failure_leaves_old_payload_intact(self, tmp_path,
+                                                       monkeypatch):
+        """Simulated mid-write crash #2: the rename itself dies.
+
+        The temp file was fully written but never moved into place —
+        the destination must hold the old payload and the temp file
+        must be cleaned up.
+        """
+        path = tmp_path / "table.json"
+        save_versioned_json(path, "table", 1, {"k": {"v": 1}})
+        before = path.read_bytes()
+
+        def broken_replace(src, dst):
+            raise OSError("disk pulled")
+
+        import repro.utils.persist as persist
+        monkeypatch.setattr(persist.os, "replace", broken_replace)
+        with pytest.raises(OSError, match="disk pulled"):
+            save_versioned_json(path, "table", 1, {"k": {"v": 2}})
+        assert path.read_bytes() == before
+        assert temp_files(tmp_path) == []
+
+    def test_payload_is_sorted_and_versioned(self, tmp_path):
+        path = tmp_path / "table.json"
+        save_versioned_json(path, "table", 3, {"b": {}, "a": {}})
+        payload = read_json(path)
+        assert payload["version"] == 3
+        assert list(payload["entries"]) == ["a", "b"]
+
+
+class TestMergeVersionedJson:
+    def test_missing_file_degrades_to_save(self, tmp_path):
+        path = tmp_path / "table.json"
+        merged = merge_versioned_json(path, "table", 1, {"a": {"v": 1}})
+        assert merged == {"a": {"v": 1}}
+        assert load_versioned_json(path, "table", 1) == merged
+
+    def test_merge_accumulates_and_caller_wins(self, tmp_path):
+        path = tmp_path / "table.json"
+        save_versioned_json(path, "table", 1,
+                            {"a": {"v": 1}, "b": {"v": 2}})
+        merged = merge_versioned_json(path, "table", 1,
+                                      {"b": {"v": 9}, "c": {"v": 3}})
+        assert merged == {"a": {"v": 1}, "b": {"v": 9}, "c": {"v": 3}}
+        assert load_versioned_json(path, "table", 1) == merged
+
+    def test_merge_rejects_corrupt_file(self, tmp_path):
+        path = tmp_path / "table.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="unreadable"):
+            merge_versioned_json(path, "table", 1, {"a": {}})
+
+    def test_merge_accepts_legacy_when_allowed(self, tmp_path):
+        path = tmp_path / "table.json"
+        path.write_text(json.dumps({"a": {"v": 1}}))    # bare entries
+        merged = merge_versioned_json(path, "table", 1, {"b": {"v": 2}},
+                                      allow_legacy=True)
+        assert merged == {"a": {"v": 1}, "b": {"v": 2}}
+        # The rewrite upgrades the file to the versioned envelope.
+        assert read_json(path)["version"] == 1
+
+    def test_merge_validates_entries_with_entry_ok(self, tmp_path):
+        path = tmp_path / "table.json"
+        save_versioned_json(path, "table", 1, {"a": {"no-engine": 1}})
+        with pytest.raises(ConfigError, match="malformed"):
+            merge_versioned_json(
+                path, "table", 1, {"b": {"engine": "x"}},
+                entry_ok=lambda v: isinstance(v, dict) and "engine" in v)
+
+
+class TestTableMergeSave:
+    def test_selection_tables_accumulate(self, tmp_path):
+        path = tmp_path / "selection.json"
+        first = SelectionTable({"k1": {"engine": "samoyeds"}})
+        first.merge_save(path)
+        second = SelectionTable({"k2": {"engine": "venom"}})
+        second.merge_save(path)
+        assert second.entries == {"k1": {"engine": "samoyeds"},
+                                  "k2": {"engine": "venom"}}
+        loaded = SelectionTable.load(path)
+        assert loaded.entries == second.entries
+
+    def test_tuning_tables_accumulate(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        TuningTable({"p1": {"tile": [64, 64]}}).merge_save(path)
+        table = TuningTable({"p2": {"tile": [128, 32]}})
+        table.merge_save(path)
+        assert set(table.entries) == {"p1", "p2"}
+        assert TuningTable.load(path).entries == table.entries
