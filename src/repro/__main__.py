@@ -7,8 +7,8 @@ installed console script mirrors the module entry point::
     python -m repro bench maxbatch --gpu a100
 
 ``repro list [kind]`` prints the plugin registries (engines, kernels,
-gpus, links, models) with their capability metadata — the discovery
-side of the registry API::
+gpus, links, models, workloads) with their capability metadata — the
+discovery side of the registry API::
 
     repro list engines
     repro list            # every registry
@@ -56,10 +56,15 @@ def _registry_rows(kind: str) -> list[tuple[str, str]]:
                  f"k={cfg.top_k} h={cfg.hidden_size} "
                  f"i={cfg.intermediate_size} act={cfg.activation}")
                 for name, cfg in MODEL_REGISTRY.items()]
+    if kind == "workloads":
+        from repro.workloads import WORKLOADS
+        return [(name, factory.describe())
+                for name, factory in WORKLOADS.items()]
     raise ValueError(kind)
 
 
-LIST_KINDS = ("engines", "kernels", "gpus", "links", "models")
+LIST_KINDS = ("engines", "kernels", "gpus", "links", "models",
+              "workloads")
 
 
 def cmd_list(argv: list[str]) -> int:
@@ -93,7 +98,8 @@ def main(argv: list[str] | None = None) -> int:
         print("usage: repro bench <subcommand> [options]\n"
               "       repro lint [paths] [--select CODES] "
               "[--format text|json]\n"
-              "       repro list [engines|kernels|gpus|links|models]\n"
+              "       repro list "
+              "[engines|kernels|gpus|links|models|workloads]\n"
               "       (see `repro bench --help` for bench subcommands)")
         return 0 if argv else 2
     if argv[0] == "bench":

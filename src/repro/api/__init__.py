@@ -42,6 +42,7 @@ from repro.api.loader import (
     load_sweep,
 )
 from repro.api.deployment import Deployment
+from repro.workloads import TenantSpec
 
 __all__ = [
     "DeploymentSpec",
@@ -49,6 +50,7 @@ __all__ = [
     "HardwareSpec",
     "ServingSpec",
     "WorkloadSpec",
+    "TenantSpec",
     "Deployment",
     "SweepPoint",
     "expand_sweep",

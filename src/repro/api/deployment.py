@@ -26,7 +26,7 @@ from repro.context import ExecutionContext
 from repro.serve.batcher import Batcher, make_batcher
 from repro.serve.engine import ServingEngine
 from repro.serve.metrics import ServeReport
-from repro.serve.request import Request, bursty_trace, poisson_trace
+from repro.workloads import WORKLOADS, Request, assign_tenants
 
 
 @dataclass(frozen=True)
@@ -71,21 +71,34 @@ class Deployment:
                             max_running=serving.max_running)
 
     def build_trace(self) -> list[Request]:
-        """The seeded arrival trace (deterministic per spec)."""
+        """The seeded arrival trace (deterministic per spec).
+
+        Dispatches through the :data:`repro.workloads.WORKLOADS`
+        registry: the factory named by ``workload.kind`` picks the
+        options it declared from the spec's full option dict.  When
+        the spec declares tenants, generated traces are stamped with
+        tenant identities afterwards (file-replayed traces carry their
+        own ``tenant`` column and are replayed verbatim — the tenant
+        specs then contribute SLOs, priorities and rate limits only).
+        """
         w = self.spec.workload
-        if w.kind == "poisson":
-            return poisson_trace(w.requests, w.qps,
-                                 prompt_tokens=w.prompt_tokens,
-                                 output_tokens=w.output_tokens,
-                                 jitter=w.jitter, seed=w.seed,
-                                 eos_sampling=w.eos_sampling)
-        return bursty_trace(w.requests, w.qps,
-                            burst_factor=w.burst_factor,
-                            burst_len=w.burst_len,
-                            prompt_tokens=w.prompt_tokens,
-                            output_tokens=w.output_tokens,
-                            jitter=w.jitter, seed=w.seed,
-                            eos_sampling=w.eos_sampling)
+        factory = WORKLOADS[w.kind]
+        trace = factory.build_from_options(
+            requests=w.requests, qps=w.qps,
+            prompt_tokens=w.prompt_tokens,
+            output_tokens=w.output_tokens, jitter=w.jitter,
+            eos_sampling=w.eos_sampling, seed=w.seed,
+            burst_factor=w.burst_factor, burst_len=w.burst_len,
+            period_s=w.period_s, amplitude=w.amplitude,
+            crowd_factor=w.crowd_factor,
+            crowd_start_s=w.crowd_start_s,
+            crowd_duration_s=w.crowd_duration_s,
+            trace_path=w.trace_path)
+        if w.tenants and not factory.from_file:
+            trace = assign_tenants(trace, w.tenants, seed=w.seed,
+                                   jitter=w.jitter,
+                                   eos_sampling=w.eos_sampling)
+        return trace
 
     def build(self) -> tuple[ExecutionContext, Batcher, list[Request]]:
         """Materialise the whole stack the spec describes."""
@@ -104,6 +117,8 @@ class Deployment:
                              page_size=serving.page_size,
                              horizon_s=serving.horizon_s,
                              placement_policy=serving.placement,
+                             tenants=w.tenants,
+                             scheduler=serving.scheduler,
                              sanitize=serving.sanitize or None)
 
     # ------------------------------------------------------------------

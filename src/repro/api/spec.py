@@ -37,7 +37,10 @@ from repro.moe.config import MODEL_REGISTRY
 from repro.moe.layers import ENGINES
 from repro.moe.trace import validate_skew
 from repro.serve.batcher import BATCHER_NAMES
+from repro.serve.scheduling import SCHEDULER_NAMES
 from repro.utils.rng import DEFAULT_SEED
+from repro.workloads.registry import WORKLOADS
+from repro.workloads.tenants import TenantSpec, validate_tenants
 
 import repro.registry.selector  # noqa: F401  (registers engine "auto")
 
@@ -45,8 +48,10 @@ import repro.registry.selector  # noqa: F401  (registers engine "auto")
 #: and the ``serve --engines`` flag; the CLI re-exports this map).
 ENGINE_ALIASES = {"vllm": "vllm-ds", "hf": "transformers"}
 
-#: Trace kinds a :class:`WorkloadSpec` can generate.
-TRACE_KINDS = ("poisson", "bursty")
+#: Trace kinds a :class:`WorkloadSpec` can generate.  Deprecated alias
+#: of the :data:`repro.workloads.WORKLOADS` registry keys (kept for
+#: pre-registry imports); registering a new workload extends it.
+TRACE_KINDS = tuple(WORKLOADS)
 
 #: Expert-placement policies (mirrors ``moe.scheduler.place_experts``).
 PLACEMENT_POLICIES = ("balanced", "round_robin")
@@ -239,6 +244,10 @@ class ServingSpec(_SpecBase):
         page_size: KV page size in tokens; ``None`` keeps the
             conservative whole-request reservation, a positive value
             switches to paged admission with preemption.
+        scheduler: Preemption/queue-order policy: ``youngest_first``
+            (the historical default, byte-identical to the goldens) or
+            ``priority_slack`` (SLO-aware: evict low priority / most
+            slack first, admit high priority first).
         placement: Expert-to-device placement policy under expert
             parallelism.
         horizon_s: Optional serving horizon (seconds of simulated
@@ -256,6 +265,7 @@ class ServingSpec(_SpecBase):
     batch_size: int = 8
     max_running: int | None = None
     page_size: int | None = None
+    scheduler: str = "youngest_first"
     placement: str = "balanced"
     horizon_s: float | None = None
     sanitize: bool = False
@@ -268,6 +278,8 @@ class ServingSpec(_SpecBase):
                             optional=True)
         _check_positive_int("serving.page_size", self.page_size,
                             optional=True)
+        _check_choice("serving.scheduler", self.scheduler,
+                      SCHEDULER_NAMES)
         _check_choice("serving.placement", self.placement,
                       PLACEMENT_POLICIES)
         _check_positive_float("serving.horizon_s", self.horizon_s,
@@ -280,7 +292,10 @@ class WorkloadSpec(_SpecBase):
     """What traffic the server faces.
 
     Attributes:
-        kind: Arrival-trace shape (``poisson`` or ``bursty``).
+        kind: Arrival-trace shape, validated against the
+            :data:`repro.workloads.WORKLOADS` registry (``poisson``,
+            ``bursty``, ``diurnal``, ``flash_crowd``, ``trace`` plus
+            any third-party registration).
         requests: Number of requests in the trace.
         qps: Offered load in requests/second.
         prompt_tokens: Mean prompt length.
@@ -290,6 +305,17 @@ class WorkloadSpec(_SpecBase):
             the uniform jitter band (seeded, reproducible).
         burst_factor: Burst rate multiplier (bursty traces only).
         burst_len: Requests per burst (bursty traces only).
+        period_s: Day length in simulated seconds (diurnal only).
+        amplitude: Peak-to-mean rate swing in [0, 1] (diurnal only).
+        crowd_factor: Spike rate multiplier (flash_crowd only).
+        crowd_start_s: Spike window start (flash_crowd only).
+        crowd_duration_s: Spike window length (flash_crowd only).
+        trace_path: CSV trace file to replay (required for — and only
+            valid with — file-replay kinds such as ``trace``).
+        tenants: Multi-tenant request classes
+            (:class:`~repro.workloads.tenants.TenantSpec`); empty
+            keeps the single implicit tenant and the pre-tenant
+            report shape.
         routing_skew: Zipf skew of per-step expert loads.
         seed: Trace and engine RNG seed.
     """
@@ -305,11 +331,18 @@ class WorkloadSpec(_SpecBase):
     eos_sampling: bool = False
     burst_factor: float = 8.0
     burst_len: int = 16
+    period_s: float = 60.0
+    amplitude: float = 0.5
+    crowd_factor: float = 8.0
+    crowd_start_s: float = 5.0
+    crowd_duration_s: float = 5.0
+    trace_path: str | None = None
+    tenants: tuple[TenantSpec, ...] = ()
     routing_skew: float = 0.0
     seed: int = DEFAULT_SEED
 
     def __post_init__(self) -> None:
-        _check_choice("workload.kind", self.kind, TRACE_KINDS)
+        _check_registered("workload.kind", WORKLOADS, self.kind)
         _check_positive_int("workload.requests", self.requests)
         _check_positive_float("workload.qps", self.qps)
         _check_positive_int("workload.prompt_tokens", self.prompt_tokens)
@@ -323,6 +356,45 @@ class WorkloadSpec(_SpecBase):
         if self.burst_factor <= 1.0:
             _fail("workload.burst_factor", "must be > 1")
         _check_positive_int("workload.burst_len", self.burst_len)
+        _check_positive_float("workload.period_s", self.period_s)
+        if (isinstance(self.amplitude, bool)
+                or not isinstance(self.amplitude, (int, float))
+                or not 0.0 <= self.amplitude <= 1.0):
+            _fail("workload.amplitude", "must be in [0, 1]")
+        _check_positive_float("workload.crowd_factor", self.crowd_factor)
+        if self.crowd_factor <= 1.0:
+            _fail("workload.crowd_factor", "must be > 1")
+        if (isinstance(self.crowd_start_s, bool)
+                or not isinstance(self.crowd_start_s, (int, float))
+                or self.crowd_start_s < 0):
+            _fail("workload.crowd_start_s", "must be >= 0")
+        _check_positive_float("workload.crowd_duration_s",
+                              self.crowd_duration_s)
+        if self.trace_path is not None:
+            if not isinstance(self.trace_path, str) or not self.trace_path:
+                _fail("workload.trace_path",
+                      f"must be a non-empty string, got "
+                      f"{self.trace_path!r}")
+            if not WORKLOADS[self.kind].from_file:
+                _fail("workload.trace_path",
+                      f"only applies to file-replay kinds, not "
+                      f"{self.kind!r}")
+        elif WORKLOADS[self.kind].from_file:
+            _fail("workload.trace_path",
+                  f"required for kind {self.kind!r}")
+        if not isinstance(self.tenants, tuple):
+            _fail("workload.tenants",
+                  "must be a tuple of TenantSpec (a list of mappings "
+                  "in config files)")
+        for i, tenant in enumerate(self.tenants):
+            if not isinstance(tenant, TenantSpec):
+                _fail(f"workload.tenants[{i}]",
+                      f"must be a TenantSpec, got "
+                      f"{type(tenant).__name__}")
+        try:
+            validate_tenants(self.tenants)
+        except ConfigError as exc:
+            _fail("workload.tenants", str(exc))
         try:
             validate_skew(self.routing_skew)
         except RoutingError as exc:
@@ -330,6 +402,37 @@ class WorkloadSpec(_SpecBase):
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             _fail("workload.seed",
                   f"must be an integer, got {self.seed!r}")
+
+    def _encode_field(self, name: str, value: Any) -> Any:
+        if name == "tenants":
+            return [tenant.to_dict() for tenant in value]
+        return value
+
+    @classmethod
+    def _decode_field(cls, name: str, value: Any) -> Any:
+        if name == "tenants":
+            if not isinstance(value, (list, tuple)):
+                _fail("workload.tenants",
+                      f"must be a list of tenant mappings, got "
+                      f"{type(value).__name__}")
+            decoded = []
+            for i, entry in enumerate(value):
+                if isinstance(entry, TenantSpec):
+                    decoded.append(entry)
+                    continue
+                if not isinstance(entry, Mapping):
+                    _fail(f"workload.tenants[{i}]",
+                          f"must be a mapping, got "
+                          f"{type(entry).__name__}")
+                try:
+                    decoded.append(TenantSpec.from_dict(entry))
+                except ConfigError as exc:
+                    # Tenant errors are "field: message"; qualify them
+                    # as workload.tenants[i].field: message.
+                    raise ConfigError(
+                        f"workload.tenants[{i}].{exc}") from None
+            return tuple(decoded)
+        return value
 
 
 #: Section name -> spec class, in the order config files list them.

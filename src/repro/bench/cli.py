@@ -185,6 +185,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("repro bench serve: --page-size must be >= 0",
               file=sys.stderr)
         return 2
+    workload_kind = args.workload or args.trace
     try:
         base = DeploymentSpec.from_dict({
             "model": {"name": args.model, "num_layers": args.layers},
@@ -196,13 +197,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
                         "page_size": args.page_size or None,
                         "placement": args.placement,
                         "horizon_s": args.horizon,
+                        "scheduler": args.scheduler,
                         "sanitize": args.sanitize},
-            "workload": {"kind": args.trace, "requests": args.requests,
+            "workload": {"kind": workload_kind,
+                         "requests": args.requests,
                          "qps": args.qps,
                          "prompt_tokens": args.prompt_tokens,
                          "output_tokens": args.output_tokens,
                          "eos_sampling": args.eos_sampling,
-                         "seed": args.seed},
+                         "seed": args.seed,
+                         "trace_path": args.trace_path},
         })
         # One trace serves every engine: identical traffic per engine.
         trace = Deployment(base).build_trace()
@@ -227,13 +231,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if rows:
         print(render_table(
             REPORT_HEADERS, rows,
-            title=(f"{args.model} on {args.gpu}: {args.trace} trace, "
-                   f"{args.requests} requests at {args.qps} QPS")),
+            title=(f"{args.model} on {args.gpu}: {workload_kind} "
+                   f"trace, {args.requests} requests at {args.qps} "
+                   f"QPS")),
             file=sys.stderr)
     payload = {
         "model": args.model,
         "gpu": args.gpu,
-        "trace": args.trace,
+        "trace": workload_kind,
         "qps_offered": args.qps,
         "requests": args.requests,
         "seed": args.seed,
@@ -657,7 +662,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engines", default="samoyeds,vllm-ds",
                    help="comma-separated engines (vllm = vllm-ds)")
     p.add_argument("--trace", default="poisson",
-                   choices=["poisson", "bursty"])
+                   choices=["poisson", "bursty"],
+                   help="legacy workload alias (see --workload)")
+    p.add_argument("--workload", default=None,
+                   help="workload kind from the WORKLOADS registry "
+                        "(see `repro list workloads`); overrides "
+                        "--trace")
+    p.add_argument("--trace-path", default=None,
+                   help="CSV trace file for --workload trace")
+    p.add_argument("--scheduler", default="youngest_first",
+                   choices=["youngest_first", "priority_slack"],
+                   help="preemption/queue policy (priority_slack "
+                        "needs workload tenants, so it matters only "
+                        "with config-driven runs or tenant traces)")
     p.add_argument("--qps", type=float, default=2.0,
                    help="offered load in requests/second")
     p.add_argument("--requests", type=int, default=48)

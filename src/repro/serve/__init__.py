@@ -22,7 +22,16 @@ from repro.serve.events import (
     EventQueue,
     HorizonExpired,
     Preempt,
+    RateRefill,
     StepComplete,
+)
+from repro.serve.scheduling import (
+    SCHEDULER_NAMES,
+    AdmissionGate,
+    PrioritySlack,
+    TokenBucket,
+    YoungestFirst,
+    make_scheduler,
 )
 from repro.serve.request import (
     Request,
@@ -54,7 +63,14 @@ __all__ = [
     "StepComplete",
     "Preempt",
     "HorizonExpired",
+    "RateRefill",
     "EventKind",
+    "SCHEDULER_NAMES",
+    "make_scheduler",
+    "YoungestFirst",
+    "PrioritySlack",
+    "AdmissionGate",
+    "TokenBucket",
     "EventQueue",
     "EventManager",
     "StepPricer",

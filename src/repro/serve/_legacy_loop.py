@@ -50,6 +50,7 @@ from repro.serve.batcher import (
     ContinuousBatcher,
     StepPlan,
 )
+from repro.serve.events import CLOCK_EPS
 from repro.serve.metrics import (
     MetricsCollector,
     RequestRecord,
@@ -86,9 +87,9 @@ def _reference_segment_seconds(config, loads, spec, kernel, tile_n,
         n_e = math.ceil(int(load) / tile_n) * tile_n
         triple = memo.get(n_e)
         if triple is None:
-            gate_up = kernel.cost(inter, h, n_e, spec).time_s
-            down = kernel.cost(h, inter, n_e, spec).time_s
-            triple = memo[n_e] = 2.0 * gate_up + down
+            gate_up_s = kernel.cost(inter, h, n_e, spec).time_s
+            down_s = kernel.cost(h, inter, n_e, spec).time_s
+            triple = memo[n_e] = 2.0 * gate_up_s + down_s
         out.append(triple)
     return out
 
@@ -155,8 +156,8 @@ class ReferenceEngine:
             attn += self._chunk_attention_seconds(chunk.offset,
                                                   chunk.tokens)
         if plan.decode:
-            context = sum(ar.context_tokens for ar in plan.decode)
-            attn += decode_attention_cost(cfg, context, spec,
+            context_tokens = sum(ar.context_tokens for ar in plan.decode)
+            attn += decode_attention_cost(cfg, context_tokens, spec,
                                           batch=len(plan.decode),
                                           flash=self.ctx.flash).total_s
         tokens = plan.total_tokens
@@ -175,11 +176,11 @@ class ReferenceEngine:
         if cluster is None:
             raise InternalError(
                 "distributed pricing requested without a cluster")
-        moe_compute = self._distributed_moe_seconds(tokens)
-        comm = boundary_comm_seconds(cfg, tokens, parallel, cluster)
-        layer = (attn / parallel.tp + moe_compute
-                 + norm_seconds(cfg, tokens, spec) + comm)
-        self._step_comm_s = comm * self._layers
+        moe_compute_s = self._distributed_moe_seconds(tokens)
+        comm_s = boundary_comm_seconds(cfg, tokens, parallel, cluster)
+        layer = (attn / parallel.tp + moe_compute_s
+                 + norm_seconds(cfg, tokens, spec) + comm_s)
+        self._step_comm_s = comm_s * self._layers
         return layer * self._layers
 
     def _chunk_attention_seconds(self, offset: int, tokens: int) -> float:
@@ -187,19 +188,19 @@ class ReferenceEngine:
         if offset <= 0:
             return attention_cost(cfg, tokens, spec, batch=1,
                                   flash=self.ctx.flash).total_s
-        whole = attention_cost(cfg, offset + tokens, spec, batch=1,
-                               flash=self.ctx.flash).total_s
-        prior = attention_cost(cfg, offset, spec, batch=1,
-                               flash=self.ctx.flash).total_s
-        return max(whole - prior, 0.0)
+        whole_s = attention_cost(cfg, offset + tokens, spec, batch=1,
+                                 flash=self.ctx.flash).total_s
+        prior_s = attention_cost(cfg, offset, spec, batch=1,
+                                 flash=self.ctx.flash).total_s
+        return max(whole_s - prior_s, 0.0)
 
     def _engine_moe_memo(self, tokens: int) -> float:
-        cached = self._moe_memo.get(tokens)
-        if cached is None:
-            cached = self.ctx.engine.cost(self.ctx.config, tokens,
-                                          self.ctx.spec).time_s
-            self._moe_memo[tokens] = cached
-        return cached
+        cached_s = self._moe_memo.get(tokens)
+        if cached_s is None:
+            cached_s = self.ctx.engine.cost(self.ctx.config, tokens,
+                                            self.ctx.spec).time_s
+            self._moe_memo[tokens] = cached_s
+        return cached_s
 
     def _draw_segments(self, tokens: int, tp: int = 1) -> list[float]:
         ctx = self.ctx
@@ -218,9 +219,9 @@ class ReferenceEngine:
             return self._engine_moe_memo(tokens)
         cost = ctx.engine.cost(ctx.config, tokens, ctx.spec)
         segments = self._draw_segments(tokens)
-        makespan = schedule_parallel(segments, ctx.streams).makespan_s
+        makespan_s = schedule_parallel(segments, ctx.streams).makespan_s
         dataflow = float(cost.detail.get("dataflow_s", 0.0))
-        return makespan + dataflow
+        return makespan_s + dataflow
 
     def _distributed_moe_seconds(self, tokens: int) -> float:
         if tokens <= 0:
@@ -233,12 +234,13 @@ class ReferenceEngine:
         cost = ctx.engine.cost(ctx.config, tokens, ctx.spec)
         segments = self._draw_segments(tokens, tp=parallel.tp)
         if self._placement is not None:
-            compute = max(device_makespans(segments, self._placement,
-                                           ctx.streams))
+            compute_s = max(device_makespans(segments, self._placement,
+                                             ctx.streams))
         else:
-            compute = schedule_parallel(segments, ctx.streams).makespan_s
+            compute_s = schedule_parallel(segments,
+                                          ctx.streams).makespan_s
         dataflow = float(cost.detail.get("dataflow_s", 0.0))
-        return compute + dataflow / (parallel.ep * parallel.tp)
+        return compute_s + dataflow / (parallel.ep * parallel.tp)
 
     # ------------------------------------------------------------------
     # The nested while loop, exactly as shipped
@@ -282,13 +284,14 @@ class ReferenceEngine:
                 victim = max(running, key=lambda a: (a.request.arrival_s,
                                                      a.request.rid))
                 if victim is ar and len(running) == 1:
-                    total = ar.request.total_tokens
+                    total_tokens = ar.request.total_tokens
                     raise CapacityError(
-                        f"request {ar.request.rid} ({total} tokens) "
-                        f"exceeds device memory even alone on "
+                        f"request {ar.request.rid} ({total_tokens} "
+                        f"tokens) exceeds device memory even alone on "
                         f"{self.ctx.spec.name} with "
                         f"{self.ctx.engine.name}",
-                        required_bytes=int(ledger.peak_bytes(total)),
+                        required_bytes=int(
+                            ledger.peak_bytes(total_tokens)),
                         available_bytes=int(ledger.budget_bytes
                                             - ledger.static_bytes))
                 self._evict(victim, ledger, running, waiting, evicted,
@@ -309,19 +312,20 @@ class ReferenceEngine:
         waiting: deque[Request] = deque()
         running: list[ActiveRequest] = []
         collector = MetricsCollector()
-        clock = 0.0
+        clock_s = 0.0
         steps = 0
 
         while arrivals or waiting or running:
-            if self.horizon_s is not None and clock >= self.horizon_s:
+            if self.horizon_s is not None and clock_s >= self.horizon_s:
                 break
-            while arrivals and arrivals[0].arrival_s <= clock + 1e-12:
+            while (arrivals
+                   and arrivals[0].arrival_s <= clock_s + CLOCK_EPS):
                 waiting.append(arrivals.popleft())
-            plan = self.batcher.plan_step(clock, waiting, running, ledger,
-                                          bool(arrivals))
+            plan = self.batcher.plan_step(clock_s, waiting, running,
+                                          ledger, bool(arrivals))
             if plan.empty:
                 if arrivals:
-                    clock = max(clock, arrivals[0].arrival_s)
+                    clock_s = max(clock_s, arrivals[0].arrival_s)
                     continue
                 head = next((ar.request for ar in running
                              if not ar.prefilled),
@@ -339,7 +343,7 @@ class ReferenceEngine:
                 raise ConfigError(f"exceeded {max_steps} steps; trace too "
                                   f"large or engine starved")
             step_s = self.step_seconds(plan)
-            clock += step_s
+            clock_s += step_s
             self._busy_s_total += step_s
             self._comm_s_total += self._step_comm_s
             evicted: set[int] = set()
@@ -360,7 +364,7 @@ class ReferenceEngine:
                 if ar.request.rid in evicted:
                     continue
                 if record.first_token_s is None:
-                    record.first_token_s = clock
+                    record.first_token_s = clock_s
                 ar.prefilled = True
                 ar.prefilled_tokens = ar.request.prompt_tokens
                 ar.generated = 1
@@ -378,15 +382,16 @@ class ReferenceEngine:
                     ar.prefilled = True
                     ar.generated = 1
                     if record.first_token_s is None:
-                        record.first_token_s = clock
+                        record.first_token_s = clock_s
                     self._grow(ar, ledger, running, waiting, evicted,
                                collector)
 
-            while arrivals and arrivals[0].arrival_s <= clock + 1e-12:
+            while (arrivals
+                   and arrivals[0].arrival_s <= clock_s + CLOCK_EPS):
                 waiting.append(arrivals.popleft())
 
             collector.observe(StepSample(
-                clock_s=clock,
+                clock_s=clock_s,
                 queue_depth=len(waiting),
                 running=ledger.active_requests,
                 step_tokens=plan.total_tokens,
@@ -400,7 +405,7 @@ class ReferenceEngine:
                 running.remove(ar)
                 ledger.release(ar.request.rid)
                 record = records[ar.request.rid]
-                record.finished_s = clock
+                record.finished_s = clock_s
                 collector.finish(record)
 
         return summarise(collector, engine=self.ctx.engine.name,

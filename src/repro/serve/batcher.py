@@ -120,6 +120,12 @@ class Batcher(abc.ABC):
 
     name: str = "batcher"
 
+    #: Per-tenant token-rate admission gate
+    #: (:class:`repro.serve.scheduling.AdmissionGate`), set by the
+    #: engine at run start; ``None`` (single-tenant / unthrottled
+    #: runs) keeps admission exactly as before.
+    admission_gate = None
+
     @abc.abstractmethod
     def plan_step(self, clock: float, waiting: "deque[Request]",
                   running: list[ActiveRequest], tracker: LedgerLike,
@@ -128,11 +134,19 @@ class Batcher(abc.ABC):
 
     def _admit(self, clock: float, waiting: "deque[Request]",
                tracker: LedgerLike) -> ActiveRequest | None:
-        """Admit the head of the queue if the ledger accepts it whole."""
+        """Admit the head of the queue if the ledger accepts it whole.
+
+        Memory is checked before the rate gate so a memory-deferred
+        request never consumes its tenant's bucket tokens; the gate
+        charge happens exactly once, at actual admission.
+        """
         req = waiting[0]
         if not tracker.can_admit_request(req.prompt_tokens,
                                          req.total_tokens):
             return None
+        if (self.admission_gate is not None
+                and not self.admission_gate.try_admit(clock, req)):
+            return None                   # rate-throttled: retry later
         waiting.popleft()
         tracker.admit(req.rid, req.prompt_tokens, req.total_tokens)
         return ActiveRequest(request=req, admitted_s=clock)
@@ -239,6 +253,9 @@ class ChunkedPrefillBatcher(BudgetedBatcher):
                 min(budget, req.prompt_tokens), req.total_tokens)
             if first <= 0:
                 break                     # memory-bound: retry next step
+            if (self.admission_gate is not None
+                    and not self.admission_gate.try_admit(clock, req)):
+                break                     # rate-throttled: retry later
             waiting.popleft()
             tracker.admit(req.rid, 0, req.total_tokens)
             tracker.grow(req.rid, first)

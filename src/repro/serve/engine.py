@@ -88,6 +88,7 @@ from repro.serve.events import (
     EventManager,
     HorizonExpired,
     Preempt,
+    RateRefill,
     StepComplete,
 )
 from repro.serve.metrics import (
@@ -98,7 +99,9 @@ from repro.serve.metrics import (
     summarise,
 )
 from repro.serve.request import Request, validate_trace
+from repro.serve.scheduling import AdmissionGate, make_scheduler
 from repro.utils.rng import new_rng
+from repro.workloads.tenants import TenantSpec, validate_tenants
 
 
 @dataclass
@@ -125,6 +128,17 @@ class ServingEngine:
         placement_policy: Expert-to-device placement under expert
             parallelism (``balanced`` uses the routing-skew profile,
             ``round_robin`` ignores it).
+        tenants: Multi-tenant request classes
+            (:class:`~repro.workloads.tenants.TenantSpec`): declares
+            per-tenant priorities, TTFT/TPOT SLOs and token-rate
+            limits, and switches the report to carry a per-tenant
+            section.  Empty (default) keeps the single-tenant
+            behaviour byte-identical to the goldens.
+        scheduler: Preemption/queue-order policy
+            (:data:`~repro.serve.scheduling.SCHEDULER_NAMES`):
+            ``youngest_first`` (default, the historical byte-identical
+            order) or ``priority_slack`` (evict low priority / most
+            SLO slack first and admit high priority first).
         sanitize: Run under the sim-sanitizer (runtime invariant
             checks on the event calendar, the memory ledgers and the
             pricing memos — see :mod:`repro.analysis.sanitizer`).
@@ -142,9 +156,15 @@ class ServingEngine:
     page_size: int | None = None
     horizon_s: float | None = None
     placement_policy: str = "balanced"
+    tenants: Sequence[TenantSpec] = ()
+    scheduler: str = "youngest_first"
     sanitize: bool | None = None
 
     def __post_init__(self) -> None:
+        self.tenants = tuple(self.tenants)
+        validate_tenants(self.tenants)
+        self._tenant_table = {t.name: t for t in self.tenants}
+        self._policy = make_scheduler(self.scheduler)
         self._layers = self.num_layers or self.ctx.config.num_layers
         if self._layers <= 0:
             raise ConfigError("num_layers must be positive")
@@ -239,16 +259,20 @@ class ServingEngine:
         waiting.appendleft(victim.request)
         evicted.add(victim.request.rid)
         manager.emit(Preempt(when=manager.clock,
-                             victim_rid=victim.request.rid))
+                             victim_rid=victim.request.rid,
+                             tenant=victim.request.tenant))
 
     def _grow(self, ar: ActiveRequest,
               ledger: "MemoryLedger | DeviceLedgers",
               running: list[ActiveRequest], waiting: "deque[Request]",
               evicted: set[int], manager: EventManager) -> bool:
         """Charge one token of KV growth for ``ar``, preempting the
-        youngest resident request (latest arrival) until it fits.
+        scheduling policy's preferred victim until it fits — the
+        youngest resident request (latest arrival) under the default
+        policy, the lowest-priority / most-slack one under
+        ``priority_slack``.
 
-        Returns ``False`` when ``ar`` itself was the youngest and got
+        Returns ``False`` when ``ar`` itself was the victim and got
         evicted; raises :class:`CapacityError` when ``ar`` cannot grow
         even with the device to itself.
         """
@@ -257,8 +281,7 @@ class ServingEngine:
                 ledger.grow(ar.request.rid)
                 return True
             except CapacityError:
-                victim = max(running, key=lambda a: (a.request.arrival_s,
-                                                     a.request.rid))
+                victim = max(running, key=self._victim_key)
                 if victim is ar and len(running) == 1:
                     total_tokens = ar.request.total_tokens
                     raise CapacityError(
@@ -298,6 +321,22 @@ class ServingEngine:
         manager = (SanitizedEventManager() if self._sanitize
                    else EventManager())
         queue = manager.queue
+        policy = self._policy
+        table = self._tenant_table
+
+        def victim_key(ar: ActiveRequest):
+            return policy.victim_key(ar, manager.clock,
+                                     records.get(ar.request.rid),
+                                     table.get(ar.request.tenant))
+
+        self._victim_key = victim_key
+        # Token-rate admission gate: fresh per run (bucket levels are
+        # run state).  ``None`` when no tenant declares a rate limit,
+        # which keeps the admission path allocation-free.
+        gate = AdmissionGate(table) if table else None
+        if gate is not None and not gate:
+            gate = None
+        self.batcher.admission_gate = gate
         for req in sorted(trace, key=lambda r: (r.arrival_s, r.rid)):
             queue.push(Arrival(when=req.arrival_s, request=req))
         if self.horizon_s is not None:
@@ -308,13 +347,21 @@ class ServingEngine:
         in_flight: list[StepPlan] = []
 
         def on_arrival(event: Arrival) -> None:
+            if gate is not None and not gate.admissible(event.request):
+                # Larger than its tenant's bucket capacity: no amount
+                # of waiting admits it.  Reject at the door.
+                collector.reject(event.request.tenant)
+                return
             waiting.append(event.request)
 
         def on_preempt(event: Preempt) -> None:
-            collector.preempt()
+            collector.preempt(event.tenant)
 
         def on_horizon(event: HorizonExpired) -> None:
             manager.stop()             # plan no further steps
+
+        def on_rate_refill(event: RateRefill) -> None:
+            pass    # wake-up only: planning resumes in the main loop
 
         def on_step_complete(event: StepComplete) -> None:
             plan = in_flight.pop()
@@ -391,6 +438,7 @@ class ServingEngine:
         manager.on(EventKind.PREEMPT, on_preempt)
         manager.on(EventKind.HORIZON_EXPIRED, on_horizon)
         manager.on(EventKind.STEP_COMPLETE, on_step_complete)
+        manager.on(EventKind.RATE_REFILL, on_rate_refill)
 
         # -- uneventful-decode fast path --------------------------------
         # The discrete-event payoff: when the calendar can prove the
@@ -539,6 +587,14 @@ class ServingEngine:
                 break                  # trace fully served
             if fast_eligible and not waiting and fast_decode_run():
                 continue
+            if policy.reorders_queue and len(waiting) > 1:
+                # Stable sort: FCFS within a priority class survives.
+                ordered = sorted(
+                    waiting,
+                    key=lambda r: policy.queue_key(r,
+                                                   table.get(r.tenant)))
+                waiting.clear()
+                waiting.extend(ordered)
             plan = self.batcher.plan_step(
                 manager.clock, waiting, running, ledger,
                 bool(queue.pending_arrivals))
@@ -546,6 +602,15 @@ class ServingEngine:
                 if queue.pending_arrivals:
                     manager.advance()  # idle until the next arrival
                     continue
+                if gate is not None and waiting:
+                    # The queue head may be rate-throttled rather than
+                    # memory-blocked: schedule a wake-up at the instant
+                    # its tenant's bucket has refilled enough.
+                    wake_s = gate.next_admit_s(manager.clock, waiting[0])
+                    if wake_s is not None:
+                        queue.push(RateRefill(when=wake_s))
+                        manager.advance()
+                        continue
                 # An unfinished partial prefill is the stuck request
                 # (it holds the blocks); otherwise blame the queue head.
                 head = next((ar.request for ar in running
@@ -583,7 +648,9 @@ class ServingEngine:
                          gpu=self.ctx.spec.name, batcher=self.batcher.name,
                          num_requests=len(trace),
                          cluster=self._cluster_report(raw_ledger),
-                         auto=self._auto_report())
+                         auto=self._auto_report(),
+                         tenants=self.tenants or None,
+                         all_records=list(records.values()))
 
     def _auto_report(self) -> dict[str, object] | None:
         """Auto-dispatch report section (``None`` for fixed engines).

@@ -23,6 +23,11 @@ Event types and their meaning:
   same typed-event path so observers see one uniform stream.
 * :class:`HorizonExpired` — the serving horizon was reached: no further
   steps are planned, in-flight work still completes.
+* :class:`RateRefill` — a wake-up scheduled at the instant a tenant's
+  token bucket has refilled enough to admit the throttled queue head.
+  The event itself is a no-op: it exists to give the otherwise idle
+  calendar something to advance to, after which the normal planning
+  path retries admission.
 
 Ordering guarantees
 -------------------
@@ -75,6 +80,7 @@ class EventKind(IntEnum):
     STEP_COMPLETE = 1
     PREEMPT = 2
     HORIZON_EXPIRED = 3
+    RATE_REFILL = 4
 
 
 @dataclass(frozen=True)
@@ -128,6 +134,7 @@ class Preempt(Event):
     """A running request was evicted back to the waiting queue."""
 
     victim_rid: int = -1
+    tenant: str = "default"
 
     KIND = EventKind.PREEMPT
 
@@ -141,6 +148,14 @@ class HorizonExpired(Event):
     """The serving horizon was reached; plan no further steps."""
 
     KIND = EventKind.HORIZON_EXPIRED
+
+
+@dataclass(frozen=True)
+class RateRefill(Event):
+    """A throttled tenant's token bucket has refilled enough to admit
+    the waiting queue head; wake the planner (no other effect)."""
+
+    KIND = EventKind.RATE_REFILL
 
 
 class EventQueue:

@@ -24,7 +24,8 @@ from typing import Sequence
 
 from repro.errors import ConfigError
 from repro.serve.events import CLOCK_EPS
-from repro.serve.request import Request
+from repro.workloads.tenants import TenantSpec
+from repro.workloads.traces import DEFAULT_TENANT, Request
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -185,14 +186,20 @@ class ServeReport:
     #: Auto-dispatch section (``engine="auto"`` runs only): which fixed
     #: engine the cost-driven selector picked per serving phase.
     auto: dict[str, object] | None = None
+    #: Per-tenant section (multi-tenant runs only): one block per
+    #: tenant with TTFT/TPOT percentiles, SLO attainment, admission
+    #: and preemption counts.  ``None`` on single-tenant runs so their
+    #: reports stay byte-identical to the pre-tenant format.
+    tenants: dict[str, object] | None = None
 
     def to_dict(self) -> dict[str, object]:
         """JSON-ready payload (plain types only, stable key order).
 
         The ``cluster`` section (parallel plan, link, placement and
-        communication shares) appears only for multi-device runs, so
-        single-GPU reports stay byte-identical to the pre-cluster
-        format.
+        communication shares) appears only for multi-device runs, and
+        the ``tenants`` section only when tenants were declared, so
+        single-GPU single-tenant reports stay byte-identical to the
+        pre-cluster / pre-tenant format.
         """
         return {
             "engine": self.engine,
@@ -219,6 +226,8 @@ class ServeReport:
                if self.cluster is not None else {}),
             **({"auto": dict(self.auto)}
                if self.auto is not None else {}),
+            **({"tenants": dict(self.tenants)}
+               if self.tenants is not None else {}),
         }
 
     @classmethod
@@ -283,6 +292,8 @@ class MetricsCollector:
     samples: list[StepSample] = field(default_factory=list)
     records: list[RequestRecord] = field(default_factory=list)
     preemptions: int = 0
+    preemptions_by_tenant: dict[str, int] = field(default_factory=dict)
+    rejected_by_tenant: dict[str, int] = field(default_factory=dict)
 
     def observe(self, sample: StepSample) -> None:
         self.samples.append(sample)
@@ -290,9 +301,16 @@ class MetricsCollector:
     def finish(self, record: RequestRecord) -> None:
         self.records.append(record)
 
-    def preempt(self) -> None:
+    def preempt(self, tenant: str = DEFAULT_TENANT) -> None:
         """Count one eviction of a running request back to the queue."""
         self.preemptions += 1
+        self.preemptions_by_tenant[tenant] = \
+            self.preemptions_by_tenant.get(tenant, 0) + 1
+
+    def reject(self, tenant: str = DEFAULT_TENANT) -> None:
+        """Count one arrival rejected by its tenant's rate limit."""
+        self.rejected_by_tenant[tenant] = \
+            self.rejected_by_tenant.get(tenant, 0) + 1
 
 
 def _sample_stats(samples: "Sequence[StepSample]") -> dict[str, object]:
@@ -320,10 +338,73 @@ def _sample_stats(samples: "Sequence[StepSample]") -> dict[str, object]:
     }
 
 
+def _attainment(hits: int, offered: int) -> float:
+    """SLO attainment over *offered* requests: a request that was
+    rejected, starved or cut off by the horizon missed its SLO."""
+    return hits / offered if offered else 0.0
+
+
+def tenant_sections(tenants: "Sequence[TenantSpec]",
+                    records: "Sequence[RequestRecord]",
+                    rejected: "dict[str, int] | None" = None,
+                    preempted: "dict[str, int] | None" = None
+                    ) -> dict[str, object]:
+    """Per-tenant report blocks: one per declared tenant (in
+    declaration order) plus any extra tenant the trace carried.
+
+    A tenant with zero completed requests reuses the zero-completions
+    path (:meth:`PercentileSummary.zero`) — a well-formed all-zero
+    block, never a percentile error.  SLO attainment is the fraction
+    of the tenant's *offered* requests that met the objective
+    (``None`` when the tenant declared no objective).
+    """
+    rejected = rejected or {}
+    preempted = preempted or {}
+    declared = {t.name: t for t in tenants}
+    extras = sorted({r.request.tenant for r in records} - set(declared))
+    sections: dict[str, object] = {}
+    for name in list(declared) + extras:
+        spec = declared.get(name)
+        recs = [r for r in records if r.request.tenant == name]
+        done = [r for r in recs if r.completed]
+        first = [r for r in recs if r.first_token_s is not None]
+        offered = len(recs)
+        ttft = (PercentileSummary.from_values([r.ttft_s for r in first])
+                if first else PercentileSummary.zero())
+        tpot = (PercentileSummary.from_values([r.tpot_s for r in done])
+                if done else PercentileSummary.zero())
+        ttft_slo = spec.ttft_slo_s if spec is not None else None
+        tpot_slo = spec.tpot_slo_s if spec is not None else None
+        sections[name] = {
+            "priority": spec.priority if spec is not None else 0,
+            "requests": offered,
+            "admitted": sum(1 for r in recs
+                            if r.admitted_s is not None),
+            "completed": len(done),
+            "rejected": rejected.get(name, 0),
+            "preemptions": preempted.get(name, 0),
+            "ttft_s": ttft.to_dict(),
+            "tpot_s": tpot.to_dict(),
+            "ttft_slo_s": ttft_slo,
+            "tpot_slo_s": tpot_slo,
+            "ttft_attainment": (
+                _attainment(sum(1 for r in first
+                                if r.ttft_s <= ttft_slo), offered)
+                if ttft_slo is not None else None),
+            "tpot_attainment": (
+                _attainment(sum(1 for r in done
+                                if r.tpot_s <= tpot_slo), offered)
+                if tpot_slo is not None else None),
+        }
+    return sections
+
+
 def _empty_report(collector: MetricsCollector, *, engine: str, model: str,
                   gpu: str, batcher: str, num_requests: int,
                   cluster: dict[str, object] | None,
-                  auto: dict[str, object] | None) -> ServeReport:
+                  auto: dict[str, object] | None,
+                  tenants: dict[str, object] | None = None
+                  ) -> ServeReport:
     """Well-formed report for a run where nothing completed.
 
     A short horizon (or a trace cut off mid-flight) can finish zero
@@ -348,6 +429,7 @@ def _empty_report(collector: MetricsCollector, *, engine: str, model: str,
         preemptions=collector.preemptions,
         cluster=cluster,
         auto=auto,
+        tenants=tenants,
         **_sample_stats(samples),  # type: ignore[arg-type]
     )
 
@@ -355,13 +437,18 @@ def _empty_report(collector: MetricsCollector, *, engine: str, model: str,
 def summarise(collector: MetricsCollector, *, engine: str, model: str,
               gpu: str, batcher: str, num_requests: int,
               cluster: dict[str, object] | None = None,
-              auto: dict[str, object] | None = None) -> ServeReport:
+              auto: dict[str, object] | None = None,
+              tenants: "Sequence[TenantSpec] | None" = None,
+              all_records: "Sequence[RequestRecord] | None" = None
+              ) -> ServeReport:
     """Fold a run's samples and records into a :class:`ServeReport`.
 
     Zero completed requests yield a well-formed empty report (all
     percentile blocks zeroed) rather than an error; ``cluster`` (the
     multi-device section) and ``auto`` (the auto-dispatch section) are
-    attached verbatim when present.
+    attached verbatim when present.  ``tenants`` (with ``all_records``,
+    every request's record whether finished or not) attaches the
+    per-tenant section; ``None`` keeps the single-tenant report shape.
     """
     done = [r for r in collector.records if r.completed]
     if cluster is not None and collector.samples:
@@ -369,11 +456,18 @@ def summarise(collector: MetricsCollector, *, engine: str, model: str,
         cluster["comm_fraction_per_step"] = PercentileSummary.from_values(
             [s.comm_s / s.step_s if s.step_s > 0 else 0.0
              for s in collector.samples]).to_dict()
+    tenant_blocks = None
+    if tenants is not None:
+        tenant_blocks = tenant_sections(
+            tenants, all_records if all_records is not None
+            else collector.records,
+            rejected=collector.rejected_by_tenant,
+            preempted=collector.preemptions_by_tenant)
     if not done:
         return _empty_report(collector, engine=engine, model=model,
                              gpu=gpu, batcher=batcher,
                              num_requests=num_requests, cluster=cluster,
-                             auto=auto)
+                             auto=auto, tenants=tenant_blocks)
     samples = collector.samples
     if not samples:
         raise ConfigError("completed requests but no observed steps")
@@ -399,6 +493,7 @@ def summarise(collector: MetricsCollector, *, engine: str, model: str,
         preemptions=collector.preemptions,
         cluster=cluster,
         auto=auto,
+        tenants=tenant_blocks,
         **_sample_stats(samples),  # type: ignore[arg-type]
     )
 

@@ -1,0 +1,125 @@
+"""Non-stationary arrival generators: diurnal and flash-crowd shapes.
+
+Both are built by *thinning* (Lewis & Shedler): draw candidate arrivals
+from a homogeneous Poisson process at the peak rate, then accept each
+candidate with probability ``rate(t) / peak``.  The result is an exact
+non-homogeneous Poisson process with the target rate function, fully
+deterministic under the trace seed — one accept/reject draw per
+candidate, no numeric integration.
+
+* :func:`diurnal_trace` — sinusoidal day/night load:
+  ``rate(t) = qps * (1 + amplitude * sin(2*pi*t / period_s))``;
+* :func:`flash_crowd_trace` — a stationary baseline with a rate spike
+  of ``crowd_factor`` times the baseline over a fixed window, the
+  "everyone refreshes at once" shape that stresses admission control.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.rng import new_rng
+from repro.workloads.traces import (
+    _build,
+    _sample_lengths,
+    _sample_output_lengths,
+)
+
+
+def _thinned_arrivals(rng: np.random.Generator, num_requests: int,
+                      peak_qps: float,
+                      rate_fn: Callable[[float], float]) -> np.ndarray:
+    """Arrival times of a non-homogeneous Poisson process by thinning.
+
+    Candidates arrive at ``peak_qps``; a candidate at ``t`` survives
+    with probability ``rate_fn(t) / peak_qps``.  The first accepted
+    arrival is shifted to ``t = 0`` (the convention every trace
+    generator here follows).
+    """
+    arrivals = np.empty(num_requests)
+    clock = 0.0
+    accepted = 0
+    while accepted < num_requests:
+        clock += float(rng.exponential(1.0 / peak_qps))
+        if float(rng.uniform()) * peak_qps <= rate_fn(clock):
+            arrivals[accepted] = clock
+            accepted += 1
+    return arrivals - arrivals[0]
+
+
+def diurnal_trace(num_requests: int, rate_qps: float,
+                  period_s: float = 60.0, amplitude: float = 0.5,
+                  prompt_tokens: int = 512, output_tokens: int = 64,
+                  jitter: float = 0.5,
+                  seed: int | np.random.Generator | None = None,
+                  eos_sampling: bool = False):
+    """Sinusoidally modulated arrivals with mean rate ``rate_qps``.
+
+    ``period_s`` is the day length in simulated seconds (scaled down
+    from 24 h so short runs still sweep a full cycle); ``amplitude`` in
+    ``[0, 1]`` is the peak-to-mean rate swing — ``0`` degenerates to
+    :func:`repro.workloads.traces.poisson_trace`'s stationary rate,
+    ``1`` idles the trough completely.
+    """
+    if num_requests <= 0:
+        raise ConfigError("num_requests must be positive")
+    if rate_qps <= 0:
+        raise ConfigError("rate_qps must be positive")
+    if period_s <= 0:
+        raise ConfigError("period_s must be positive")
+    if not 0.0 <= amplitude <= 1.0:
+        raise ConfigError("amplitude must be in [0, 1]")
+    rng = new_rng(seed)
+    omega = 2.0 * np.pi / period_s
+    peak = rate_qps * (1.0 + amplitude)
+
+    def rate(t: float) -> float:
+        return rate_qps * (1.0 + amplitude * np.sin(omega * t))
+
+    arrivals = _thinned_arrivals(rng, num_requests, peak, rate)
+    prompts = _sample_lengths(rng, num_requests, prompt_tokens, jitter)
+    outputs = _sample_output_lengths(rng, num_requests, output_tokens,
+                                     jitter, eos_sampling)
+    return _build(arrivals, prompts, outputs)
+
+
+def flash_crowd_trace(num_requests: int, rate_qps: float,
+                      crowd_factor: float = 8.0,
+                      crowd_start_s: float = 5.0,
+                      crowd_duration_s: float = 5.0,
+                      prompt_tokens: int = 512, output_tokens: int = 64,
+                      jitter: float = 0.5,
+                      seed: int | np.random.Generator | None = None,
+                      eos_sampling: bool = False):
+    """A stationary baseline with one flash-crowd rate spike.
+
+    The rate is ``rate_qps`` except over ``[crowd_start_s,
+    crowd_start_s + crowd_duration_s)``, where it jumps to
+    ``crowd_factor`` times the baseline — the shape that separates
+    admission-controlled engines from ones that melt down.
+    """
+    if num_requests <= 0:
+        raise ConfigError("num_requests must be positive")
+    if rate_qps <= 0:
+        raise ConfigError("rate_qps must be positive")
+    if crowd_factor <= 1.0:
+        raise ConfigError("crowd_factor must exceed 1")
+    if crowd_start_s < 0:
+        raise ConfigError("crowd_start_s must be >= 0")
+    if crowd_duration_s <= 0:
+        raise ConfigError("crowd_duration_s must be positive")
+    rng = new_rng(seed)
+    peak = rate_qps * crowd_factor
+    crowd_end_s = crowd_start_s + crowd_duration_s
+
+    def rate(t: float) -> float:
+        return peak if crowd_start_s <= t < crowd_end_s else rate_qps
+
+    arrivals = _thinned_arrivals(rng, num_requests, peak, rate)
+    prompts = _sample_lengths(rng, num_requests, prompt_tokens, jitter)
+    outputs = _sample_output_lengths(rng, num_requests, output_tokens,
+                                     jitter, eos_sampling)
+    return _build(arrivals, prompts, outputs)

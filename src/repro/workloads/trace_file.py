@@ -1,0 +1,145 @@
+"""Real-trace loader: Azure-LLM-inference-style CSV files.
+
+One row per request with columns ``arrival_s``, ``prompt_tokens``,
+``output_tokens`` and an optional ``tenant``.  The Azure LLM inference
+trace's own headers (``TIMESTAMP`` / ``ContextTokens`` /
+``GeneratedTokens``) are accepted as aliases, so a trimmed export loads
+unmodified.  Validation is strict and path-qualified in the
+``file.csv:row`` style: missing or unknown columns, non-numeric cells
+and non-positive token counts all raise
+:class:`~repro.errors.ConfigError` naming the exact cell.  Out-of-order
+arrival times are *sorted with a* ``UserWarning`` (not an error):
+production traces routinely interleave near-simultaneous rows, and the
+sorted trace is what every scheduler consumes anyway.  This choice is
+pinned by ``tests/test_workloads.py``.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import warnings
+
+from repro.errors import ConfigError
+from repro.workloads.traces import DEFAULT_TENANT, Request
+
+#: Canonical required columns, in documentation order.
+REQUIRED_COLUMNS = ("arrival_s", "prompt_tokens", "output_tokens")
+
+#: Optional columns (absent -> every request is the default tenant).
+OPTIONAL_COLUMNS = ("tenant",)
+
+#: Case-insensitive header aliases (Azure LLM inference trace names).
+COLUMN_ALIASES = {
+    "timestamp": "arrival_s",
+    "arrival": "arrival_s",
+    "contexttokens": "prompt_tokens",
+    "generatedtokens": "output_tokens",
+    "tenant_id": "tenant",
+}
+
+
+def _canonical(header: str) -> str:
+    name = header.strip().lower()
+    return COLUMN_ALIASES.get(name, name)
+
+
+def load_trace_csv(path: str | os.PathLike) -> list[Request]:
+    """Load an arrival trace from ``path``.
+
+    Returns requests sorted by arrival time and re-numbered from 0,
+    with arrivals shifted so the first request lands at ``t = 0``
+    (the convention of every generated trace, so a replayed file is
+    directly comparable to a synthetic one).
+    """
+    path = os.fspath(path)
+    try:
+        handle = open(path, newline="")
+    except OSError as exc:
+        raise ConfigError(f"{path}: cannot read trace ({exc})") from None
+    with handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ConfigError(f"{path}: trace file is empty") from None
+        columns = [_canonical(name) for name in header]
+        known = set(REQUIRED_COLUMNS) | set(OPTIONAL_COLUMNS)
+        unknown = [raw for raw, name in zip(header, columns)
+                   if name not in known]
+        if unknown:
+            raise ConfigError(
+                f"{path}: unknown column {unknown[0]!r} (known: "
+                f"{', '.join(REQUIRED_COLUMNS + OPTIONAL_COLUMNS)}; "
+                f"Azure-style aliases accepted)")
+        missing = [name for name in REQUIRED_COLUMNS
+                   if name not in columns]
+        if missing:
+            raise ConfigError(
+                f"{path}: missing column(s) {', '.join(missing)} "
+                f"(found: {', '.join(columns) or 'none'})")
+        dupes = [name for name in set(columns) if columns.count(name) > 1]
+        if dupes:
+            raise ConfigError(f"{path}: duplicate column {dupes[0]!r}")
+        index = {name: i for i, name in enumerate(columns)}
+        rows: list[tuple[float, int, int, str]] = []
+        for lineno, row in enumerate(reader, start=2):
+            if not row or all(not cell.strip() for cell in row):
+                continue                       # blank line
+            if len(row) != len(columns):
+                raise ConfigError(
+                    f"{path}:{lineno}: expected {len(columns)} cells, "
+                    f"got {len(row)}")
+            arrival = _parse_float(path, lineno, "arrival_s",
+                                   row[index["arrival_s"]])
+            prompt = _parse_int(path, lineno, "prompt_tokens",
+                                row[index["prompt_tokens"]])
+            output = _parse_int(path, lineno, "output_tokens",
+                                row[index["output_tokens"]])
+            if arrival < 0:
+                raise ConfigError(
+                    f"{path}:{lineno}: arrival_s must be >= 0, "
+                    f"got {arrival}")
+            if prompt <= 0:
+                raise ConfigError(
+                    f"{path}:{lineno}: prompt_tokens must be > 0, "
+                    f"got {prompt}")
+            if output <= 0:
+                raise ConfigError(
+                    f"{path}:{lineno}: output_tokens must be > 0, "
+                    f"got {output}")
+            tenant = DEFAULT_TENANT
+            if "tenant" in index:
+                tenant = row[index["tenant"]].strip() or DEFAULT_TENANT
+            rows.append((arrival, prompt, output, tenant))
+    if not rows:
+        raise ConfigError(f"{path}: trace has a header but no rows")
+    arrivals = [r[0] for r in rows]
+    if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+        warnings.warn(f"{path}: arrival times out of order; sorting",
+                      stacklevel=2)
+        rows.sort(key=lambda r: r[0])
+    start = rows[0][0]
+    return [Request(rid=i, arrival_s=arrival - start,
+                    prompt_tokens=prompt, output_tokens=output,
+                    tenant=tenant)
+            for i, (arrival, prompt, output, tenant) in enumerate(rows)]
+
+
+def _parse_float(path: str, lineno: int, column: str,
+                 cell: str) -> float:
+    try:
+        return float(cell)
+    except ValueError:
+        raise ConfigError(
+            f"{path}:{lineno}: {column} must be a number, "
+            f"got {cell!r}") from None
+
+
+def _parse_int(path: str, lineno: int, column: str, cell: str) -> int:
+    try:
+        return int(float(cell))   # "512.0" exports are common
+    except ValueError:
+        raise ConfigError(
+            f"{path}:{lineno}: {column} must be an integer, "
+            f"got {cell!r}") from None

@@ -65,6 +65,7 @@ class TestPathQualifiedValidation:
         ({"serving": {"page_size": 2.5}}, "serving.page_size"),
         ({"serving": {"placement": "random"}}, "serving.placement"),
         ({"serving": {"horizon_s": 0.0}}, "serving.horizon_s"),
+        ({"serving": {"scheduler": "fifo"}}, "serving.scheduler"),
         ({"workload": {"kind": "weibull"}}, "workload.kind"),
         ({"workload": {"requests": 0}}, "workload.requests"),
         ({"workload": {"qps": 0}}, "workload.qps"),
@@ -76,6 +77,27 @@ class TestPathQualifiedValidation:
         ({"workload": {"burst_len": 0}}, "workload.burst_len"),
         ({"workload": {"routing_skew": -0.5}}, "workload.routing_skew"),
         ({"workload": {"seed": 1.5}}, "workload.seed"),
+        ({"workload": {"period_s": 0.0}}, "workload.period_s"),
+        ({"workload": {"amplitude": 1.5}}, "workload.amplitude"),
+        ({"workload": {"crowd_factor": 1.0}}, "workload.crowd_factor"),
+        ({"workload": {"crowd_start_s": -1.0}},
+         "workload.crowd_start_s"),
+        ({"workload": {"crowd_duration_s": 0.0}},
+         "workload.crowd_duration_s"),
+        ({"workload": {"trace_path": ""}}, "workload.trace_path"),
+        ({"workload": {"kind": "poisson", "trace_path": "t.csv"}},
+         "workload.trace_path"),
+        ({"workload": {"kind": "trace"}}, "workload.trace_path"),
+        ({"workload": {"tenants": [{"name": ""}]}},
+         r"workload.tenants\[0\]"),
+        ({"workload": {"tenants": [{"name": "a", "priority": 1.5}]}},
+         r"workload.tenants\[0\].priority"),
+        ({"workload": {"tenants": [{"name": "a", "color": "red"}]}},
+         r"workload.tenants\[0\].color"),
+        ({"workload": {"tenants": [{"name": "a"}, {"name": "a"}]}},
+         "workload.tenants"),
+        ({"workload": {"tenants": ["prod"]}},
+         r"workload.tenants\[0\]"),
     ]
 
     @pytest.mark.parametrize("payload,path", CASES,
@@ -121,7 +143,9 @@ _FIELD_POOLS = [
     ("serving", "page_size", [None, 16, 64]),
     ("serving", "placement", ["balanced", "round_robin"]),
     ("serving", "horizon_s", [None, 1.5]),
-    ("workload", "kind", ["poisson", "bursty"]),
+    ("serving", "scheduler", ["youngest_first", "priority_slack"]),
+    ("workload", "kind", ["poisson", "bursty", "diurnal",
+                          "flash_crowd"]),
     ("workload", "requests", [1, 16, 128]),
     ("workload", "qps", [0.5, 4.0, 64.0]),
     ("workload", "prompt_tokens", [16, 512, 2048]),
@@ -132,6 +156,19 @@ _FIELD_POOLS = [
     ("workload", "burst_len", [1, 16]),
     ("workload", "routing_skew", [0.0, 1.2]),
     ("workload", "seed", [0, 7, 123456]),
+    ("workload", "period_s", [30.0, 60.0]),
+    ("workload", "amplitude", [0.0, 0.5, 1.0]),
+    ("workload", "crowd_factor", [2.0, 8.0]),
+    ("workload", "crowd_start_s", [0.0, 5.0]),
+    ("workload", "crowd_duration_s", [1.0, 5.0]),
+    ("workload", "tenants", [
+        [],
+        [{"name": "solo"}],
+        [{"name": "prod", "priority": 5, "share": 0.3,
+          "ttft_slo_s": 0.1, "tpot_slo_s": 0.05},
+         {"name": "batch", "share": 0.7,
+          "token_rate_limit": 1024.0, "burst_tokens": 2048}],
+    ]),
 ]
 
 
@@ -163,10 +200,17 @@ class TestRoundTrip:
         assert again.hardware.parallel == ParallelPlan(ep=4, tp=2)
 
     def test_section_specs_round_trip_standalone(self):
+        from repro.api import TenantSpec
         for spec in (ModelSpec(engine="pit", num_layers=2),
                      HardwareSpec(parallel=ParallelPlan(ep=2)),
                      ServingSpec(page_size=32),
-                     WorkloadSpec(kind="bursty", qps=9.0)):
+                     WorkloadSpec(kind="bursty", qps=9.0),
+                     WorkloadSpec(kind="diurnal", amplitude=0.8),
+                     WorkloadSpec(tenants=(
+                         TenantSpec(name="prod", priority=3,
+                                    ttft_slo_s=0.2),
+                         TenantSpec(name="batch",
+                                    token_rate_limit=512.0)))):
             assert type(spec).from_dict(spec.to_dict()) == spec
 
 

@@ -84,6 +84,8 @@ class TestListCommand:
             "gpus": ("rtx4070s", "a100", "w7900"),
             "links": ("nvlink", "pcie4", "ib"),
             "models": ("mixtral-8x7b", "openmoe-34b", "CFG#1"),
+            "workloads": ("poisson", "bursty", "diurnal",
+                          "flash_crowd", "trace"),
         }
         for kind, names in expectations.items():
             code, out, _ = self._list([kind], capsys)
@@ -95,11 +97,17 @@ class TestListCommand:
         code, out, _ = self._list([], capsys)
         assert code == 0
         for header in ("engines (", "kernels (", "gpus (", "links (",
-                       "models ("):
+                       "models (", "workloads ("):
             assert header in out
+
+    def test_list_workloads_shows_capability_cards(self, capsys):
+        code, out, _ = self._list(["workloads"], capsys)
+        assert code == 0
+        assert "non-stationary" in out
+        assert "trace_path" in out
 
     def test_unknown_kind_rejected_with_known_list(self, capsys):
         code, _, err = self._list(["widgets"], capsys)
         assert code == 2
         assert "unknown registry 'widgets'" in err
-        assert "engines, kernels, gpus, links, models" in err
+        assert "engines, kernels, gpus, links, models, workloads" in err

@@ -91,6 +91,39 @@ class TestServeCommand:
         assert payload["requests"] == 10
         assert capsys.readouterr().out == ""
 
+    def test_workload_flag_overrides_trace(self, capsys):
+        assert main(["serve", "--engines", "samoyeds",
+                     "--workload", "flash_crowd",
+                     "--requests", "8", "--qps", "8",
+                     "--prompt-tokens", "128", "--output-tokens", "4",
+                     "--layers", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace"] == "flash_crowd"
+        assert payload["engines"][0]["completed"] == 8
+
+    def test_unknown_workload_is_usage_error(self, capsys):
+        assert main(["serve", "--workload", "weibull"]) == 2
+        assert "workload.kind" in capsys.readouterr().err
+
+    def test_csv_workload_replays_file(self, tmp_path, capsys):
+        trace = tmp_path / "trace.csv"
+        trace.write_text("arrival_s,prompt_tokens,output_tokens\n"
+                         + "".join(f"{0.1 * i},128,4\n"
+                                   for i in range(6)))
+        assert main(["serve", "--engines", "samoyeds",
+                     "--workload", "trace",
+                     "--trace-path", str(trace),
+                     "--layers", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace"] == "trace"
+        assert payload["engines"][0]["completed"] == 6
+
+    def test_scheduler_flag_accepted(self, capsys):
+        assert main(SERVE_ARGS + ["--scheduler",
+                                  "priority_slack"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engines"][0]["completed"] == 10
+
 
 class TestDispatcher:
     def test_repro_bench_forwards(self, capsys):
