@@ -55,7 +55,7 @@ def main() -> None:
         est = full_model_estimate(cfg, engine, spec, batch=4,
                                   seq_len=1024)
         marker = "fits" if est.fits else "OOM"
-        print(f"  {engine:12s} weights {est.weights_gib:6.1f} GiB  "
+        print(f"  {engine:12s} weights {format_bytes(est.weights_bytes):>10s}  "
               f"latency {est.latency_s * 1e3:8.1f} ms  "
               f"{est.tokens_per_s:10.0f} tok/s  [{marker}]")
 

@@ -7,8 +7,8 @@ installed console script mirrors the module entry point::
     python -m repro bench maxbatch --gpu a100
 
 ``repro list [kind]`` prints the plugin registries (engines, kernels,
-gpus, links, models, workloads) with their capability metadata — the
-discovery side of the registry API::
+gpus, links, models, workloads, routers) with their capability
+metadata — the discovery side of the registry API::
 
     repro list engines
     repro list            # every registry
@@ -60,11 +60,16 @@ def _registry_rows(kind: str) -> list[tuple[str, str]]:
         from repro.workloads import WORKLOADS
         return [(name, factory.describe())
                 for name, factory in WORKLOADS.items()]
+    if kind == "routers":
+        from repro.serve.disagg import ROUTERS
+        return [(name, (cls.__doc__ or "").strip().splitlines()[0]
+                 if cls.__doc__ else "")
+                for name, cls in ROUTERS.items()]
     raise ValueError(kind)
 
 
 LIST_KINDS = ("engines", "kernels", "gpus", "links", "models",
-              "workloads")
+              "workloads", "routers")
 
 
 def cmd_list(argv: list[str]) -> int:
@@ -99,7 +104,7 @@ def main(argv: list[str] | None = None) -> int:
               "       repro lint [paths] [--select CODES] "
               "[--format text|json]\n"
               "       repro list "
-              "[engines|kernels|gpus|links|models|workloads]\n"
+              "[engines|kernels|gpus|links|models|workloads|routers]\n"
               "       (see `repro bench --help` for bench subcommands)")
         return 0 if argv else 2
     if argv[0] == "bench":

@@ -368,6 +368,113 @@ def wrap_ledger(ledger: "MemoryLedger | DeviceLedgers"
 
 
 # ----------------------------------------------------------------------
+# KV transfers (disaggregated serving)
+# ----------------------------------------------------------------------
+def ledger_resident(ledger, request_id: int) -> bool:
+    """Is ``request_id`` resident on ``ledger`` (any wrapper layer)?"""
+    if isinstance(ledger, SanitizedLedger):
+        return request_id in ledger._resident
+    if isinstance(ledger, SanitizedDeviceLedgers):
+        return any(ledger_resident(led, request_id)
+                   for led in ledger._inner.ledgers)
+    if isinstance(ledger, DeviceLedgers):
+        return any(request_id in led._context for led in ledger.ledgers)
+    return request_id in ledger._context
+
+
+class KVTransferAuditor:
+    """Conservation checks for inter-pool KV migrations.
+
+    A migration charges the decode pool's ledger at transfer start and
+    releases the prefill pool's ledger when the
+    :class:`~repro.serve.events.KVTransfer` completes; in between the
+    request is deliberately resident on both.  The engine reports both
+    sides in *full-model KV bytes* (the per-device live-bytes delta
+    times the pool's device count over its tensor-parallel degree —
+    i.e. normalised by ``ep``, since ``tp`` shards cancel in the
+    cluster sum), which is the quantity physically conserved across
+    pools with different engines and parallel plans.  Reserved-byte
+    deltas are *not* compared: they include engine-local workspace
+    that legitimately differs between a prefill and a decode engine.
+
+    Invariants:
+
+    * no request starts a second transfer while one is on the wire;
+    * a completion matches a started transfer;
+    * bytes released at the source equal the bytes charged at the
+      destination (within :data:`BYTES_TOL` plus a relative term for
+      GiB-scale sums);
+    * after completion the request is resident on the destination
+      ledger and *not* on the source — single-pool residency;
+    * at end of trace no transfer is still on the wire.
+    """
+
+    def __init__(self) -> None:
+        self._in_flight: dict[int, tuple[str, str, float]] = {}
+
+    def transfer_started(self, request_id: int, src_pool: str,
+                         dst_pool: str, charged_bytes: float) -> None:
+        if request_id in self._in_flight:
+            src, dst, _ = self._in_flight[request_id]
+            raise SanitizerError(
+                "duplicate KV transfer",
+                f"request {request_id} started a transfer "
+                f"{src_pool!r}->{dst_pool!r} while one "
+                f"{src!r}->{dst!r} is still on the wire",
+                request=request_id)
+        if charged_bytes <= 0:
+            raise SanitizerError(
+                "KV transfer charged nothing",
+                f"transfer of request {request_id} "
+                f"{src_pool!r}->{dst_pool!r} charged "
+                f"{charged_bytes:.1f} bytes on the destination",
+                request=request_id, charged_bytes=charged_bytes)
+        self._in_flight[request_id] = (src_pool, dst_pool, charged_bytes)
+
+    def transfer_completed(self, request_id: int, released_bytes: float,
+                           src_ledger, dst_ledger) -> None:
+        if request_id not in self._in_flight:
+            raise SanitizerError(
+                "unmatched KV transfer completion",
+                f"request {request_id} completed a transfer that never "
+                "started", request=request_id)
+        src_pool, dst_pool, charged = self._in_flight.pop(request_id)
+        tol = BYTES_TOL + 1e-9 * max(abs(charged), abs(released_bytes))
+        if abs(released_bytes - charged) > tol:
+            raise SanitizerError(
+                "KV transfer conservation",
+                f"request {request_id} {src_pool!r}->{dst_pool!r}: "
+                f"released {released_bytes:.1f} bytes at the source "
+                f"but charged {charged:.1f} at the destination",
+                request=request_id, released=released_bytes,
+                charged=charged)
+        if ledger_resident(src_ledger, request_id):
+            raise SanitizerError(
+                "dual residency after KV transfer",
+                f"request {request_id} still resident on source pool "
+                f"{src_pool!r} after its transfer to {dst_pool!r} "
+                "completed", request=request_id)
+        if not ledger_resident(dst_ledger, request_id):
+            raise SanitizerError(
+                "lost residency after KV transfer",
+                f"request {request_id} not resident on destination "
+                f"pool {dst_pool!r} after its transfer completed",
+                request=request_id)
+
+    def assert_drained(self) -> None:
+        """End-of-trace check: nothing left on the wire."""
+        if self._in_flight:
+            rid = min(self._in_flight)
+            src, dst, _ = self._in_flight[rid]
+            raise SanitizerError(
+                "KV transfer leak",
+                f"trace completed with {len(self._in_flight)} "
+                f"transfer(s) still on the wire (request {rid} "
+                f"{src!r}->{dst!r})",
+                in_flight=sorted(self._in_flight))
+
+
+# ----------------------------------------------------------------------
 # Step pricer
 # ----------------------------------------------------------------------
 class SanitizedStepPricer(StepPricer):

@@ -24,6 +24,7 @@ from typing import Sequence
 from repro.api.spec import DeploymentSpec
 from repro.context import ExecutionContext
 from repro.serve.batcher import Batcher, make_batcher
+from repro.serve.disagg import DisaggCluster, DisaggServingEngine, PoolSpec
 from repro.serve.engine import ServingEngine
 from repro.serve.metrics import ServeReport
 from repro.workloads import WORKLOADS, Request, assign_tenants
@@ -105,12 +106,79 @@ class Deployment:
         return self.build_context(), self.build_batcher(), \
             self.build_trace()
 
-    def build_engine(self) -> ServingEngine:
-        """The serving engine, ready to ``run()`` a trace."""
+    def build_pool_context(self, pool: PoolSpec) -> ExecutionContext:
+        """One pool's execution context: pool overrides over the
+        deployment's model/hardware sections."""
+        model, hw = self.spec.model, self.spec.hardware
+        return ExecutionContext.create(
+            model.name, pool.engine or model.engine,
+            pool.gpu or hw.gpu, streams=hw.streams,
+            flash=model.flash,
+            parallel=pool.parallel if pool.parallel is not None
+            else None,
+            link=hw.link)
+
+    def build_pool_batcher(self, pool: PoolSpec) -> Batcher:
+        """One pool's batching policy: pool overrides over
+        ``serving``."""
+        serving = self.spec.serving
+        return make_batcher(
+            pool.batcher or serving.batcher,
+            token_budget=pool.token_budget or serving.token_budget,
+            batch_size=pool.batch_size or serving.batch_size,
+            max_running=pool.max_running or serving.max_running)
+
+    def _build_pool_engine(self, pool: PoolSpec) -> ServingEngine:
+        """The classic engine carrying one pool's context, batcher and
+        ledger configuration.  Pool engines never own the horizon —
+        the disaggregated event loop holds the shared clock."""
         model, serving, w = (self.spec.model, self.spec.serving,
                              self.spec.workload)
-        return ServingEngine(ctx=self.build_context(),
-                             batcher=self.build_batcher(),
+        return ServingEngine(ctx=self.build_pool_context(pool),
+                             batcher=self.build_pool_batcher(pool),
+                             num_layers=model.num_layers,
+                             routing_skew=w.routing_skew,
+                             seed=w.seed,
+                             page_size=serving.page_size,
+                             placement_policy=serving.placement,
+                             tenants=w.tenants,
+                             scheduler=serving.scheduler,
+                             sanitize=serving.sanitize or None)
+
+    def build_engine(self) -> "ServingEngine | DisaggServingEngine":
+        """The serving engine, ready to ``run()`` a trace.
+
+        Colocated specs (``serving.pools`` unset) build the classic
+        :class:`ServingEngine`.  A *degenerate* pool set — one pool
+        serving both phases — also runs colocated (with the pool's
+        overrides applied), which is what pins the degenerate-config
+        report byte-identical to a pool-free spec.  Genuine multi-pool
+        specs build a :class:`DisaggServingEngine`; each pool's
+        parallel plan comes from its own ``parallel`` field
+        (``hardware.parallel`` applies to colocated runs only).
+        """
+        model, serving, w = (self.spec.model, self.spec.serving,
+                             self.spec.workload)
+        pools = serving.pools
+        if pools is not None:
+            cluster = DisaggCluster.build(pools,
+                                          link=serving.transfer_link)
+            if not cluster.is_degenerate:
+                return DisaggServingEngine(
+                    cluster,
+                    [self._build_pool_engine(p) for p in cluster.pools],
+                    router=serving.router,
+                    horizon_s=serving.horizon_s)
+        degenerate = pools[0] if pools is not None else None
+        ctx = (self.build_pool_context(degenerate)
+               if degenerate is not None and (
+                   degenerate.gpu or degenerate.engine
+                   or degenerate.parallel)
+               else self.build_context())
+        batcher = (self.build_pool_batcher(degenerate)
+                   if degenerate is not None else self.build_batcher())
+        return ServingEngine(ctx=ctx,
+                             batcher=batcher,
                              num_layers=model.num_layers,
                              routing_skew=w.routing_skew,
                              seed=w.seed,

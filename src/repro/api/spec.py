@@ -37,6 +37,8 @@ from repro.moe.config import MODEL_REGISTRY
 from repro.moe.layers import ENGINES
 from repro.moe.trace import validate_skew
 from repro.serve.batcher import BATCHER_NAMES
+from repro.serve.disagg.pools import PoolSpec, validate_pools
+from repro.serve.disagg.routers import ROUTERS
 from repro.serve.scheduling import SCHEDULER_NAMES
 from repro.utils.rng import DEFAULT_SEED
 from repro.workloads.registry import WORKLOADS
@@ -256,6 +258,16 @@ class ServingSpec(_SpecBase):
             checks (see :mod:`repro.analysis.sanitizer`).  ``False``
             still honours the ``REPRO_SANITIZE`` environment variable
             at run time; reports are byte-identical either way.
+        pools: Disaggregated prefill/decode pools
+            (:class:`~repro.serve.disagg.PoolSpec`); ``None`` keeps
+            the colocated engine (and the pre-disagg report and config
+            payload shapes).  A single ``role: both`` pool is the
+            documented degenerate form and also runs colocated.
+        router: Pool-assignment policy (``repro list routers``);
+            only read when ``pools`` is set.
+        transfer_link: Interconnect pricing the prefill -> decode KV
+            migration (``zero-copy`` is the free-handoff limit); only
+            read when ``pools`` is set.
     """
 
     _SECTION = "serving"
@@ -269,6 +281,9 @@ class ServingSpec(_SpecBase):
     placement: str = "balanced"
     horizon_s: float | None = None
     sanitize: bool = False
+    pools: tuple[PoolSpec, ...] | None = None
+    router: str = "round_robin"
+    transfer_link: str = "pcie4"
 
     def __post_init__(self) -> None:
         _check_choice("serving.batcher", self.batcher, BATCHER_NAMES)
@@ -285,6 +300,72 @@ class ServingSpec(_SpecBase):
         _check_positive_float("serving.horizon_s", self.horizon_s,
                               optional=True)
         _check_bool("serving.sanitize", self.sanitize)
+        if self.pools is not None:
+            if not isinstance(self.pools, tuple):
+                _fail("serving.pools",
+                      "must be a tuple of PoolSpec (a list of mappings "
+                      "in config files)")
+            for i, pool in enumerate(self.pools):
+                if not isinstance(pool, PoolSpec):
+                    _fail(f"serving.pools[{i}]",
+                          f"must be a PoolSpec, got "
+                          f"{type(pool).__name__}")
+            try:
+                validate_pools(self.pools)
+            except ConfigError as exc:
+                # validate_pools messages start with "pools: ...";
+                # qualify them as serving.pools: ...
+                raise ConfigError(f"serving.{exc}") from None
+        _check_registered("serving.router", ROUTERS, self.router)
+        _check_registered("serving.transfer_link", LINK_REGISTRY,
+                          self.transfer_link)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-type payload; ``from_dict`` inverts it exactly.
+
+        The disagg keys (``pools``/``router``/``transfer_link``) are
+        emitted only when ``pools`` is set, so colocated specs keep
+        their historical payload shape byte-for-byte.
+        """
+        out = super().to_dict()
+        if self.pools is None:
+            for key in ("pools", "router", "transfer_link"):
+                del out[key]
+        return out
+
+    def _encode_field(self, name: str, value: Any) -> Any:
+        if name == "pools" and value is not None:
+            return [pool.to_dict() for pool in value]
+        return value
+
+    @classmethod
+    def _decode_field(cls, name: str, value: Any) -> Any:
+        if name == "pools" and value is not None:
+            if not isinstance(value, (list, tuple)):
+                _fail("serving.pools",
+                      f"must be a list of pool mappings, got "
+                      f"{type(value).__name__}")
+            decoded = []
+            for i, entry in enumerate(value):
+                if isinstance(entry, PoolSpec):
+                    decoded.append(entry)
+                    continue
+                if not isinstance(entry, Mapping):
+                    _fail(f"serving.pools[{i}]",
+                          f"must be a mapping, got "
+                          f"{type(entry).__name__}")
+                entry = dict(entry)
+                if entry.get("engine") in ENGINE_ALIASES:
+                    entry["engine"] = ENGINE_ALIASES[entry["engine"]]
+                try:
+                    decoded.append(PoolSpec.from_dict(entry))
+                except ConfigError as exc:
+                    # Pool errors are "field: message"; qualify them
+                    # as serving.pools[i].field: message.
+                    raise ConfigError(
+                        f"serving.pools[{i}].{exc}") from None
+            return tuple(decoded)
+        return value
 
 
 @dataclass(frozen=True)
@@ -514,9 +595,10 @@ class DeploymentSpec(_SpecBase):
                     f"override path {path!r} must take the "
                     f"section.field form with a section in "
                     f"{', '.join(SECTIONS)}")
-            if name not in payload[section]:
+            known = [f.name for f in fields(SECTIONS[section])]
+            if name not in known:
                 raise ConfigError(
                     f"{path}: unknown field (known: "
-                    f"{', '.join(payload[section])})")
+                    f"{', '.join(known)})")
             payload[section][name] = value
         return DeploymentSpec.from_dict(payload)

@@ -6,7 +6,7 @@ structured result plus a printable report.  The pytest files under
 ``benchmarks/`` are thin wrappers over this registry.
 """
 
-from repro.bench.workloads import (
+from repro.workloads.gemm import (
     SYNTHETIC_CASE_COUNT,
     realistic_cases,
     synthetic_cases,

@@ -12,6 +12,10 @@ Subcommands:
   ``--parallel ep=4,tp=2`` shards the server over a device grid;
 * ``scale --devices 1,2,4,8`` — strong/weak scaling sweep over device
   counts (QPS, TTFT/TPOT and communication fraction per point);
+* ``disagg config.yaml --splits 1:1,2:1`` — pool-split sweep over a
+  disaggregated config: each point replicates the config's
+  prefill/decode pool templates, charting TTFT/TPOT against the split
+  next to a colocated reference row;
 * ``run config.yaml`` — execute a declarative deployment config file
   (single run or ``sweep:`` grid; see :mod:`repro.api`);
 * ``sim [--quick] [--check baseline.json]`` — benchmark the simulator
@@ -152,6 +156,34 @@ def cmd_maxbatch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_pools(raw: str) -> list[dict[str, str]]:
+    """Parse the ``--pools`` flag: comma-separated
+    ``name:role[:gpu[:engine]]`` entries, e.g.
+    ``pf:prefill:h100,dc:decode:w7900:vllm``.  Omitted gpu/engine
+    inherit the deployment defaults; full validation happens in
+    :class:`~repro.serve.disagg.PoolSpec` with path-qualified errors.
+    """
+    pools = []
+    for entry in raw.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        if len(parts) < 2 or len(parts) > 4:
+            raise ConfigError(
+                f"bad --pools entry {entry!r}; expected "
+                f"name:role[:gpu[:engine]]")
+        pool: dict[str, str] = {"name": parts[0], "role": parts[1]}
+        if len(parts) > 2 and parts[2]:
+            pool["gpu"] = parts[2]
+        if len(parts) > 3 and parts[3]:
+            pool["engine"] = ENGINE_ALIASES.get(parts[3], parts[3])
+        pools.append(pool)
+    if not pools:
+        raise ConfigError("--pools must name at least one pool")
+    return pools
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.api import Deployment, DeploymentSpec
     from repro.errors import ReproError
@@ -198,7 +230,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
                         "placement": args.placement,
                         "horizon_s": args.horizon,
                         "scheduler": args.scheduler,
-                        "sanitize": args.sanitize},
+                        "sanitize": args.sanitize,
+                        # Disagg keys only when --pools is given, so
+                        # colocated spec payloads keep their shape.
+                        **({"pools": _parse_pools(args.pools),
+                            "router": args.router,
+                            "transfer_link": args.transfer_link}
+                           if args.pools else {})},
             "workload": {"kind": workload_kind,
                          "requests": args.requests,
                          "qps": args.qps,
@@ -530,6 +568,137 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_disagg(args: argparse.Namespace) -> int:
+    """Pool-split sweep: TTFT/TPOT curves vs prefill:decode pool
+    counts, with a colocated reference point."""
+    from repro.api import Deployment
+    from repro.api.loader import load_deployment
+    from repro.errors import ReproError
+    from repro.serve.metrics import ServeReport
+
+    if args.jobs < 1:
+        print("repro bench disagg: --jobs must be >= 1",
+              file=sys.stderr)
+        return 2
+    try:
+        base = load_deployment(args.config)
+    except ConfigError as exc:
+        print(f"repro bench disagg: {exc}", file=sys.stderr)
+        return 2
+    pools = base.serving.pools
+    if not pools:
+        print("repro bench disagg: config must declare serving.pools "
+              "(a prefill and a decode pool template to replicate)",
+              file=sys.stderr)
+        return 2
+    prefill = [p for p in pools if p.role == "prefill"]
+    decode = [p for p in pools if p.role == "decode"]
+    if not prefill or not decode or len(prefill) + len(decode) != len(pools):
+        print("repro bench disagg: the pool-split sweep needs pure "
+              "role=prefill and role=decode pool templates "
+              "(role=both pools cannot be split by phase)",
+              file=sys.stderr)
+        return 2
+    splits: list[tuple[int, int]] = []
+    for entry in args.splits.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        try:
+            np_, nd = (int(parts[0]), int(parts[1])) if len(parts) == 2 \
+                else (None, None)
+        except ValueError:
+            np_ = nd = None
+        if np_ is None or nd is None or np_ < 1 or nd < 1:
+            print(f"repro bench disagg: bad --splits entry {entry!r}; "
+                  f"expected prefill:decode counts like 2:1",
+                  file=sys.stderr)
+            return 2
+        splits.append((np_, nd))
+    if not splits:
+        print("repro bench disagg: --splits named no split",
+              file=sys.stderr)
+        return 2
+
+    def replicate(template, count: int) -> list[dict[str, object]]:
+        if count == 1:
+            return [template.to_dict()]
+        out = []
+        for i in range(count):
+            payload = template.to_dict()
+            payload["name"] = f"{template.name}{i}"
+            out.append(payload)
+        return out
+
+    base_payload = base.to_dict()
+    colo_payload = {k: dict(v) for k, v in base_payload.items()}
+    for key in ("pools", "router", "transfer_link"):
+        colo_payload["serving"].pop(key, None)
+    specs = [Deployment.from_dict(colo_payload).spec]
+    labels = ["colocated"]
+    for np_, nd in splits:
+        payload = {k: dict(v) for k, v in base_payload.items()}
+        payload["serving"]["pools"] = [
+            *[d for t in prefill for d in replicate(t, np_)],
+            *[d for t in decode for d in replicate(t, nd)],
+        ]
+        specs.append(Deployment.from_dict(payload).spec)
+        labels.append(f"{np_}:{nd}")
+
+    entries: list[dict[str, object]] = []
+    rows = []
+
+    def record(label: str, report: "ServeReport | None",
+               error: "str | None") -> None:
+        entry: dict[str, object] = {"split": label}
+        if error is not None:
+            entry["error"] = error
+            rows.append([label, "-", "-", "-", "-", "-"])
+        else:
+            entry["report"] = report.to_dict()
+            transfer = report.transfer or {}
+            rows.append([label, report.completed,
+                         f"{report.qps_sustained:.2f}",
+                         f"{report.ttft_s.p99 * 1e3:.1f}",
+                         f"{report.tpot_s.p99 * 1e3:.2f}",
+                         f"{transfer.get('seconds_total', 0.0):.4f}"])
+        entries.append(entry)
+
+    if args.jobs > 1 and len(specs) > 1:
+        results = _run_parallel(specs, labels, args.jobs, args.warm)
+        for label, result in zip(labels, results):
+            if result.error is not None:
+                record(label, None, result.error)
+            else:
+                record(label, ServeReport.from_dict(result.report), None)
+    else:
+        for label, spec in zip(labels, specs):
+            try:
+                report = Deployment(spec).run()
+            except ReproError as exc:
+                print(f"# {label}: infeasible ({exc})", file=sys.stderr)
+                record(label, None, str(exc))
+                continue
+            record(label, report, None)
+
+    print(render_table(
+        ["split (prefill:decode)", "done", "qps", "ttft p99 ms",
+         "tpot p99 ms", "transfer s"], rows,
+        title=(f"{base.model.name} pool-split sweep "
+               f"({args.config}, router={base.serving.router}, "
+               f"link={base.serving.transfer_link})")), file=sys.stderr)
+    payload = {"config": args.config, "base": base_payload,
+               "points": entries}
+    text = render_json(payload)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
 def cmd_sim(args: argparse.Namespace) -> int:
     from repro.bench import simbench
 
@@ -712,6 +881,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run under the sim-sanitizer's runtime "
                         "invariant checks (same as REPRO_SANITIZE=1); "
                         "the report is byte-identical")
+    p.add_argument("--pools", default=None,
+                   help="disaggregated prefill/decode pools as "
+                        "name:role[:gpu[:engine]] entries, e.g. "
+                        "pf:prefill:h100,dc:decode:w7900:vllm "
+                        "(default: colocated serving)")
+    p.add_argument("--router", default="round_robin",
+                   help="pool-assignment policy with --pools "
+                        "(see `repro list routers`)")
+    p.add_argument("--transfer-link", default="pcie4",
+                   choices=list_links(),
+                   help="link pricing the prefill->decode KV "
+                        "migration with --pools (zero-copy = free)")
     p.add_argument("--seed", type=int, default=DEFAULT_SEED)
     p.add_argument("--output", default=None,
                    help="write the JSON report here instead of stdout")
@@ -746,6 +927,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_args(p)
     _add_gpu_arg(p)
     p.set_defaults(fn=cmd_scale)
+
+    p = sub.add_parser(
+        "disagg",
+        help="pool-split sweep over a disaggregated config: replicate "
+             "its prefill/decode pool templates per --splits point and "
+             "chart TTFT/TPOT against the split, with a colocated "
+             "reference row")
+    p.add_argument("config",
+                   help="deployment config with serving.pools "
+                        "templates (see examples/configs/"
+                        "disagg_pools.yaml)")
+    p.add_argument("--splits", default="1:1,2:1,1:2",
+                   help="comma-separated prefill:decode pool counts "
+                        "(default: 1:1,2:1,1:2)")
+    p.add_argument("--output", default=None,
+                   help="write the JSON report here instead of stdout")
+    _add_jobs_args(p)
+    p.set_defaults(fn=cmd_disagg)
 
     p = sub.add_parser(
         "run", help="execute a deployment config file (YAML/JSON; "

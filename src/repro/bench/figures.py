@@ -21,7 +21,7 @@ from repro.bench.harness import (
     speedup_stats,
 )
 from repro.bench.report import fmt_speedup, render_series, render_table
-from repro.bench.workloads import (
+from repro.workloads.gemm import (
     realistic_cases,
     scaling_cases,
     synthetic_cases,
@@ -74,11 +74,11 @@ def fig02_breakdown(tokens: int = 4096) -> ExperimentResult:
     rows = []
     data = {}
     for name, cfg in MODEL_REGISTRY.items():
-        seq = min(tokens, cfg.max_seq_len)
-        naive = decoder_cost(cfg, seq, spec, engine="transformers",
-                             flash=False)
-        flash = decoder_cost(cfg, seq, spec, engine="transformers",
-                             flash=True)
+        seq_tokens = min(tokens, cfg.max_seq_len)
+        naive = decoder_cost(cfg, seq_tokens, spec,
+                             engine="transformers", flash=False)
+        flash = decoder_cost(cfg, seq_tokens, spec,
+                             engine="transformers", flash=True)
         rows.append([name, f"{naive.moe_fraction:.1%}",
                      f"{flash.moe_fraction:.1%}"])
         data[name] = {"no_flash": naive.moe_fraction,

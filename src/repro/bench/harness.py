@@ -11,7 +11,7 @@ from repro.hw.spec import GPUSpec, get_gpu
 from repro.kernels import KERNELS
 from repro.kernels.base import GemmProblem, MatmulKernel
 from repro.kernels.tiling import TilingConfig
-from repro.bench.workloads import GemmCase
+from repro.workloads.gemm import GemmCase
 
 
 @dataclass(frozen=True)
@@ -114,13 +114,13 @@ def portability_sweep(cases: list[GemmCase], targets: list[str],
         ven_port = ven.porting_factor(dev_spec, spec)
         sam_ratios, ven_ratios = [], []
         for case in cases:
-            ref_t = ref.cost(case.m, case.k, case.n, spec).time_s
-            sam_t = sam.cost(case.m, case.k, case.n, spec,
+            ref_s = ref.cost(case.m, case.k, case.n, spec).time_s
+            sam_s = sam.cost(case.m, case.k, case.n, spec,
                              cfg=sam_cfg[case]).time_s / sam_port
-            ven_t = ven.cost(case.m, case.k, case.n, spec,
+            ven_s = ven.cost(case.m, case.k, case.n, spec,
                              cfg=ven_cfg[case]).time_s / ven_port
-            sam_ratios.append(ref_t / sam_t)
-            ven_ratios.append(ref_t / ven_t)
+            sam_ratios.append(ref_s / sam_s)
+            ven_ratios.append(ref_s / ven_s)
         results[gpu] = {
             "samoyeds_vs_ref": geomean(sam_ratios),
             "venom_vs_ref": geomean(ven_ratios),
@@ -167,11 +167,11 @@ def adaptation_study(cases: list[GemmCase], target_gpu: str,
                 mw=max(16, base_cfg.mw // 2), nw=max(16, base_cfg.nw // 2))
         else:
             new_cfg = base_cfg.scaled(stages=base_cfg.stages + 1)
-        t_base = sam.cost(case.m, case.k, case.n, target,
+        base_s = sam.cost(case.m, case.k, case.n, target,
                           cfg=base_cfg).time_s
-        t_new = sam.cost(case.m, case.k, case.n, target,
+        new_s = sam.cost(case.m, case.k, case.n, target,
                          cfg=new_cfg).time_s
-        rel = (t_base - t_new) / t_base
+        rel = (base_s - new_s) / base_s
         if rel > threshold:
             improved += 1
         elif rel < -threshold:

@@ -29,7 +29,7 @@ from repro.errors import ConfigError
 from repro.serve._legacy_loop import ReferenceEngine
 from repro.serve.engine import ServingEngine
 from repro.serve.metrics import sim_throughput
-from repro.serve.request import Request, replay_trace
+from repro.workloads.traces import Request, replay_trace
 from repro.utils.host import host_metadata
 from repro.utils.rng import new_rng
 

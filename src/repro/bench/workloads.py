@@ -1,9 +1,13 @@
 """Deprecation shim: GEMM cases live in :mod:`repro.workloads.gemm`.
 
-The benchmark case suites moved into the workload package so every
-workload definition — arrival traces and kernel benchmark shapes —
-has one home; this module re-exports them unchanged for the
-pre-package import path ``repro.bench.workloads``.
+.. deprecated::
+    Import the benchmark case suites from :mod:`repro.workloads.gemm`
+    instead.  The workload package is the single home for workload
+    definition — arrival traces and kernel benchmark shapes; this
+    module re-exports them unchanged for the pre-package import path
+    ``repro.bench.workloads`` and will be removed once external
+    callers have migrated; nothing inside ``src/`` imports it any
+    more.
 """
 
 from repro.workloads.gemm import (  # noqa: F401

@@ -219,20 +219,20 @@ class SamoyedsWeight:
     # ------------------------------------------------------------------
     # Storage accounting (drives the Table 3 memory model)
     # ------------------------------------------------------------------
-    def data_nbytes(self, value_bytes: int = 2) -> int:
+    def data_bytes(self, value_bytes: int = 2) -> int:
         return self.data.size * value_bytes
 
-    def metadata_nbytes(self) -> int:
+    def metadata_bytes(self) -> int:
         """2 bits per stored value."""
         return self.metadata.size * 2 // 8
 
-    def indices_nbytes(self) -> int:
+    def indices_bytes(self) -> int:
         """One byte per surviving-sub-row pointer."""
         return self.indices.size
 
     def nbytes(self, value_bytes: int = 2) -> int:
-        return (self.data_nbytes(value_bytes) + self.metadata_nbytes()
-                + self.indices_nbytes())
+        return (self.data_bytes(value_bytes) + self.metadata_bytes()
+                + self.indices_bytes())
 
     @property
     def compression_ratio(self) -> float:

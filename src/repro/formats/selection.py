@@ -68,7 +68,7 @@ class ColumnSelection:
         """
         return self.full[:, self.sel]
 
-    def sel_nbytes(self, index_bytes: int = 4) -> int:
+    def sel_bytes(self, index_bytes: int = 4) -> int:
         return self.len_d * index_bytes
 
     def padded_len(self, tile_n: int) -> int:

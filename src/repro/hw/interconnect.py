@@ -110,6 +110,12 @@ PCIE_GEN4 = register_link(LinkSpec(name="pcie4", latency_s=4.0e-6,
                                    bandwidth=32e9))
 IB_NDR = register_link(LinkSpec(name="ib", latency_s=8.0e-6,
                                 bandwidth=50e9))
+#: The free-handoff limit: every transfer over it costs exactly zero
+#: seconds.  Used by degenerate disaggregated configs (a single pool
+#: serving both phases) to assert that a zero-cost KV hop reproduces
+#: the colocated report byte for byte.
+ZERO_COPY = register_link(LinkSpec(name="zero-copy", latency_s=0.0,
+                                   bandwidth=float("inf")))
 
 DEFAULT_LINK = NVLINK4
 

@@ -68,11 +68,11 @@ def tune(kernel: MatmulKernel, m: int, k: int, n: int, spec: GPUSpec,
             f"no legal configurations for {kernel.name} on {spec.name}")
     best = autotune(candidates,
                     lambda cfg: kernel.cost(m, k, n, spec, cfg=cfg).time_s)
-    tuned = kernel.cost(m, k, n, spec, cfg=best).time_s
-    heuristic = kernel.cost(m, k, n, spec).time_s
-    result = TuneResult(config=best, seconds=tuned,
+    tuned_s = kernel.cost(m, k, n, spec, cfg=best).time_s
+    heuristic_s = kernel.cost(m, k, n, spec).time_s
+    result = TuneResult(config=best, seconds=tuned_s,
                         candidates=len(candidates),
-                        heuristic_seconds=heuristic)
+                        heuristic_seconds=heuristic_s)
     if use_cache:
         _CACHE[key] = result
     return result

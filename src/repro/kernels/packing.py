@@ -58,8 +58,8 @@ def b_tile_dram_bytes(kb: int, nb: int, plan: PackingPlan,
                           row_bytes=rows * 2), spec)
     # Column-major pulls: nb columns, each touching `rows` separate
     # sectors of 2 useful bytes.
-    per_element_sector = spec.dram_transaction_bytes
-    return nb * selected_fraction * rows * per_element_sector
+    per_element_sector_bytes = spec.dram_transaction_bytes
+    return nb * selected_fraction * rows * per_element_sector_bytes
 
 
 def metadata_tile_bytes(mb: int, kb: int, subrow_density: float,

@@ -60,12 +60,12 @@ class CuSparseLtKernel(MatmulKernel):
         return flops / (spec.tc_flops_per_sm_cycle * spec.sparse_tc_speedup)
 
     def a_bytes_per_iter(self, cfg: TilingConfig, spec: GPUSpec) -> float:
-        values = dram_bytes(
+        values_bytes = dram_bytes(
             AccessPattern(rows=cfg.mb, row_bytes=cfg.kb), spec)  # kb/2 * 2B
-        metadata = dram_bytes(
+        metadata_bytes = dram_bytes(
             AccessPattern(rows=1, row_bytes=max(cfg.mb * cfg.kb // 8, 1),
                           contiguous=True), spec)
-        return values + metadata
+        return values_bytes + metadata_bytes
 
     def cost(self, m: int, k: int, n: int, spec: GPUSpec,
              cfg: TilingConfig | None = None):

@@ -56,12 +56,12 @@ class NmSparseKernel(MatmulKernel):
         return flops / spec.cuda_core_flops_per_sm_cycle
 
     def a_bytes_per_iter(self, cfg: TilingConfig, spec: GPUSpec) -> float:
-        values = dram_bytes(
+        values_bytes = dram_bytes(
             AccessPattern(rows=cfg.mb, row_bytes=cfg.kb), spec)
-        metadata = dram_bytes(
+        metadata_bytes = dram_bytes(
             AccessPattern(rows=1, row_bytes=max(cfg.mb * cfg.kb // 8, 1),
                           contiguous=True), spec)
-        return values + metadata
+        return values_bytes + metadata_bytes
 
     def smem_cycles_per_iter(self, cfg: TilingConfig,
                              spec: GPUSpec) -> float:

@@ -79,9 +79,9 @@ class SputnikKernel(MatmulKernel):
     def b_bytes_per_iter(self, cfg: TilingConfig, spec: GPUSpec) -> float:
         # every referenced B row is gathered individually, no cp.async,
         # poor sector utilisation.
-        base = dram_bytes(
+        base_bytes = dram_bytes(
             AccessPattern(rows=cfg.kb, row_bytes=cfg.nb * 2), spec)
-        return base * self.GATHER_AMPLIFICATION
+        return base_bytes * self.GATHER_AMPLIFICATION
 
     def cache_stripes(self, problem: GemmProblem, cfg: TilingConfig
                       ) -> tuple[float, float]:

@@ -100,21 +100,21 @@ class VenomKernel(MatmulKernel):
 
     def a_bytes_per_iter(self, cfg: TilingConfig, spec: GPUSpec) -> float:
         kept = self.pattern.n / self.pattern.m
-        values = dram_bytes(
+        values_bytes = dram_bytes(
             AccessPattern(rows=cfg.mb,
                           row_bytes=max(int(cfg.kb * kept), 4)), spec)
-        metadata = dram_bytes(
+        metadata_bytes = dram_bytes(
             AccessPattern(
                 rows=1,
                 row_bytes=max(int(cfg.mb * cfg.kb * kept / 8), 1),
                 contiguous=True), spec)
         panels = max(1, cfg.mb // self.pattern.v)
-        indices = dram_bytes(
+        indices_bytes = dram_bytes(
             AccessPattern(
                 rows=panels,
                 row_bytes=max(cfg.kb // self.pattern.m
                               * self.pattern.n * 2, 4)), spec)
-        return values + metadata + indices
+        return values_bytes + metadata_bytes + indices_bytes
 
     def b_bytes_per_iter(self, cfg: TilingConfig, spec: GPUSpec) -> float:
         # The full dense B tile is staged (keeps DRAM coalesced); the

@@ -205,16 +205,16 @@ class SamoyedsKernel(MatmulKernel):
 
     def a_bytes_per_iter(self, cfg: TilingConfig, spec: GPUSpec) -> float:
         stored_rows = max(1, int(cfg.mb * self.subrow_density))
-        values = dram_bytes(
+        values_bytes = dram_bytes(
             AccessPattern(rows=stored_rows, row_bytes=cfg.kb), spec)
-        metadata = metadata_tile_bytes(cfg.mb, cfg.kb, self.subrow_density,
-                                       self.features.packing)
+        metadata_bytes = metadata_tile_bytes(
+            cfg.mb, cfg.kb, self.subrow_density, self.features.packing)
         index_rows = max(1, cfg.mb // self.pattern.m)
         index_cols = max(1, cfg.kb // self.pattern.v) * self.pattern.n
-        indices = dram_bytes(
+        indices_bytes = dram_bytes(
             AccessPattern(rows=1, row_bytes=index_rows * index_cols,
                           contiguous=True), spec)
-        return values + metadata + indices
+        return values_bytes + metadata_bytes + indices_bytes
 
     def b_bytes_per_iter(self, cfg: TilingConfig, spec: GPUSpec) -> float:
         from repro.kernels.packing import b_tile_dram_bytes
@@ -268,16 +268,16 @@ class SamoyedsKernel(MatmulKernel):
         """
         require_sparse_alu(spec)
         result = super().cost(m, k, n, spec, cfg)
-        extra = extra_layout_passes_seconds(m, k, n, self.features.layout,
-                                            spec)
+        extra_s = extra_layout_passes_seconds(
+            m, k, n, self.features.layout, spec)
         if n_full is not None and not self.features.layout.compressed_output:
             wasted_cols = max(0, n_full - n)
             waste_traffic = 2.0 * m * wasted_cols * 2  # write + re-read
-            extra += waste_traffic / spec.dram_bandwidth
-        if extra <= 0.0:
+            extra_s += waste_traffic / spec.dram_bandwidth
+        if extra_s <= 0.0:
             return result
         return type(result)(**{**result.__dict__,
-                               "time_s": result.time_s + extra})
+                               "time_s": result.time_s + extra_s})
 
 
 SAMOYEDS_KERNEL = SamoyedsKernel()

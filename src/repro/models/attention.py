@@ -42,32 +42,32 @@ def naive_attention_cost(config: MoEModelConfig, tokens: int,
                          spec: GPUSpec, batch: int = 1) -> AttentionCost:
     """Unfused attention: S x S scores materialised in global memory."""
     h = config.hidden_size
-    seq = tokens
-    proj = _projection_seconds(config, batch * seq, spec)
-    core_flops = batch * 2.0 * 2.0 * seq * seq * h    # QK^T and PV
+    seq_tokens = tokens
+    proj_s = _projection_seconds(config, batch * seq_tokens, spec)
+    core_flops = batch * 2.0 * 2.0 * seq_tokens * seq_tokens * h  # QK^T, PV
     core_compute = core_flops / (spec.dense_tc_flops * 0.70)
-    score_bytes = batch * config.num_heads * seq * seq * 2.0
+    score_bytes = batch * config.num_heads * seq_tokens * seq_tokens * 2.0
     core_mem = 3.0 * score_bytes / spec.dram_bandwidth  # write, read, read
     softmax = 2.0 * score_bytes / spec.dram_bandwidth \
         + spec.kernel_launch_overhead_s
     core = max(core_compute, core_mem)
-    total = proj + core + softmax + 2 * spec.kernel_launch_overhead_s
-    return AttentionCost(projection_s=proj, core_s=core, softmax_s=softmax,
-                         total_s=total, flash=False)
+    total = proj_s + core + softmax + 2 * spec.kernel_launch_overhead_s
+    return AttentionCost(projection_s=proj_s, core_s=core,
+                         softmax_s=softmax, total_s=total, flash=False)
 
 
 def flash_attention_cost(config: MoEModelConfig, tokens: int,
                          spec: GPUSpec, batch: int = 1) -> AttentionCost:
     """FlashAttention-2: fused core, no quadratic DRAM traffic."""
     h = config.hidden_size
-    seq = tokens
-    proj = _projection_seconds(config, batch * seq, spec)
-    core_flops = batch * 2.0 * 2.0 * seq * seq * h
+    seq_tokens = tokens
+    proj_s = _projection_seconds(config, batch * seq_tokens, spec)
+    core_flops = batch * 2.0 * 2.0 * seq_tokens * seq_tokens * h
     core = core_flops / (spec.dense_tc_flops * 0.85)
-    io_bytes = batch * 4.0 * seq * h * 2.0            # Q,K,V in; O out
+    io_bytes = batch * 4.0 * seq_tokens * h * 2.0     # Q,K,V in; O out
     core = max(core, io_bytes / spec.dram_bandwidth)
-    total = proj + core + spec.kernel_launch_overhead_s
-    return AttentionCost(projection_s=proj, core_s=core, softmax_s=0.0,
+    total = proj_s + core + spec.kernel_launch_overhead_s
+    return AttentionCost(projection_s=proj_s, core_s=core, softmax_s=0.0,
                          total_s=total, flash=True)
 
 
@@ -100,21 +100,22 @@ def decode_attention_cost(config: MoEModelConfig, context_tokens: int,
     — everything context-dependent below is closed-form arithmetic.
     """
     h = config.hidden_size
-    proj = (proj_s if proj_s is not None
-            else _projection_seconds(config, batch, spec))
+    projection_s = (proj_s if proj_s is not None
+                    else _projection_seconds(config, batch, spec))
     core_flops = 2.0 * 2.0 * context_tokens * h        # QK^T and PV rows
     kv_bytes = 2.0 * 2.0 * context_tokens * h          # K and V, fp16
     # GEMV-shaped work: tensor cores idle, SIMT FLOPs bound compute.
     core_compute = core_flops / spec.cuda_core_flops
     core = max(core_compute, kv_bytes / spec.dram_bandwidth)
     if flash:
-        total = proj + core + spec.kernel_launch_overhead_s
-        return AttentionCost(projection_s=proj, core_s=core, softmax_s=0.0,
-                             total_s=total, flash=True)
+        total = projection_s + core + spec.kernel_launch_overhead_s
+        return AttentionCost(projection_s=projection_s, core_s=core,
+                             softmax_s=0.0, total_s=total, flash=True)
     score_bytes = batch * config.num_heads * max(
         context_tokens / max(batch, 1), 1.0) * 2.0
     softmax = 2.0 * score_bytes / spec.dram_bandwidth \
         + spec.kernel_launch_overhead_s
-    total = proj + core + softmax + 2 * spec.kernel_launch_overhead_s
-    return AttentionCost(projection_s=proj, core_s=core, softmax_s=softmax,
-                         total_s=total, flash=False)
+    total = (projection_s + core + softmax
+             + 2 * spec.kernel_launch_overhead_s)
+    return AttentionCost(projection_s=projection_s, core_s=core,
+                         softmax_s=softmax, total_s=total, flash=False)

@@ -54,16 +54,16 @@ class DecoderBreakdown:
         return self.comm_s / self.total_s if self.total_s > 0 else 0.0
 
     def fractions(self) -> dict[str, float]:
-        total = self.total_s
-        if total <= 0:
+        total_s = self.total_s
+        if total_s <= 0:
             return {"attention": 0.0, "moe": 0.0, "norm": 0.0}
         out = {
-            "attention": self.attention_s / total,
-            "moe": self.moe_s / total,
-            "norm": self.norm_s / total,
+            "attention": self.attention_s / total_s,
+            "moe": self.moe_s / total_s,
+            "norm": self.norm_s / total_s,
         }
         if self.comm_s > 0:
-            out["comm"] = self.comm_s / total
+            out["comm"] = self.comm_s / total_s
         return out
 
 
@@ -94,10 +94,10 @@ def boundary_comm_seconds(config: MoEModelConfig, tokens: int,
         return 0.0
     from repro.moe.scheduler import dispatch_combine_seconds
     hidden_bytes = float(tokens) * config.hidden_size * ACT_BYTES
-    comm = 2.0 * cluster.allreduce_seconds(hidden_bytes, parallel.tp)
-    comm += dispatch_combine_seconds(config, tokens * config.top_k,
-                                     cluster, parallel.ep)
-    return comm
+    comm_s = 2.0 * cluster.allreduce_seconds(hidden_bytes, parallel.tp)
+    comm_s += dispatch_combine_seconds(config, tokens * config.top_k,
+                                       cluster, parallel.ep)
+    return comm_s
 
 
 def _parallel_terms(config: MoEModelConfig, tokens: int, spec: GPUSpec,
@@ -109,8 +109,8 @@ def _parallel_terms(config: MoEModelConfig, tokens: int, spec: GPUSpec,
     if parallel is None or parallel.is_trivial:
         return None
     cluster = cluster or make_cluster(spec, parallel)
-    comm = boundary_comm_seconds(config, tokens, parallel, cluster)
-    return float(parallel.tp), float(parallel.ep * parallel.tp), comm
+    comm_s = boundary_comm_seconds(config, tokens, parallel, cluster)
+    return float(parallel.tp), float(parallel.ep * parallel.tp), comm_s
 
 
 def decoder_cost(config: MoEModelConfig, tokens: int, spec: GPUSpec,
@@ -141,7 +141,7 @@ def decoder_cost(config: MoEModelConfig, tokens: int, spec: GPUSpec,
         engine = ENGINES[engine]
     attn = attention_cost(config, tokens, spec, batch=batch, flash=flash)
     moe = engine.cost(config, tokens * batch, spec, num_shared=num_shared)
-    norm = _norm_seconds(config, tokens * batch, spec)
+    norm_s = _norm_seconds(config, tokens * batch, spec)
     terms = _parallel_terms(config, tokens * batch, spec, parallel,
                             cluster)
     if terms is None:
@@ -150,20 +150,20 @@ def decoder_cost(config: MoEModelConfig, tokens: int, spec: GPUSpec,
             engine=engine.name,
             attention_s=attn.total_s,
             moe_s=moe.time_s,
-            norm_s=norm,
+            norm_s=norm_s,
             flash=flash,
             phase="prefill",
         )
-    attn_div, moe_div, comm = terms
+    attn_div, moe_div, comm_s = terms
     return DecoderBreakdown(
         model=config.name,
         engine=engine.name,
         attention_s=attn.total_s / attn_div,
         moe_s=moe.time_s / moe_div,
-        norm_s=norm,
+        norm_s=norm_s,
         flash=flash,
         phase="prefill",
-        comm_s=comm,
+        comm_s=comm_s,
     )
 
 
@@ -190,7 +190,7 @@ def decoder_decode_cost(config: MoEModelConfig, context_tokens: int,
     attn = decode_attention_cost(config, context_tokens, spec,
                                  batch=batch, flash=flash)
     moe = engine.cost(config, max(batch, 1), spec, num_shared=num_shared)
-    norm = norm_seconds(config, max(batch, 1), spec)
+    norm_s = norm_seconds(config, max(batch, 1), spec)
     terms = _parallel_terms(config, max(batch, 1), spec, parallel,
                             cluster)
     if terms is None:
@@ -199,18 +199,18 @@ def decoder_decode_cost(config: MoEModelConfig, context_tokens: int,
             engine=engine.name,
             attention_s=attn.total_s,
             moe_s=moe.time_s,
-            norm_s=norm,
+            norm_s=norm_s,
             flash=flash,
             phase="decode",
         )
-    attn_div, moe_div, comm = terms
+    attn_div, moe_div, comm_s = terms
     return DecoderBreakdown(
         model=config.name,
         engine=engine.name,
         attention_s=attn.total_s / attn_div,
         moe_s=moe.time_s / moe_div,
-        norm_s=norm,
+        norm_s=norm_s,
         flash=flash,
         phase="decode",
-        comm_s=comm,
+        comm_s=comm_s,
     )

@@ -43,11 +43,6 @@ class ModelEstimate:
     tokens_per_s: float
     fits: bool
 
-    @property
-    def weights_gib(self) -> float:
-        return self.weights_bytes / GIB
-
-
 def total_params(config: MoEModelConfig) -> int:
     """All-layer parameter count (attention + experts + embeddings)."""
     per_layer = config.attention_param_count + config.moe_param_count

@@ -40,15 +40,18 @@ def unpermutation_bytes(tokens: int, hidden: int, top_k: int,
 def permutation_seconds(tokens: int, hidden: int, top_k: int,
                         spec: GPUSpec, dtype_bytes: int = 2) -> float:
     """Time of the input-permutation pass (traffic + one launch)."""
-    traffic = permutation_bytes(tokens, hidden, top_k, dtype_bytes)
-    return traffic / spec.dram_bandwidth + spec.kernel_launch_overhead_s
+    traffic_bytes = permutation_bytes(tokens, hidden, top_k, dtype_bytes)
+    return (traffic_bytes / spec.dram_bandwidth
+            + spec.kernel_launch_overhead_s)
 
 
 def unpermutation_seconds(tokens: int, hidden: int, top_k: int,
                           spec: GPUSpec, dtype_bytes: int = 2) -> float:
     """Time of the weighted un-permutation pass."""
-    traffic = unpermutation_bytes(tokens, hidden, top_k, dtype_bytes)
-    return traffic / spec.dram_bandwidth + spec.kernel_launch_overhead_s
+    traffic_bytes = unpermutation_bytes(tokens, hidden, top_k,
+                                        dtype_bytes)
+    return (traffic_bytes / spec.dram_bandwidth
+            + spec.kernel_launch_overhead_s)
 
 
 def intermediate_allocation_bytes(tokens: int, hidden: int,

@@ -171,9 +171,9 @@ class MoEEngine(abc.ABC):
         values, so repeating the breakdown is exact).
         """
         h, inter = config.hidden_size, config.intermediate_size
-        n = max(1, n_tokens)
-        gate_up = kernel.cost(inter, h, n, spec)
-        return [gate_up, gate_up, kernel.cost(h, inter, n, spec)]
+        n_tokens = max(1, n_tokens)
+        gate_up = kernel.cost(inter, h, n_tokens, spec)
+        return [gate_up, gate_up, kernel.cost(h, inter, n_tokens, spec)]
 
     def _shared_cost(self, kernel: MatmulKernel, config: MoEModelConfig,
                      tokens: int, spec: GPUSpec, num_shared: int
@@ -227,7 +227,7 @@ class TransformersEngine(MoEEngine):
         parts.extend(self._shared_cost(self._kernel, config, tokens, spec,
                                        shared))
         gemm = combine(f"{self.name}-gemms", parts)
-        extra = (
+        extra_s = (
             permutation_seconds(tokens, config.hidden_size, config.top_k,
                                 spec)
             + unpermutation_seconds(tokens, config.hidden_size,
@@ -240,8 +240,10 @@ class TransformersEngine(MoEEngine):
                                         config.intermediate_size, spec,
                                         passes=2)
         )
-        return replace(gemm, name=self.name, time_s=gemm.time_s + extra,
-                       detail={"gemm_s": gemm.time_s, "dataflow_s": extra})
+        return replace(gemm, name=self.name,
+                       time_s=gemm.time_s + extra_s,
+                       detail={"gemm_s": gemm.time_s,
+                               "dataflow_s": extra_s})
 
 
 class MegaBlocksEngine(MoEEngine):
@@ -265,18 +267,21 @@ class MegaBlocksEngine(MoEEngine):
         shared = (config.num_shared_experts if num_shared is None
                   else num_shared)
         work = LayerWorkload(config, tokens)
-        padded = work.padded_routed_tokens(self.BLOCK_ROWS)
-        parts = self._triple(self._kernel, config, padded, spec, "grouped")
+        padded_tokens = work.padded_routed_tokens(self.BLOCK_ROWS)
+        parts = self._triple(self._kernel, config, padded_tokens, spec,
+                             "grouped")
         parts.extend(self._shared_cost(self._kernel, config, tokens, spec,
                                        shared))
         gemm = combine(f"{self.name}-gemms", parts)
         # Block gathering metadata pass + one fused act*up pass.
-        extra = (_elementwise_pass_seconds(padded,
-                                           config.intermediate_size, spec)
-                 + tokens * config.top_k * 8 / spec.dram_bandwidth)
-        return replace(gemm, name=self.name, time_s=gemm.time_s + extra,
-                       detail={"gemm_s": gemm.time_s, "dataflow_s": extra,
-                               "padded_tokens": float(padded)})
+        extra_s = (_elementwise_pass_seconds(
+                       padded_tokens, config.intermediate_size, spec)
+                   + tokens * config.top_k * 8 / spec.dram_bandwidth)
+        return replace(gemm, name=self.name,
+                       time_s=gemm.time_s + extra_s,
+                       detail={"gemm_s": gemm.time_s,
+                               "dataflow_s": extra_s,
+                               "padded_tokens": float(padded_tokens)})
 
 
 class VllmEngine(MoEEngine):
@@ -300,16 +305,19 @@ class VllmEngine(MoEEngine):
         shared = (config.num_shared_experts if num_shared is None
                   else num_shared)
         work = LayerWorkload(config, tokens)
-        padded = work.padded_routed_tokens(self.TILE_ROWS)
-        parts = self._triple(self._kernel, config, padded, spec, "fused")
+        padded_tokens = work.padded_routed_tokens(self.TILE_ROWS)
+        parts = self._triple(self._kernel, config, padded_tokens, spec,
+                             "fused")
         parts.extend(self._shared_cost(self._kernel, config, tokens, spec,
                                        shared))
         gemm = combine(f"{self.name}-gemms", parts)
         # Fused gather/epilogue: only the routing-table pass remains.
-        extra = tokens * config.top_k * 8 / spec.dram_bandwidth
-        return replace(gemm, name=self.name, time_s=gemm.time_s + extra,
-                       detail={"gemm_s": gemm.time_s, "dataflow_s": extra,
-                               "padded_tokens": float(padded)})
+        extra_s = tokens * config.top_k * 8 / spec.dram_bandwidth
+        return replace(gemm, name=self.name,
+                       time_s=gemm.time_s + extra_s,
+                       detail={"gemm_s": gemm.time_s,
+                               "dataflow_s": extra_s,
+                               "padded_tokens": float(padded_tokens)})
 
 
 class PitEngine(MoEEngine):
@@ -329,8 +337,9 @@ class PitEngine(MoEEngine):
         shared = (config.num_shared_experts if num_shared is None
                   else num_shared)
         work = LayerWorkload(config, tokens)
-        padded = work.padded_routed_tokens(self.MICRO_TILE)
-        parts = self._triple(self._kernel, config, padded, spec, "pit")
+        padded_tokens = work.padded_routed_tokens(self.MICRO_TILE)
+        parts = self._triple(self._kernel, config, padded_tokens, spec,
+                             "pit")
         parts.extend(self._shared_cost(self._kernel, config, tokens, spec,
                                        shared))
         gemm = combine(f"{self.name}-gemms", parts)
@@ -339,11 +348,13 @@ class PitEngine(MoEEngine):
         transform = (2.0 * work.total_routed_tokens * config.hidden_size
                      * 2 / spec.dram_bandwidth
                      + 2 * spec.kernel_launch_overhead_s)
-        extra = transform + _elementwise_pass_seconds(
-            padded, config.intermediate_size, spec)
-        return replace(gemm, name=self.name, time_s=gemm.time_s + extra,
-                       detail={"gemm_s": gemm.time_s, "dataflow_s": extra,
-                               "padded_tokens": float(padded)})
+        extra_s = transform + _elementwise_pass_seconds(
+            padded_tokens, config.intermediate_size, spec)
+        return replace(gemm, name=self.name,
+                       time_s=gemm.time_s + extra_s,
+                       detail={"gemm_s": gemm.time_s,
+                               "dataflow_s": extra_s,
+                               "padded_tokens": float(padded_tokens)})
 
 
 class SamoyedsEngine(MoEEngine):
@@ -445,26 +456,30 @@ class SamoyedsEngine(MoEEngine):
         # trip survives even in the fused pipeline.
         inter_rt_s = (2.0 * (n_e * config.num_experts + shared * tokens)
                       * inter * 2 / spec.dram_bandwidth)
-        extra = acc_s + inter_rt_s
+        extra_s = acc_s + inter_rt_s
         if not self.features.layout.fused_input_transpose:
             # Ablation stages before +T: the graph-level transposition of
             # (W^T x^T)^T is materialised — one input and one output
             # transpose per expert over the hidden dimension.
             per_expert = 2.0 * (2.0 * h * n_e * 2 / spec.dram_bandwidth
                                 + spec.kernel_launch_overhead_s)
-            extra += per_expert * config.num_experts
+            extra_s += per_expert * config.num_experts
         if not self.features.input_selection:
             # Ablation +W: weight sparsity only — the permuted data flow
             # of the reference implementation comes back, including its
             # per-expert gather/scatter launch storm.
-            extra += permutation_seconds(tokens, h, config.top_k, spec)
-            extra += unpermutation_seconds(tokens, h, config.top_k, spec)
-            extra += (2 * config.num_experts
-                      * spec.kernel_launch_overhead_s)
-        padded = n_e * config.num_experts
-        return replace(gemm, name=self.name, time_s=gemm.time_s + extra,
-                       detail={"gemm_s": gemm.time_s, "dataflow_s": extra,
-                               "padded_tokens": float(padded)})
+            extra_s += permutation_seconds(tokens, h, config.top_k,
+                                           spec)
+            extra_s += unpermutation_seconds(tokens, h, config.top_k,
+                                             spec)
+            extra_s += (2 * config.num_experts
+                        * spec.kernel_launch_overhead_s)
+        padded_tokens = n_e * config.num_experts
+        return replace(gemm, name=self.name,
+                       time_s=gemm.time_s + extra_s,
+                       detail={"gemm_s": gemm.time_s,
+                               "dataflow_s": extra_s,
+                               "padded_tokens": float(padded_tokens)})
 
 
 #: Engine registry in the paper's legend order.  A sixth entry,

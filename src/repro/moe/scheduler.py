@@ -107,9 +107,9 @@ def segment_seconds_from_loads(config: MoEModelConfig,
         n_int = int(n_e)
         triple = memo.get(n_int)
         if triple is None:
-            gate_up = kernel.cost(inter, h, n_int, spec).time_s
-            down = kernel.cost(h, inter, n_int, spec).time_s
-            triple = memo[n_int] = 2.0 * gate_up + down
+            gate_up_s = kernel.cost(inter, h, n_int, spec).time_s
+            down_s = kernel.cost(h, inter, n_int, spec).time_s
+            triple = memo[n_int] = 2.0 * gate_up_s + down_s
         out[active & (padded == n_e)] = triple
     return out.tolist()
 
@@ -176,10 +176,11 @@ def schedule_fused(config: MoEModelConfig, plan: RoutingPlan,
                            for load in plan.load() if load))
     padded_total = max(padded_total, tile_n)
     # Gate and up share one GEMM shape: price it once, count it twice.
-    gate_up = kernel.cost(inter, h, padded_total, spec).time_s
-    total = 2.0 * gate_up + kernel.cost(h, inter, padded_total, spec).time_s
-    return ScheduleResult(policy="fused", streams=1, makespan_s=total,
-                          segment_seconds=(total,))
+    gate_up_s = kernel.cost(inter, h, padded_total, spec).time_s
+    total_s = (2.0 * gate_up_s
+               + kernel.cost(h, inter, padded_total, spec).time_s)
+    return ScheduleResult(policy="fused", streams=1, makespan_s=total_s,
+                          segment_seconds=(total_s,))
 
 
 def compare_policies(config: "MoEModelConfig | ExecutionContext",
@@ -206,10 +207,11 @@ def compare_policies(config: "MoEModelConfig | ExecutionContext",
     kernel = kernel or SamoyedsKernel()
     streams = 4 if streams is None else streams
     tile_n = 64 if tile_n is None else tile_n
-    segments = expert_segment_seconds(config, plan, spec, kernel, tile_n)
+    segments_s = expert_segment_seconds(config, plan, spec, kernel,
+                                        tile_n)
     return {
-        "sequential": schedule_sequential(segments),
-        "parallel": schedule_parallel(segments, streams),
+        "sequential": schedule_sequential(segments_s),
+        "parallel": schedule_parallel(segments_s, streams),
         "fused": schedule_fused(config, plan, spec, kernel, tile_n),
     }
 
@@ -336,8 +338,8 @@ class ExpertParallelResult:
 
     @property
     def comm_fraction(self) -> float:
-        total = self.makespan_s
-        return self.alltoall_s / total if total > 0 else 0.0
+        total_s = self.makespan_s
+        return self.alltoall_s / total_s if total_s > 0 else 0.0
 
     @property
     def device_imbalance(self) -> float:
@@ -424,10 +426,11 @@ def schedule_expert_parallel(config: "MoEModelConfig | ExecutionContext",
     if cluster is None:
         from repro.hw.interconnect import ParallelPlan
         cluster = make_cluster(spec, ParallelPlan(ep=ep, tp=tp))
-    segments = segment_seconds_from_loads(config, loads, spec, kernel,
-                                          tile_n, tp=tp)
-    per_device = device_makespans(segments, placement, streams)
-    comm = dispatch_combine_seconds(config, int(sum(loads)), cluster, ep)
+    segments_s = segment_seconds_from_loads(config, loads, spec,
+                                            kernel, tile_n, tp=tp)
+    per_device = device_makespans(segments_s, placement, streams)
+    comm_s = dispatch_combine_seconds(config, int(sum(loads)), cluster,
+                                      ep)
     return ExpertParallelResult(placement=placement, streams=streams,
                                 per_device_s=tuple(per_device),
-                                alltoall_s=comm)
+                                alltoall_s=comm_s)

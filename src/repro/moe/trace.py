@@ -120,8 +120,9 @@ class CapacityReport:
 
     @property
     def drop_fraction(self) -> float:
-        total = self.kept_tokens + self.dropped_tokens
-        return self.dropped_tokens / total if total else 0.0
+        total_tokens = self.kept_tokens + self.dropped_tokens
+        return (self.dropped_tokens / total_tokens
+                if total_tokens else 0.0)
 
 
 def apply_capacity(plan: RoutingPlan, capacity_factor: float = 1.25

@@ -33,7 +33,7 @@ from repro.serve.scheduling import (
     YoungestFirst,
     make_scheduler,
 )
-from repro.serve.request import (
+from repro.workloads.traces import (
     Request,
     bursty_trace,
     poisson_trace,

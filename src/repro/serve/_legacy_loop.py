@@ -58,7 +58,7 @@ from repro.serve.metrics import (
     StepSample,
     summarise,
 )
-from repro.serve.request import Request, validate_trace
+from repro.workloads.traces import Request, validate_trace
 from repro.utils.rng import new_rng
 
 

@@ -33,7 +33,7 @@ from functools import cached_property
 
 from repro.errors import ConfigError
 from repro.moe.memory_model import DeviceLedgers, MemoryLedger
-from repro.serve.request import Request
+from repro.workloads.traces import Request
 
 #: Batchers speak the shared admission interface: a single-device
 #: ledger or the per-device composite of a multi-GPU grid.

@@ -98,7 +98,7 @@ from repro.serve.metrics import (
     StepSample,
     summarise,
 )
-from repro.serve.request import Request, validate_trace
+from repro.workloads.traces import Request, validate_trace
 from repro.serve.scheduling import AdmissionGate, make_scheduler
 from repro.utils.rng import new_rng
 from repro.workloads.tenants import TenantSpec, validate_tenants

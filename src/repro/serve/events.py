@@ -28,6 +28,14 @@ Event types and their meaning:
   The event itself is a no-op: it exists to give the otherwise idle
   calendar something to advance to, after which the normal planning
   path retries admission.
+* :class:`KVTransfer` — a finished prompt's KV blocks land on their
+  decode pool (disaggregated serving, :mod:`repro.serve.disagg`).  The
+  event is scheduled at transfer start for ``start + transfer_s``
+  (the inter-pool link's alpha-beta cost for the request's KV bytes);
+  its handler releases the source pool's ledger charge and starts the
+  request decoding on the destination pool.  During the in-flight
+  window the request is resident on *both* ledgers — the conservation
+  invariant the sim-sanitizer checks.
 
 Ordering guarantees
 -------------------
@@ -58,7 +66,7 @@ from typing import TYPE_CHECKING, ClassVar
 from repro.errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
-    from repro.serve.request import Request
+    from repro.workloads.traces import Request
 
 #: Clock tolerance under which two event times are the same instant.
 #: Successor of the inline ``1e-12`` the pre-calendar loop used in its
@@ -81,6 +89,7 @@ class EventKind(IntEnum):
     PREEMPT = 2
     HORIZON_EXPIRED = 3
     RATE_REFILL = 4
+    KV_TRANSFER = 5
 
 
 @dataclass(frozen=True)
@@ -156,6 +165,32 @@ class RateRefill(Event):
     the waiting queue head; wake the planner (no other effect)."""
 
     KIND = EventKind.RATE_REFILL
+
+
+@dataclass(frozen=True)
+class KVTransfer(Event):
+    """A migrating request's KV blocks arrive on the decode pool.
+
+    Scheduled by the disaggregated engine at transfer *start* for
+    ``start + transfer_s``, where ``transfer_s`` is the inter-pool
+    link's :meth:`~repro.hw.interconnect.LinkSpec.transfer_seconds`
+    for ``nbytes`` of KV state (all layers of the request's context at
+    prefill completion).  The destination ledger was charged at
+    transfer start; the handler releases the source ledger and adds
+    the request to the destination pool's running set.
+    """
+
+    transfer_rid: int = -1
+    src_pool: str = ""
+    dst_pool: str = ""
+    nbytes: float = 0.0
+    transfer_s: float = 0.0
+
+    KIND = EventKind.KV_TRANSFER
+
+    @property
+    def rid(self) -> int:
+        return self.transfer_rid
 
 
 class EventQueue:

@@ -191,6 +191,16 @@ class ServeReport:
     #: and preemption counts.  ``None`` on single-tenant runs so their
     #: reports stay byte-identical to the pre-tenant format.
     tenants: dict[str, object] | None = None
+    #: Per-pool section (disaggregated runs only): one block per pool
+    #: with its role/device identity, step and request counts, and the
+    #: phase latencies served there (TTFT on prefill-capable pools,
+    #: TPOT on decode-capable ones).  ``None`` on colocated runs so
+    #: their reports stay byte-identical to the pre-disagg format.
+    pools: dict[str, object] | None = None
+    #: KV-transfer section (disaggregated runs only): the inter-pool
+    #: link, migration counts, bytes moved and the per-request
+    #: transfer-seconds distribution.  ``None`` on colocated runs.
+    transfer: dict[str, object] | None = None
 
     def to_dict(self) -> dict[str, object]:
         """JSON-ready payload (plain types only, stable key order).
@@ -228,6 +238,10 @@ class ServeReport:
                if self.auto is not None else {}),
             **({"tenants": dict(self.tenants)}
                if self.tenants is not None else {}),
+            **({"pools": dict(self.pools)}
+               if self.pools is not None else {}),
+            **({"transfer": dict(self.transfer)}
+               if self.transfer is not None else {}),
         }
 
     @classmethod
@@ -403,7 +417,9 @@ def _empty_report(collector: MetricsCollector, *, engine: str, model: str,
                   gpu: str, batcher: str, num_requests: int,
                   cluster: dict[str, object] | None,
                   auto: dict[str, object] | None,
-                  tenants: dict[str, object] | None = None
+                  tenants: dict[str, object] | None = None,
+                  pools: dict[str, object] | None = None,
+                  transfer: dict[str, object] | None = None
                   ) -> ServeReport:
     """Well-formed report for a run where nothing completed.
 
@@ -430,6 +446,8 @@ def _empty_report(collector: MetricsCollector, *, engine: str, model: str,
         cluster=cluster,
         auto=auto,
         tenants=tenants,
+        pools=pools,
+        transfer=transfer,
         **_sample_stats(samples),  # type: ignore[arg-type]
     )
 
@@ -439,7 +457,9 @@ def summarise(collector: MetricsCollector, *, engine: str, model: str,
               cluster: dict[str, object] | None = None,
               auto: dict[str, object] | None = None,
               tenants: "Sequence[TenantSpec] | None" = None,
-              all_records: "Sequence[RequestRecord] | None" = None
+              all_records: "Sequence[RequestRecord] | None" = None,
+              pools: dict[str, object] | None = None,
+              transfer: dict[str, object] | None = None
               ) -> ServeReport:
     """Fold a run's samples and records into a :class:`ServeReport`.
 
@@ -449,6 +469,8 @@ def summarise(collector: MetricsCollector, *, engine: str, model: str,
     attached verbatim when present.  ``tenants`` (with ``all_records``,
     every request's record whether finished or not) attaches the
     per-tenant section; ``None`` keeps the single-tenant report shape.
+    ``pools`` / ``transfer`` are the disaggregated-serving sections
+    (:mod:`repro.serve.disagg`), attached verbatim when present.
     """
     done = [r for r in collector.records if r.completed]
     if cluster is not None and collector.samples:
@@ -467,7 +489,8 @@ def summarise(collector: MetricsCollector, *, engine: str, model: str,
         return _empty_report(collector, engine=engine, model=model,
                              gpu=gpu, batcher=batcher,
                              num_requests=num_requests, cluster=cluster,
-                             auto=auto, tenants=tenant_blocks)
+                             auto=auto, tenants=tenant_blocks,
+                             pools=pools, transfer=transfer)
     samples = collector.samples
     if not samples:
         raise ConfigError("completed requests but no observed steps")
@@ -494,6 +517,8 @@ def summarise(collector: MetricsCollector, *, engine: str, model: str,
         cluster=cluster,
         auto=auto,
         tenants=tenant_blocks,
+        pools=pools,
+        transfer=transfer,
         **_sample_stats(samples),  # type: ignore[arg-type]
     )
 

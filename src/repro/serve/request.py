@@ -1,10 +1,11 @@
 """Deprecation shim: requests and traces live in :mod:`repro.workloads`.
 
-The :class:`Request` unit and the trace generators moved to the
-workload package (:mod:`repro.workloads.traces`) so workload definition
-has one source of truth; this module re-exports them byte-for-byte for
-the pre-package import path ``repro.serve.request``.  New code should
-import from :mod:`repro.workloads`.
+.. deprecated::
+    Import :class:`Request` and the trace generators from
+    :mod:`repro.workloads` instead.  This module re-exports them
+    byte-for-byte for the pre-package import path
+    ``repro.serve.request`` and will be removed once external callers
+    have migrated; nothing inside ``src/`` imports it any more.
 """
 
 from repro.workloads.traces import (  # noqa: F401

@@ -9,11 +9,11 @@ GIB = 1024 * MIB
 
 def format_bytes(num_bytes: float) -> str:
     """Render a byte count with a binary-prefix unit."""
-    value = float(num_bytes)
-    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
-        if abs(value) < 1024.0 or unit == "TiB":
-            return f"{value:.2f} {unit}"
-        value /= 1024.0
+    for unit, divisor in (("B", 1), ("KiB", KIB), ("MiB", MIB),
+                          ("GiB", GIB), ("TiB", 1024 * GIB)):
+        scaled = float(num_bytes) / divisor
+        if abs(scaled) < 1024.0 or unit == "TiB":
+            return f"{scaled:.2f} {unit}"
     raise AssertionError("unreachable")
 
 

@@ -114,8 +114,8 @@ class TestEncoding:
 
     def test_nbytes_decomposition(self, rng):
         sw = SamoyedsWeight.from_dense(rng.normal(size=(128, 128)))
-        assert sw.nbytes() == (sw.data_nbytes() + sw.metadata_nbytes()
-                               + sw.indices_nbytes())
+        assert sw.nbytes() == (sw.data_bytes() + sw.metadata_bytes()
+                               + sw.indices_bytes())
 
     def test_wrong_component_shapes_rejected(self, rng):
         sw = SamoyedsWeight.from_dense(rng.normal(size=(64, 64)))

@@ -51,10 +51,10 @@ class TestColumnSelection:
         with pytest.raises(ShapeError):
             cs.padded_len(0)
 
-    def test_sel_nbytes(self, rng):
+    def test_sel_bytes(self, rng):
         cs = ColumnSelection(full=rng.normal(size=(4, 30)),
                              sel=np.arange(10))
-        assert cs.sel_nbytes() == 40
+        assert cs.sel_bytes() == 40
 
     def test_empty_selection(self, rng):
         cs = ColumnSelection(full=rng.normal(size=(4, 8)),
